@@ -1,0 +1,59 @@
+// Command wlsadmin is the administration CLI for a running wlsd: it lists
+// servers, dumps metrics, and injects failures (crash/restart) over the
+// daemon's admin HTTP endpoint.
+//
+//	wlsadmin -addr localhost:7002 servers
+//	wlsadmin -addr localhost:7002 metrics
+//	wlsadmin -addr localhost:7002 crash server-2
+//	wlsadmin -addr localhost:7002 restart server-2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:7002", "wlsd admin address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	get := func(path string) {
+		resp, err := http.Get("http://" + *addr + path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wlsadmin: %v\n", err)
+			os.Exit(1)
+		}
+		defer resp.Body.Close()
+		io.Copy(os.Stdout, resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			os.Exit(1)
+		}
+	}
+
+	switch args[0] {
+	case "servers":
+		get("/admin/servers")
+	case "metrics":
+		get("/admin/metrics")
+	case "crash", "restart":
+		if len(args) < 2 {
+			usage()
+		}
+		get("/admin/" + args[0] + "?server=" + url.QueryEscape(args[1]))
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: wlsadmin [-addr host:port] servers|metrics|crash <server>|restart <server>")
+	os.Exit(2)
+}

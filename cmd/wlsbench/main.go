@@ -1,0 +1,54 @@
+// Command wlsbench runs the paper-reproduction experiments (E01–E26, see
+// DESIGN.md) and prints their tables.
+//
+// Usage:
+//
+//	wlsbench -list            list experiments
+//	wlsbench -exp E05         run one experiment
+//	wlsbench -all             run everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"wls/internal/bench"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments")
+	exp := flag.String("exp", "", "run one experiment by id (e.g. E05)")
+	all := flag.Bool("all", false, "run every experiment")
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, e := range bench.All() {
+			fmt.Printf("%-5s %-58s %s\n", e.ID, e.Title, e.Source)
+		}
+	case *exp != "":
+		e, ok := bench.Find(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "wlsbench: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(1)
+		}
+		run(e)
+	case *all:
+		for _, e := range bench.All() {
+			run(e)
+			fmt.Println()
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func run(e bench.Experiment) {
+	start := time.Now()
+	table := e.Run()
+	fmt.Print(table.String())
+	fmt.Printf("(ran in %v)\n", time.Since(start).Round(time.Millisecond))
+}

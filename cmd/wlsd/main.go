@@ -1,0 +1,156 @@
+// Command wlsd hosts a WLS cluster in one process and serves it over real
+// HTTP: application traffic goes through the Fig 2 proxy plug-in on one
+// port, and an admin endpoint exposes cluster state and metrics for
+// cmd/wlsadmin.
+//
+//	wlsd -servers 3 -http :7001 -admin :7002 [-data /var/wls]
+//
+// Then:
+//
+//	curl localhost:7001/hello
+//	curl -c c.txt -b c.txt localhost:7001/count   # replicated session
+//	wlsadmin -addr localhost:7002 servers
+//	wlsadmin -addr localhost:7002 crash server-2  # watch sessions survive
+//
+// (Cross-process clustering would need a UDP membership bus; this daemon
+// hosts all servers in one process — the protocols between them are the
+// same ones the test suite and benchmarks exercise. See README.)
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"wls"
+	"wls/internal/ejb"
+	"wls/internal/rmi"
+	"wls/internal/servlet"
+)
+
+func main() {
+	servers := flag.Int("servers", 3, "cluster size")
+	httpAddr := flag.String("http", ":7001", "application HTTP address (proxy plug-in)")
+	adminAddr := flag.String("admin", ":7002", "admin HTTP address")
+	dataDir := flag.String("data", "", "data directory for middle-tier filestores (optional)")
+	flag.Parse()
+
+	cluster, err := wls.New(wls.Options{
+		Servers:   *servers,
+		RealClock: true,
+		DataDir:   *dataDir,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Stop()
+
+	deployDemoApp(cluster)
+	cluster.Settle(3)
+
+	// Application traffic: one HTTP listener fronting the proxy plug-in.
+	proxy := cluster.ProxyPlugin("webserver:80")
+	appMux := http.NewServeMux()
+	appMux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		var cookie string
+		if c, err := r.Cookie("WLSESSION"); err == nil {
+			cookie = c.Value
+		}
+		resp, err := proxy.Route(r.Context(), r.URL.Path, cookie, nil)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		if resp.Cookie != "" {
+			http.SetCookie(w, &http.Cookie{Name: "WLSESSION", Value: resp.Cookie, Path: "/"})
+		}
+		w.Header().Set("X-Served-By", resp.ServedBy)
+		w.WriteHeader(resp.Status)
+		w.Write(resp.Body)
+	})
+
+	// Admin surface.
+	adminMux := http.NewServeMux()
+	adminMux.HandleFunc("/admin/servers", func(w http.ResponseWriter, r *http.Request) {
+		type info struct {
+			Name, Addr string
+			Alive      int
+		}
+		var out []info
+		for _, s := range cluster.Servers {
+			out = append(out, info{s.Name, s.Addr(), len(s.Member().Alive())})
+		}
+		json.NewEncoder(w).Encode(out)
+	})
+	adminMux.HandleFunc("/admin/metrics", func(w http.ResponseWriter, r *http.Request) {
+		for _, s := range cluster.Servers {
+			fmt.Fprintf(w, "## %s\n", s.Name)
+			for _, line := range s.Metrics().Snapshot() {
+				fmt.Fprintf(w, "%s\n", line)
+			}
+		}
+	})
+	adminMux.HandleFunc("/admin/crash", func(w http.ResponseWriter, r *http.Request) {
+		name := strings.TrimSpace(r.URL.Query().Get("server"))
+		if cluster.Server(name) == nil {
+			http.Error(w, "no such server", http.StatusNotFound)
+			return
+		}
+		cluster.Crash(name)
+		fmt.Fprintf(w, "crashed %s\n", name)
+	})
+	adminMux.HandleFunc("/admin/restart", func(w http.ResponseWriter, r *http.Request) {
+		name := strings.TrimSpace(r.URL.Query().Get("server"))
+		s := cluster.Restart(name)
+		if s == nil {
+			http.Error(w, "no such server", http.StatusNotFound)
+			return
+		}
+		deployDemoAppOn(cluster, s)
+		fmt.Fprintf(w, "restarted %s\n", name)
+	})
+
+	go func() {
+		log.Printf("wlsd: admin on %s", *adminAddr)
+		if err := http.ListenAndServe(*adminAddr, adminMux); err != nil {
+			log.Fatal(err)
+		}
+	}()
+	log.Printf("wlsd: %d-server cluster serving on %s", *servers, *httpAddr)
+	if err := http.ListenAndServe(*httpAddr, appMux); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// deployDemoApp installs the demo servlets and beans on every server.
+func deployDemoApp(cluster *wls.Cluster) {
+	for _, s := range cluster.Servers {
+		deployDemoAppOn(cluster, s)
+	}
+}
+
+func deployDemoAppOn(cluster *wls.Cluster, s *wls.Server) {
+	name := s.Name
+	s.Web.Handle("/hello", func(r *servlet.Request) servlet.Response {
+		return servlet.Response{Body: []byte("hello from " + name + "\n")}
+	})
+	s.Web.Handle("/count", func(r *servlet.Request) servlet.Response {
+		n, _ := strconv.Atoi(r.Session.Get("n"))
+		n++
+		r.Session.Set("n", strconv.Itoa(n))
+		return servlet.Response{Body: []byte(fmt.Sprintf("count=%d (session %s)\n", n, r.Session.ID))}
+	})
+	s.EJB.DeployStateless(ejb.StatelessSpec{
+		Name: "PingBean",
+		Methods: map[string]ejb.StatelessMethod{
+			"ping": func(ctx context.Context, inst any, call *rmi.Call) ([]byte, error) {
+				return []byte("pong from " + name), nil
+			},
+		},
+	})
+}

@@ -1,0 +1,148 @@
+// Bank: the transactional core of the paper. Entity beans with the §3.3
+// consistency options, a distributed transaction spanning the database and
+// a JMS audit queue (2PC), a cross-server transfer coordinated over RMI
+// branches, and the optimistic-concurrency behaviour under contention.
+//
+//	go run ./examples/bank
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"wls"
+	"wls/internal/ejb"
+	"wls/internal/jms"
+	"wls/internal/tx"
+)
+
+func main() {
+	cluster, err := wls.New(wls.Options{Servers: 2, RealClock: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Stop()
+
+	cluster.DB.Put("accounts", "alice", map[string]string{"balance": "100"})
+	cluster.DB.Put("accounts", "bob", map[string]string{"balance": "50"})
+
+	var homes []*ejb.EntityHome
+	for _, s := range cluster.Servers {
+		homes = append(homes, s.EJB.DeployEntity(ejb.EntitySpec{
+			Name: "AccountBean", Table: "accounts",
+			Mode: ejb.EntityOptimistic, TTL: time.Minute,
+		}))
+	}
+	cluster.Settle(2)
+	s1 := cluster.Servers[0]
+
+	// 1. A transfer: two entity beans and a JMS audit message in ONE
+	// transaction. Two resources → two-phase commit.
+	fmt.Println("== transfer with audit trail (2PC across DB and JMS) ==")
+	txn := s1.Tx.Begin(0)
+	alice, _ := homes[0].Find(txn, "alice")
+	bob, _ := homes[0].Find(txn, "bob")
+	alice.Set("balance", "75")
+	bob.Set("balance", "75")
+	audit := s1.JMS.Queue("audit")
+	if _, err := audit.SendTx(txn, jms.Message{Body: []byte("alice->bob: 25")}); err != nil {
+		log.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	a, _ := cluster.DB.Get("accounts", "alice")
+	b, _ := cluster.DB.Get("accounts", "bob")
+	m, _ := audit.Receive()
+	fmt.Printf("  alice=%s bob=%s  audit=%q\n", a.Fields["balance"], b.Fields["balance"], m.Body)
+	fmt.Printf("  2PC rounds on %s: %d\n", s1.Name, s1.Tx.Metrics().Counter("tx.2pc").Value())
+
+	// 2. An aborted transfer leaves no trace (atomicity): the audit
+	// message vanishes with the account update.
+	fmt.Println("\n== aborted transfer leaves no trace ==")
+	txn2 := s1.Tx.Begin(0)
+	alice2, _ := homes[0].Find(txn2, "alice")
+	alice2.Set("balance", "0")
+	audit.SendTx(txn2, jms.Message{Body: []byte("should never appear")})
+	txn2.Rollback()
+	a, _ = cluster.DB.Get("accounts", "alice")
+	fmt.Printf("  alice=%s, audit queue length=%d\n", a.Fields["balance"], audit.Len())
+
+	// 3. A distributed transaction: the coordinator on server-1 enlists a
+	// branch on server-2 (interposed transactions, §2.3).
+	fmt.Println("\n== cross-server transaction via an interposed branch ==")
+	txn3 := s1.Tx.Begin(0)
+	sessLocal := cluster.DB.Session(txn3.ID())
+	sessLocal.Update("accounts", "alice", map[string]string{"balance": "70"})
+	txn3.Enlist("db", sessLocal)
+	// server-2's branch stages work under the same global txID.
+	s2 := cluster.Servers[1]
+	remoteLedger := s2.JMS.Queue("settlements")
+	branch := s2.Tx.Branch(txn3.ID())
+	branch.Enlist("settlement-q", queueResource{q: remoteLedger, body: "settled: alice 5"})
+	txn3.Enlist("branch@server-2", tx.NewRemoteBranch(s1.Node(), s2.Addr()))
+	txn3.TouchServer(s2.Name)
+	if err := txn3.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	sm, _ := remoteLedger.Receive()
+	fmt.Printf("  servers in tx: %v; settlement on server-2: %q\n", txn3.Servers(), sm.Body)
+
+	// 4. Optimistic contention: concurrent transfers on one hot account.
+	// Conflicts surface as concurrency exceptions and retries; no update
+	// is lost and no database locks were ever held (§3.3).
+	fmt.Println("\n== optimistic concurrency under contention ==")
+	cluster.DB.Put("accounts", "hot", map[string]string{"balance": "0"})
+	var wg sync.WaitGroup
+	var conflicts int64
+	var mu sync.Mutex
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				for {
+					txn := s1.Tx.Begin(0)
+					e, err := homes[0].Find(txn, "hot")
+					if err != nil {
+						txn.Rollback()
+						continue
+					}
+					var n int
+					fmt.Sscan(e.Get("balance"), &n)
+					e.Set("balance", fmt.Sprint(n+1))
+					err = txn.Commit()
+					if err == nil {
+						break
+					}
+					if errors.Is(err, tx.ErrAborted) {
+						mu.Lock()
+						conflicts++
+						mu.Unlock()
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	h, _ := cluster.DB.Get("accounts", "hot")
+	fmt.Printf("  8 writers x 20 increments: balance=%s (no lost updates), conflicts retried=%d\n",
+		h.Fields["balance"], conflicts)
+	fmt.Println("\nbank complete")
+}
+
+// queueResource adapts a queue send into a branch resource for the demo.
+type queueResource struct {
+	q    *jms.Queue
+	body string
+}
+
+func (r queueResource) Prepare(string) error { return nil }
+func (r queueResource) Commit(string) error {
+	_, err := r.q.Send(jms.Message{Body: []byte(r.body)})
+	return err
+}
+func (r queueResource) Rollback(string) error { return nil }

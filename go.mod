@@ -1,0 +1,3 @@
+module wls
+
+go 1.22

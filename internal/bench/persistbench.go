@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"wls"
+	"wls/internal/core"
+	"wls/internal/filestore"
+	"wls/internal/store"
+	"wls/internal/tx"
+	"wls/internal/vclock"
+)
+
+func init() {
+	register(Experiment{ID: "E22", Title: "Co-located message + conversation store eliminates 2PC",
+		Source: "§5.1: co-location of this data can eliminate two-phase commit", Run: runE22})
+	register(Experiment{ID: "E23", Title: "Booting from local config replicas",
+		Source: "§5.1: servers start more rapidly and more autonomously", Run: runE23})
+}
+
+// runE22: a workflow step = consume a message + update conversational
+// state, committed transactionally. Co-located: both writes ride one
+// filestore session (one resource → 1PC). Separate: the message store and
+// a database are two resources (2PC + a coordinator log).
+func runE22() *Table {
+	t := &Table{ID: "E22", Title: "1PC via co-location vs 2PC",
+		Source:  "§5.1",
+		Columns: []string{"layout", "tx/s", "fsyncs_per_tx", "tx_log_writes", "2pc_rounds"},
+		Notes:   "the co-located layout commits each step with one durable append; the split layout pays prepare+commit on two resources plus coordinator-log forces"}
+
+	const steps = 300
+	dir, _ := os.MkdirTemp("", "e22")
+	defer os.RemoveAll(dir)
+
+	// Co-located: one filestore holds both the message region and the
+	// conversation region.
+	{
+		fs, err := filestore.Open(filepath.Join(dir, "colocated.log"), filestore.Options{SyncEveryAppend: true})
+		if err != nil {
+			panic(err)
+		}
+		mgr := tx.NewManager("s1", vclock.System, nil, nil)
+		// Preload the inbound messages.
+		for i := 0; i < steps; i++ {
+			fs.Put("jms.queue.in", fmt.Sprintf("m%06d", i), []byte("work"))
+		}
+		syncs0 := fs.Metrics().Counter("filestore.syncs").Value()
+		start := time.Now()
+		for i := 0; i < steps; i++ {
+			txn := mgr.Begin(0)
+			sess := fs.Session()
+			sess.Delete("jms.queue.in", fmt.Sprintf("m%06d", i)) // consume
+			sess.Put("conversations", "wf-1", []byte(fmt.Sprintf("step-%d", i)))
+			txn.Enlist("filestore", sess)
+			if err := txn.Commit(); err != nil {
+				panic(err)
+			}
+		}
+		elapsed := time.Since(start)
+		syncs := fs.Metrics().Counter("filestore.syncs").Value() - syncs0
+		t.AddRow("co-located (one filestore)",
+			fmt.Sprintf("%.0f", float64(steps)/elapsed.Seconds()),
+			fmt.Sprintf("%.1f", float64(syncs)/steps),
+			0, mgr.Metrics().Counter("tx.2pc").Value())
+		fs.Close()
+	}
+
+	// Separate: message store (filestore) + database (store) + durable
+	// coordinator log.
+	{
+		fs, err := filestore.Open(filepath.Join(dir, "msgs.log"), filestore.Options{SyncEveryAppend: true})
+		if err != nil {
+			panic(err)
+		}
+		tlog, err := tx.OpenFileLog(filepath.Join(dir, "tlog"), true)
+		if err != nil {
+			panic(err)
+		}
+		db := store.New("db", vclock.System)
+		mgr := tx.NewManager("s1", vclock.System, tlog, nil)
+		for i := 0; i < steps; i++ {
+			fs.Put("jms.queue.in", fmt.Sprintf("m%06d", i), []byte("work"))
+		}
+		syncs0 := fs.Metrics().Counter("filestore.syncs").Value()
+		start := time.Now()
+		for i := 0; i < steps; i++ {
+			txn := mgr.Begin(0)
+			msgs := fs.Session()
+			msgs.Delete("jms.queue.in", fmt.Sprintf("m%06d", i))
+			txn.Enlist("message-store", msgs)
+			dbs := db.Session(txn.ID())
+			dbs.Update("conversations", "wf-1", map[string]string{"step": fmt.Sprint(i)})
+			txn.Enlist("database", dbs)
+			if err := txn.Commit(); err != nil {
+				panic(err)
+			}
+		}
+		elapsed := time.Since(start)
+		syncs := fs.Metrics().Counter("filestore.syncs").Value() - syncs0
+		recs, _ := tlog.Records()
+		t.AddRow("separate (messages + DB)",
+			fmt.Sprintf("%.0f", float64(steps)/elapsed.Seconds()),
+			fmt.Sprintf("%.1f", float64(syncs)/steps),
+			len(recs), mgr.Metrics().Counter("tx.2pc").Value())
+		tlog.Close()
+		fs.Close()
+	}
+	return t
+}
+
+// runE23: 16 servers boot by fetching config from the admin server over a
+// 2ms link vs reading a local filestore replica.
+func runE23() *Table {
+	t := &Table{ID: "E23", Title: "Boot path: admin server vs local replica",
+		Source:  "§5.1",
+		Columns: []string{"path", "servers", "total_boot_time", "admin_required"},
+		Notes:   "local replicas remove the admin round trip per server AND the availability dependency — servers boot even with the admin down"}
+
+	const servers = 16
+	dir, _ := os.MkdirTemp("", "e23")
+	defer os.RemoveAll(dir)
+
+	c, err := wls.New(wls.Options{Servers: 2, RealClock: true})
+	if err != nil {
+		panic(err)
+	}
+	defer c.Stop()
+	d := core.NewDomain("prod")
+	for i := 0; i < servers; i++ {
+		d.AddServer("c", fmt.Sprintf("managed-%d", i), map[string]string{
+			"port": "7001", "heap": "2g", "targets": "OrderService,CartBean",
+		})
+	}
+	c.Servers[0].Registry().Register(d.AdminService())
+	c.Net().SetDefaultLatency(2 * time.Millisecond)
+	c.Settle(2)
+
+	// Admin path.
+	start := time.Now()
+	for i := 0; i < servers; i++ {
+		if _, err := core.BootFromAdmin(context.Background(), c.Servers[1].Node(),
+			c.Servers[0].Addr(), fmt.Sprintf("managed-%d", i)); err != nil {
+			panic(err)
+		}
+	}
+	t.AddRow("admin-server fetch", servers, time.Since(start).Round(time.Millisecond), true)
+
+	// Local path: replicate once, then boot from disk.
+	fs, err := filestore.Open(filepath.Join(dir, "cfg.log"), filestore.Options{})
+	if err != nil {
+		panic(err)
+	}
+	defer fs.Close()
+	for i := 0; i < servers; i++ {
+		cfg, _ := d.ConfigOf(fmt.Sprintf("managed-%d", i))
+		core.SaveLocalConfig(fs, fmt.Sprintf("managed-%d", i), cfg)
+	}
+	start = time.Now()
+	for i := 0; i < servers; i++ {
+		if _, err := core.BootFromLocal(fs, fmt.Sprintf("managed-%d", i)); err != nil {
+			panic(err)
+		}
+	}
+	t.AddRow("local replica", servers, time.Since(start).Round(time.Millisecond), false)
+	return t
+}

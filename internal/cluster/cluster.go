@@ -1,0 +1,539 @@
+// Package cluster implements cluster membership for the application server:
+// the group of servers that "coordinate their actions to provide scalable,
+// highly-available services" (§2.1 of the paper).
+//
+// Each member periodically announces a heartbeat on the gossip bus carrying
+// its identity, incarnation number, and the list of services it is actively
+// offering — this is the "lightweight multicast protocol" of §3.1 that RMI
+// stubs rely on for load balancing and failover information. Every member
+// maintains a view of its peers and declares a peer failed when heartbeats
+// stop arriving for a configurable timeout.
+//
+// The package also implements:
+//
+//   - replication groups and the ring algorithm of §3.2 that picks where a
+//     server's secondaries live ("organizes the candidates into a logical
+//     ring and looks for the first one in the desired replication group
+//     that is on a different machine");
+//   - member join/fail listeners, used by the singleton master and the
+//     session replication machinery;
+//   - the node-manager pattern of §3.4 (detect a failed server and restart
+//     it after a delay).
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"wls/internal/gossip"
+	"wls/internal/vclock"
+	"wls/internal/wire"
+)
+
+// Config controls heartbeat cadence and failure detection for one cluster.
+type Config struct {
+	// Name identifies the cluster; all bus topics are scoped by it so
+	// multiple clusters can share one fabric (a WebLogic domain may contain
+	// several clusters, §4).
+	Name string
+	// HeartbeatInterval is how often each member announces itself.
+	HeartbeatInterval time.Duration
+	// FailureTimeout is how long after the last heartbeat a peer is
+	// declared failed. Should be a small multiple of HeartbeatInterval.
+	FailureTimeout time.Duration
+}
+
+// DefaultConfig returns production-flavored defaults for the given cluster
+// name.
+func DefaultConfig(name string) Config {
+	return Config{
+		Name:              name,
+		HeartbeatInterval: 100 * time.Millisecond,
+		FailureTimeout:    350 * time.Millisecond,
+	}
+}
+
+func (c *Config) fillDefaults() {
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 100 * time.Millisecond
+	}
+	if c.FailureTimeout <= 0 {
+		c.FailureTimeout = 3*c.HeartbeatInterval + c.HeartbeatInterval/2
+	}
+}
+
+// MemberInfo describes one server as seen through the membership view.
+type MemberInfo struct {
+	// Name is the unique server name within the domain.
+	Name string
+	// Addr is the transport address RMI traffic should use.
+	Addr string
+	// Machine identifies the physical machine hosting the server; the
+	// secondary-selection ring never places a replica on the primary's
+	// machine.
+	Machine string
+	// ReplicationGroup is the named group this server belongs to (§3.2).
+	ReplicationGroup string
+	// PreferredSecondaryGroups lists replication groups, most preferred
+	// first, that should host this server's secondaries.
+	PreferredSecondaryGroups []string
+	// Services is the set of service names this server currently offers.
+	Services []string
+	// Incarnation increments each time the server restarts, letting peers
+	// distinguish a restarted server from a stale heartbeat.
+	Incarnation uint64
+}
+
+// clone returns a deep copy so callers can't alias internal state.
+func (m MemberInfo) clone() MemberInfo {
+	m.Services = append([]string(nil), m.Services...)
+	m.PreferredSecondaryGroups = append([]string(nil), m.PreferredSecondaryGroups...)
+	return m
+}
+
+// OffersService reports whether the member advertises the named service.
+func (m MemberInfo) OffersService(name string) bool {
+	for _, s := range m.Services {
+		if s == name {
+			return true
+		}
+	}
+	return false
+}
+
+// encode serializes a heartbeat body.
+func (m MemberInfo) encode() []byte {
+	e := wire.NewEncoder(128)
+	e.String(m.Name)
+	e.String(m.Addr)
+	e.String(m.Machine)
+	e.String(m.ReplicationGroup)
+	e.StringSlice(m.PreferredSecondaryGroups)
+	e.StringSlice(m.Services)
+	e.Uint64(m.Incarnation)
+	return e.Bytes()
+}
+
+func decodeMemberInfo(b []byte) (MemberInfo, error) {
+	d := wire.NewDecoder(b)
+	m := MemberInfo{
+		Name:                     d.String(),
+		Addr:                     d.String(),
+		Machine:                  d.String(),
+		ReplicationGroup:         d.String(),
+		PreferredSecondaryGroups: d.StringSlice(),
+		Services:                 d.StringSlice(),
+		Incarnation:              d.Uint64(),
+	}
+	return m, d.Err()
+}
+
+// Event describes a membership change delivered to listeners.
+type Event struct {
+	Kind   EventKind
+	Member MemberInfo
+}
+
+// EventKind enumerates membership changes.
+type EventKind int
+
+// Membership event kinds.
+const (
+	// EventJoined fires when a member is first heard from (or heard from
+	// again with a new incarnation after a failure).
+	EventJoined EventKind = iota
+	// EventFailed fires when a member's heartbeats time out.
+	EventFailed
+	// EventUpdated fires when a live member changes its service list.
+	EventUpdated
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventJoined:
+		return "joined"
+	case EventFailed:
+		return "failed"
+	case EventUpdated:
+		return "updated"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// Member is one server's participation in a cluster.
+type Member struct {
+	cfg   Config
+	clock vclock.Clock
+	bus   gossip.Bus
+
+	mu        sync.Mutex
+	self      MemberInfo
+	peers     map[string]*peerState // by name, excluding self
+	listeners []func(Event)
+	started   bool
+	stopped   bool
+	hbTimer   vclock.Timer
+	sweep     vclock.Timer
+	unsub     func()
+}
+
+type peerState struct {
+	info      MemberInfo
+	lastHeard time.Time
+	failed    bool
+}
+
+// NewMember creates (but does not start) a member. The MemberInfo's Name,
+// Addr, Machine and replication-group fields must be populated; Services
+// may be empty and extended later with Advertise.
+func NewMember(cfg Config, clock vclock.Clock, bus gossip.Bus, self MemberInfo) *Member {
+	cfg.fillDefaults()
+	return &Member{
+		cfg:   cfg,
+		clock: clock,
+		bus:   bus,
+		self:  self.clone(),
+		peers: make(map[string]*peerState),
+	}
+}
+
+func (m *Member) topic() string { return "cluster/" + m.cfg.Name + "/hb" }
+
+// Start begins heartbeating and failure detection.
+func (m *Member) Start() {
+	m.mu.Lock()
+	if m.started && !m.stopped {
+		m.mu.Unlock()
+		return
+	}
+	m.started = true
+	m.stopped = false
+	m.self.Incarnation++
+	m.mu.Unlock()
+
+	m.unsub = m.bus.Subscribe(m.topic(), m.onHeartbeat)
+	m.beat()
+	m.scheduleSweep()
+}
+
+// Stop ceases heartbeating; peers will declare this member failed after the
+// failure timeout.
+func (m *Member) Stop() {
+	m.mu.Lock()
+	m.stopped = true
+	hb, sw, unsub := m.hbTimer, m.sweep, m.unsub
+	m.hbTimer, m.sweep, m.unsub = nil, nil, nil
+	m.mu.Unlock()
+	if hb != nil {
+		hb.Stop()
+	}
+	if sw != nil {
+		sw.Stop()
+	}
+	if unsub != nil {
+		unsub()
+	}
+}
+
+// Self returns a copy of this member's current advertised info.
+func (m *Member) Self() MemberInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.self.clone()
+}
+
+// Config returns the cluster configuration.
+func (m *Member) Config() Config { return m.cfg }
+
+// Clock returns the member's clock.
+func (m *Member) Clock() vclock.Clock { return m.clock }
+
+// Bus returns the gossip bus the member announces on.
+func (m *Member) Bus() gossip.Bus { return m.bus }
+
+// Advertise adds a service name to this member's advertisement. The change
+// propagates with the next heartbeat; Advertise also beats immediately so
+// deployment is visible cluster-wide without waiting an interval.
+func (m *Member) Advertise(service string) {
+	m.mu.Lock()
+	if !m.self.OffersService(service) {
+		m.self.Services = append(m.self.Services, service)
+		sort.Strings(m.self.Services)
+	}
+	stopped := m.stopped || !m.started
+	m.mu.Unlock()
+	if !stopped {
+		m.publish()
+	}
+}
+
+// Withdraw removes a service from this member's advertisement.
+func (m *Member) Withdraw(service string) {
+	m.mu.Lock()
+	out := m.self.Services[:0]
+	for _, s := range m.self.Services {
+		if s != service {
+			out = append(out, s)
+		}
+	}
+	m.self.Services = out
+	stopped := m.stopped || !m.started
+	m.mu.Unlock()
+	if !stopped {
+		m.publish()
+	}
+}
+
+// OnEvent registers a listener for membership events. Listeners run on the
+// bus delivery goroutine and must not block.
+func (m *Member) OnEvent(fn func(Event)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.listeners = append(m.listeners, fn)
+}
+
+// beat publishes one heartbeat and schedules the next.
+func (m *Member) beat() {
+	m.publish()
+	m.mu.Lock()
+	if m.stopped {
+		m.mu.Unlock()
+		return
+	}
+	m.hbTimer = m.clock.AfterFunc(m.cfg.HeartbeatInterval, m.beat)
+	m.mu.Unlock()
+}
+
+func (m *Member) publish() {
+	m.mu.Lock()
+	body := m.self.encode()
+	from := m.self.Name
+	m.mu.Unlock()
+	m.bus.Publish(gossip.Message{Topic: m.topic(), From: from, Payload: body})
+}
+
+// scheduleSweep schedules periodic failure detection.
+func (m *Member) scheduleSweep() {
+	m.mu.Lock()
+	if m.stopped {
+		m.mu.Unlock()
+		return
+	}
+	m.sweep = m.clock.AfterFunc(m.cfg.HeartbeatInterval, func() {
+		m.sweepOnce()
+		m.scheduleSweep()
+	})
+	m.mu.Unlock()
+}
+
+// sweepOnce fails peers whose heartbeats have timed out.
+func (m *Member) sweepOnce() {
+	now := m.clock.Now()
+	var events []Event
+	m.mu.Lock()
+	for _, p := range m.peers {
+		if !p.failed && now.Sub(p.lastHeard) > m.cfg.FailureTimeout {
+			p.failed = true
+			events = append(events, Event{Kind: EventFailed, Member: p.info.clone()})
+		}
+	}
+	listeners := append([]func(Event){}, m.listeners...)
+	m.mu.Unlock()
+	for _, ev := range events {
+		for _, fn := range listeners {
+			fn(ev)
+		}
+	}
+}
+
+// onHeartbeat processes a peer announcement.
+func (m *Member) onHeartbeat(msg gossip.Message) {
+	info, err := decodeMemberInfo(msg.Payload)
+	if err != nil {
+		return
+	}
+	m.mu.Lock()
+	if m.stopped || info.Name == m.self.Name {
+		m.mu.Unlock()
+		return
+	}
+	var events []Event
+	p, ok := m.peers[info.Name]
+	switch {
+	case !ok:
+		m.peers[info.Name] = &peerState{info: info, lastHeard: m.clock.Now()}
+		events = append(events, Event{Kind: EventJoined, Member: info.clone()})
+	case p.failed || info.Incarnation > p.info.Incarnation:
+		p.info = info
+		p.failed = false
+		p.lastHeard = m.clock.Now()
+		events = append(events, Event{Kind: EventJoined, Member: info.clone()})
+	case info.Incarnation == p.info.Incarnation:
+		changed := !equalStrings(p.info.Services, info.Services)
+		p.info = info
+		p.lastHeard = m.clock.Now()
+		if changed {
+			events = append(events, Event{Kind: EventUpdated, Member: info.clone()})
+		}
+	default:
+		// Stale incarnation: ignore.
+	}
+	listeners := append([]func(Event){}, m.listeners...)
+	m.mu.Unlock()
+	for _, ev := range events {
+		for _, fn := range listeners {
+			fn(ev)
+		}
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Alive returns the current live view: self plus every non-failed peer,
+// sorted by name (the ring order).
+func (m *Member) Alive() []MemberInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := []MemberInfo{m.self.clone()}
+	for _, p := range m.peers {
+		if !p.failed {
+			out = append(out, p.info.clone())
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// AlivePeers returns the live view excluding self.
+func (m *Member) AlivePeers() []MemberInfo {
+	all := m.Alive()
+	self := m.Self().Name
+	out := all[:0]
+	for _, mi := range all {
+		if mi.Name != self {
+			out = append(out, mi)
+		}
+	}
+	return out
+}
+
+// Lookup returns the live member with the given name.
+func (m *Member) Lookup(name string) (MemberInfo, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if name == m.self.Name {
+		return m.self.clone(), true
+	}
+	if p, ok := m.peers[name]; ok && !p.failed {
+		return p.info.clone(), true
+	}
+	return MemberInfo{}, false
+}
+
+// OffersOf returns the names of live members offering the given service,
+// in ring (name) order.
+func (m *Member) OffersOf(service string) []MemberInfo {
+	var out []MemberInfo
+	for _, mi := range m.Alive() {
+		if mi.OffersService(service) {
+			out = append(out, mi)
+		}
+	}
+	return out
+}
+
+// ChooseSecondary picks the server to host this member's secondaries using
+// the §3.2 ring algorithm. It returns false when no other live member
+// exists on a different machine.
+func (m *Member) ChooseSecondary() (MemberInfo, bool) {
+	return ChooseSecondaryFrom(m.Self(), m.Alive())
+}
+
+// ChooseSecondaryFrom is the pure ring algorithm, exposed for testing and
+// for components that evaluate placement for servers other than themselves:
+// candidates are organized into a logical ring in name order, scanning
+// starts just after self, and the first candidate in the most-preferred
+// replication group on a different machine wins. If no candidate matches
+// any preferred group, the first candidate on a different machine wins; if
+// even that fails, the first non-self candidate wins.
+func ChooseSecondaryFrom(self MemberInfo, candidates []MemberInfo) (MemberInfo, bool) {
+	ring := append([]MemberInfo(nil), candidates...)
+	sort.Slice(ring, func(i, j int) bool { return ring[i].Name < ring[j].Name })
+
+	// Find scan start: first entry strictly after self in ring order.
+	start := sort.Search(len(ring), func(i int) bool { return ring[i].Name > self.Name })
+
+	scan := func(match func(MemberInfo) bool) (MemberInfo, bool) {
+		for i := 0; i < len(ring); i++ {
+			c := ring[(start+i)%len(ring)]
+			if c.Name == self.Name {
+				continue
+			}
+			if match(c) {
+				return c, true
+			}
+		}
+		return MemberInfo{}, false
+	}
+
+	// Preferred groups in priority order, different machine.
+	for _, group := range self.PreferredSecondaryGroups {
+		if c, ok := scan(func(c MemberInfo) bool {
+			return c.ReplicationGroup == group && c.Machine != self.Machine
+		}); ok {
+			return c, true
+		}
+	}
+	// Any different machine.
+	if c, ok := scan(func(c MemberInfo) bool { return c.Machine != self.Machine }); ok {
+		return c, true
+	}
+	// Last resort: any other server (co-located replica is better than none
+	// only when explicitly allowed; the caller may reject this).
+	return MemberInfo{}, false
+}
+
+// EncodeMembers serializes a member list (used by the built-in cluster-view
+// service that external tightly-coupled clients poll, §2.2).
+func EncodeMembers(ms []MemberInfo) []byte {
+	e := wire.NewEncoder(64 * len(ms))
+	e.Int(len(ms))
+	for _, m := range ms {
+		e.Bytes2(m.encode())
+	}
+	return e.Bytes()
+}
+
+// DecodeMembers reverses EncodeMembers.
+func DecodeMembers(b []byte) ([]MemberInfo, error) {
+	d := wire.NewDecoder(b)
+	n := d.Int()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 || n > 1<<20 {
+		return nil, fmt.Errorf("cluster: absurd member count %d", n)
+	}
+	out := make([]MemberInfo, 0, n)
+	for i := 0; i < n; i++ {
+		m, err := decodeMemberInfo(d.Bytes())
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, d.Err()
+}

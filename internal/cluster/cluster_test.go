@@ -1,0 +1,442 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"wls/internal/gossip"
+	"wls/internal/vclock"
+)
+
+// testCluster spins up n members named s1..sN on a shared virtual clock and
+// in-memory bus, two servers per machine.
+func testCluster(t *testing.T, n int) (*vclock.Virtual, *gossip.InMemory, []*Member) {
+	t.Helper()
+	clk := vclock.NewVirtualAtZero()
+	bus := gossip.NewInMemory(clk, 1)
+	cfg := Config{Name: "c", HeartbeatInterval: 100 * time.Millisecond, FailureTimeout: 350 * time.Millisecond}
+	var members []*Member
+	for i := 1; i <= n; i++ {
+		m := NewMember(cfg, clk, bus, MemberInfo{
+			Name:    fmt.Sprintf("s%d", i),
+			Addr:    fmt.Sprintf("10.0.0.%d:7001", i),
+			Machine: fmt.Sprintf("m%d", (i+1)/2),
+		})
+		members = append(members, m)
+		m.Start()
+		t.Cleanup(m.Stop)
+	}
+	return clk, bus, members
+}
+
+// settle advances the virtual clock through several heartbeat rounds and
+// gives bus goroutines time to deliver.
+func settle(clk *vclock.Virtual, rounds int) {
+	for i := 0; i < rounds; i++ {
+		clk.Advance(100 * time.Millisecond)
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestMembersDiscoverEachOther(t *testing.T) {
+	clk, _, ms := testCluster(t, 3)
+	settle(clk, 3)
+	for _, m := range ms {
+		alive := m.Alive()
+		if len(alive) != 3 {
+			t.Fatalf("%s sees %d members, want 3", m.Self().Name, len(alive))
+		}
+		// Ring order.
+		for i := 1; i < len(alive); i++ {
+			if alive[i-1].Name >= alive[i].Name {
+				t.Fatalf("alive view not sorted: %v", alive)
+			}
+		}
+	}
+}
+
+func TestFailureDetection(t *testing.T) {
+	clk, _, ms := testCluster(t, 3)
+	settle(clk, 3)
+
+	var mu sync.Mutex
+	var failedName string
+	ms[0].OnEvent(func(ev Event) {
+		if ev.Kind == EventFailed {
+			mu.Lock()
+			failedName = ev.Member.Name
+			mu.Unlock()
+		}
+	})
+
+	ms[2].Stop()
+	settle(clk, 6)
+
+	mu.Lock()
+	got := failedName
+	mu.Unlock()
+	if got != "s3" {
+		t.Fatalf("failed event for %q, want s3", got)
+	}
+	if len(ms[0].Alive()) != 2 {
+		t.Fatalf("alive = %d, want 2", len(ms[0].Alive()))
+	}
+	if _, ok := ms[0].Lookup("s3"); ok {
+		t.Fatal("failed member should not resolve in Lookup")
+	}
+}
+
+func TestRejoinWithNewIncarnation(t *testing.T) {
+	clk, _, ms := testCluster(t, 2)
+	settle(clk, 3)
+	ms[1].Stop()
+	settle(clk, 6)
+	if len(ms[0].Alive()) != 1 {
+		t.Fatal("s2 should be failed")
+	}
+
+	var mu sync.Mutex
+	joins := 0
+	ms[0].OnEvent(func(ev Event) {
+		if ev.Kind == EventJoined && ev.Member.Name == "s2" {
+			mu.Lock()
+			joins++
+			mu.Unlock()
+		}
+	})
+	ms[1].Start()
+	settle(clk, 3)
+	if len(ms[0].Alive()) != 2 {
+		t.Fatal("restarted member not re-admitted")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if joins == 0 {
+		t.Fatal("no EventJoined for restarted member")
+	}
+}
+
+func TestAdvertiseWithdrawPropagates(t *testing.T) {
+	clk, _, ms := testCluster(t, 3)
+	settle(clk, 3)
+	ms[0].Advertise("OrderService")
+	ms[1].Advertise("OrderService")
+	settle(clk, 2)
+
+	offers := ms[2].OffersOf("OrderService")
+	if len(offers) != 2 || offers[0].Name != "s1" || offers[1].Name != "s2" {
+		t.Fatalf("offers = %v", offers)
+	}
+
+	ms[0].Withdraw("OrderService")
+	settle(clk, 2)
+	offers = ms[2].OffersOf("OrderService")
+	if len(offers) != 1 || offers[0].Name != "s2" {
+		t.Fatalf("after withdraw, offers = %v", offers)
+	}
+}
+
+func TestUpdatedEventOnServiceChange(t *testing.T) {
+	clk, _, ms := testCluster(t, 2)
+	settle(clk, 3)
+	var mu sync.Mutex
+	updated := false
+	ms[1].OnEvent(func(ev Event) {
+		if ev.Kind == EventUpdated && ev.Member.Name == "s1" {
+			mu.Lock()
+			updated = true
+			mu.Unlock()
+		}
+	})
+	ms[0].Advertise("X")
+	settle(clk, 2)
+	mu.Lock()
+	defer mu.Unlock()
+	if !updated {
+		t.Fatal("no EventUpdated after Advertise")
+	}
+}
+
+func TestLossyBusStillConverges(t *testing.T) {
+	clk := vclock.NewVirtualAtZero()
+	bus := gossip.NewInMemory(clk, 7)
+	bus.SetLossRate(0.3)
+	cfg := Config{Name: "c", HeartbeatInterval: 100 * time.Millisecond, FailureTimeout: 800 * time.Millisecond}
+	var ms []*Member
+	for i := 1; i <= 3; i++ {
+		m := NewMember(cfg, clk, bus, MemberInfo{Name: fmt.Sprintf("s%d", i), Machine: fmt.Sprintf("m%d", i)})
+		ms = append(ms, m)
+		m.Start()
+		defer m.Stop()
+	}
+	settle(clk, 10)
+	for _, m := range ms {
+		if len(m.Alive()) != 3 {
+			t.Fatalf("%s sees %d, want 3 despite 30%% loss", m.Self().Name, len(m.Alive()))
+		}
+	}
+}
+
+func TestAlivePeersExcludesSelf(t *testing.T) {
+	clk, _, ms := testCluster(t, 3)
+	settle(clk, 3)
+	peers := ms[0].AlivePeers()
+	if len(peers) != 2 {
+		t.Fatalf("peers = %d, want 2", len(peers))
+	}
+	for _, p := range peers {
+		if p.Name == "s1" {
+			t.Fatal("AlivePeers contains self")
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{Name: "x"}
+	cfg.fillDefaults()
+	if cfg.HeartbeatInterval <= 0 || cfg.FailureTimeout <= cfg.HeartbeatInterval {
+		t.Fatalf("bad defaults: %+v", cfg)
+	}
+	d := DefaultConfig("y")
+	if d.Name != "y" || d.FailureTimeout <= d.HeartbeatInterval {
+		t.Fatalf("DefaultConfig: %+v", d)
+	}
+}
+
+// --- Ring algorithm (§3.2) ---------------------------------------------
+
+func mi(name, machine, group string, preferred ...string) MemberInfo {
+	return MemberInfo{Name: name, Machine: machine, ReplicationGroup: group, PreferredSecondaryGroups: preferred}
+}
+
+func TestRingPrefersConfiguredGroup(t *testing.T) {
+	self := mi("s1", "m1", "gA", "gB")
+	cands := []MemberInfo{
+		self,
+		mi("s2", "m1", "gB"), // preferred group but same machine
+		mi("s3", "m2", "gA"), // different machine, wrong group
+		mi("s4", "m3", "gB"), // preferred group, different machine ← winner
+	}
+	sec, ok := ChooseSecondaryFrom(self, cands)
+	if !ok || sec.Name != "s4" {
+		t.Fatalf("sec = %v ok=%v, want s4", sec.Name, ok)
+	}
+}
+
+func TestRingScanStartsAfterSelf(t *testing.T) {
+	// Ring order: s1 s2 s3. Starting after s2, the scan should pick s3
+	// before wrapping to s1.
+	self := mi("s2", "m2", "g", "g")
+	cands := []MemberInfo{
+		mi("s1", "m1", "g"),
+		self,
+		mi("s3", "m3", "g"),
+	}
+	sec, ok := ChooseSecondaryFrom(self, cands)
+	if !ok || sec.Name != "s3" {
+		t.Fatalf("sec = %v, want s3 (ring order)", sec.Name)
+	}
+	// And for s3, the scan wraps to s1.
+	self3 := mi("s3", "m3", "g", "g")
+	cands[2] = self3
+	sec, ok = ChooseSecondaryFrom(self3, cands)
+	if !ok || sec.Name != "s1" {
+		t.Fatalf("sec = %v, want s1 (wrap)", sec.Name)
+	}
+}
+
+func TestRingFallsBackToAnyOtherMachine(t *testing.T) {
+	self := mi("s1", "m1", "gA", "gZ") // nobody in gZ
+	cands := []MemberInfo{
+		self,
+		mi("s2", "m1", "gA"), // same machine
+		mi("s3", "m2", "gA"), // ← winner (different machine, no group match)
+	}
+	sec, ok := ChooseSecondaryFrom(self, cands)
+	if !ok || sec.Name != "s3" {
+		t.Fatalf("sec = %v, want s3", sec.Name)
+	}
+}
+
+func TestRingNoCandidateOnOtherMachine(t *testing.T) {
+	self := mi("s1", "m1", "g", "g")
+	cands := []MemberInfo{self, mi("s2", "m1", "g")}
+	if _, ok := ChooseSecondaryFrom(self, cands); ok {
+		t.Fatal("must refuse to place a secondary on the primary's machine")
+	}
+}
+
+func TestRingGroupPriorityOrder(t *testing.T) {
+	self := mi("s1", "m1", "gA", "gB", "gC")
+	cands := []MemberInfo{
+		self,
+		mi("s2", "m2", "gC"),
+		mi("s3", "m3", "gB"), // gB outranks gC even though s2 is earlier in ring
+	}
+	sec, ok := ChooseSecondaryFrom(self, cands)
+	if !ok || sec.Name != "s3" {
+		t.Fatalf("sec = %v, want s3 (gB preferred over gC)", sec.Name)
+	}
+}
+
+// TestE09RingPlacement is the E09 property test from DESIGN.md: for random
+// cluster configurations the chosen secondary is (a) never self, (b) never
+// on self's machine, and (c) in the most-preferred group that has any
+// eligible member.
+func TestE09RingPlacement(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		groups := []string{"gA", "gB", "gC"}
+		var cands []MemberInfo
+		for i := 0; i < n; i++ {
+			cands = append(cands, MemberInfo{
+				Name:             fmt.Sprintf("s%02d", i),
+				Machine:          fmt.Sprintf("m%d", rng.Intn(4)),
+				ReplicationGroup: groups[rng.Intn(len(groups))],
+			})
+		}
+		self := cands[rng.Intn(n)]
+		nPref := rng.Intn(len(groups) + 1)
+		self.PreferredSecondaryGroups = append([]string(nil), groups[:nPref]...)
+
+		sec, ok := ChooseSecondaryFrom(self, cands)
+		eligible := func(match func(MemberInfo) bool) bool {
+			for _, c := range cands {
+				if c.Name != self.Name && c.Machine != self.Machine && match(c) {
+					return true
+				}
+			}
+			return false
+		}
+		anyOther := eligible(func(MemberInfo) bool { return true })
+		if !ok {
+			return !anyOther // may only fail when nothing is eligible
+		}
+		if sec.Name == self.Name || sec.Machine == self.Machine {
+			return false
+		}
+		// Most-preferred satisfiable group must win.
+		for _, g := range self.PreferredSecondaryGroups {
+			if eligible(func(c MemberInfo) bool { return c.ReplicationGroup == g }) {
+				return sec.ReplicationGroup == g
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Node manager --------------------------------------------------------
+
+func TestNodeManagerRestartsFailedServer(t *testing.T) {
+	clk, _, ms := testCluster(t, 3)
+	settle(clk, 3)
+
+	var mu sync.Mutex
+	var restarted []string
+	nm := NewNodeManager(clk, 200*time.Millisecond, func(info MemberInfo) {
+		mu.Lock()
+		restarted = append(restarted, info.Name)
+		mu.Unlock()
+	})
+	nm.Watch(ms[0])
+	defer nm.Stop()
+
+	ms[1].Stop()
+	settle(clk, 10)
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(restarted) != 1 || restarted[0] != "s2" {
+		t.Fatalf("restarted = %v, want [s2]", restarted)
+	}
+	if nm.Restarts("s2") != 1 {
+		t.Fatalf("Restarts = %d", nm.Restarts("s2"))
+	}
+}
+
+func TestNodeManagerCancelsOnRejoin(t *testing.T) {
+	clk, _, ms := testCluster(t, 2)
+	settle(clk, 3)
+
+	var mu sync.Mutex
+	restarts := 0
+	nm := NewNodeManager(clk, 10*time.Second, func(MemberInfo) {
+		mu.Lock()
+		restarts++
+		mu.Unlock()
+	})
+	nm.Watch(ms[0])
+	defer nm.Stop()
+
+	// s2 "freezes": stops heartbeating long enough to be declared failed,
+	// then recovers before the restart delay expires.
+	ms[1].Stop()
+	settle(clk, 6)
+	ms[1].Start()
+	settle(clk, 3)
+
+	clk.Advance(20 * time.Second) // past the restart delay
+	time.Sleep(5 * time.Millisecond)
+
+	mu.Lock()
+	defer mu.Unlock()
+	if restarts != 0 {
+		t.Fatalf("restart fired despite rejoin, restarts=%d", restarts)
+	}
+}
+
+func TestNodeManagerStopCancelsPending(t *testing.T) {
+	clk, _, ms := testCluster(t, 2)
+	settle(clk, 3)
+	fired := false
+	nm := NewNodeManager(clk, time.Second, func(MemberInfo) { fired = true })
+	nm.Watch(ms[0])
+	ms[1].Stop()
+	settle(clk, 6)
+	nm.Stop()
+	clk.Advance(5 * time.Second)
+	time.Sleep(5 * time.Millisecond)
+	if fired {
+		t.Fatal("restart fired after Stop")
+	}
+}
+
+func TestMemberInfoEncodeDecodeProperty(t *testing.T) {
+	f := func(name, addr, machine, group string, prefs, svcs []string, inc uint64) bool {
+		in := MemberInfo{
+			Name: name, Addr: addr, Machine: machine, ReplicationGroup: group,
+			PreferredSecondaryGroups: prefs, Services: svcs, Incarnation: inc,
+		}
+		out, err := decodeMemberInfo(in.encode())
+		if err != nil {
+			return false
+		}
+		return out.Name == in.Name && out.Addr == in.Addr && out.Machine == in.Machine &&
+			out.ReplicationGroup == in.ReplicationGroup &&
+			equalStrings(out.PreferredSecondaryGroups, in.PreferredSecondaryGroups) &&
+			equalStrings(out.Services, in.Services) && out.Incarnation == in.Incarnation
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOffersServiceAndClone(t *testing.T) {
+	m := MemberInfo{Name: "s", Services: []string{"a", "b"}}
+	if !m.OffersService("a") || m.OffersService("z") {
+		t.Fatal("OffersService wrong")
+	}
+	c := m.clone()
+	c.Services[0] = "mutated"
+	if m.Services[0] != "a" {
+		t.Fatal("clone aliases Services")
+	}
+}

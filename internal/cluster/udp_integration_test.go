@@ -1,0 +1,87 @@
+package cluster_test
+
+import (
+	"testing"
+	"time"
+
+	"wls/internal/cluster"
+	"wls/internal/gossip"
+	"wls/internal/vclock"
+)
+
+// TestMembershipOverUDP runs cluster membership over real UDP sockets —
+// the unicast-messaging deployment mode for environments without IP
+// multicast. Each member has its own bus instance (as separate processes
+// would).
+func TestMembershipOverUDP(t *testing.T) {
+	cfg := cluster.Config{Name: "udp", HeartbeatInterval: 50 * time.Millisecond,
+		FailureTimeout: 250 * time.Millisecond}
+
+	var buses []*gossip.UDPBus
+	for i := 0; i < 3; i++ {
+		b, err := gossip.NewUDP("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		buses = append(buses, b)
+		t.Cleanup(func() { b.Close() })
+	}
+	// Full mesh.
+	for _, a := range buses {
+		for _, b := range buses {
+			if a != b {
+				a.AddPeer(b.Addr())
+			}
+		}
+	}
+
+	var members []*cluster.Member
+	for i, b := range buses {
+		m := cluster.NewMember(cfg, vclock.System, b, cluster.MemberInfo{
+			Name:    "udp-" + string(rune('a'+i)),
+			Machine: "m" + string(rune('1'+i)),
+		})
+		m.Start()
+		members = append(members, m)
+		t.Cleanup(m.Stop)
+	}
+
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		all := true
+		for _, m := range members {
+			if len(m.Alive()) != 3 {
+				all = false
+			}
+		}
+		if all {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	for _, m := range members {
+		if got := len(m.Alive()); got != 3 {
+			t.Fatalf("%s sees %d members over UDP, want 3", m.Self().Name, got)
+		}
+	}
+
+	// Service advertisement crosses sockets too.
+	members[0].Advertise("OrderService")
+	deadline = time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && len(members[2].OffersOf("OrderService")) == 0 {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if len(members[2].OffersOf("OrderService")) != 1 {
+		t.Fatal("advertisement did not cross UDP")
+	}
+
+	// Failure detection over UDP.
+	members[1].Stop()
+	deadline = time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) && len(members[0].Alive()) != 2 {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if len(members[0].Alive()) != 2 {
+		t.Fatal("failure not detected over UDP")
+	}
+}

@@ -1,0 +1,259 @@
+package consensus_test
+
+import (
+	"testing"
+	"time"
+
+	"wls/internal/consensus"
+	"wls/internal/simtest"
+)
+
+// electors builds one elector per fixture server.
+func electors(f *simtest.Fixture, seed int64) []*consensus.Elector {
+	peers := map[string]string{}
+	for _, s := range f.Servers {
+		peers[s.Name] = s.Endpoint.Addr()
+	}
+	var out []*consensus.Elector
+	for _, s := range f.Servers {
+		e := consensus.NewElector(consensus.Config{
+			Self:  s.Name,
+			Peers: peers,
+			Seed:  seed,
+		}, f.Clock, s.Registry)
+		out = append(out, e)
+	}
+	return out
+}
+
+// advanceUntil advances the virtual clock in small steps until cond holds.
+func advanceUntil(t *testing.T, f *simtest.Fixture, cond func() bool, msg string) {
+	t.Helper()
+	for i := 0; i < 400; i++ {
+		if cond() {
+			return
+		}
+		f.VClock.Advance(50 * time.Millisecond)
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal(msg)
+}
+
+func leaders(es []*consensus.Elector) []*consensus.Elector {
+	var out []*consensus.Elector
+	for _, e := range es {
+		if e.IsLeader() {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func TestElectsExactlyOneLeader(t *testing.T) {
+	f := simtest.New(simtest.Options{Servers: 3})
+	defer f.Stop()
+	es := electors(f, 1)
+	for _, e := range es {
+		e.Start()
+		defer e.Stop()
+	}
+	advanceUntil(t, f, func() bool { return len(leaders(es)) == 1 }, "no leader elected")
+
+	// Stays stable: advance a while, still exactly one leader, same term.
+	leader := leaders(es)[0]
+	term := leader.Term()
+	for i := 0; i < 20; i++ {
+		f.VClock.Advance(100 * time.Millisecond)
+		time.Sleep(time.Millisecond)
+	}
+	ls := leaders(es)
+	if len(ls) != 1 || ls[0] != leader {
+		t.Fatalf("leadership churned: %d leaders", len(ls))
+	}
+	if leader.Term() != term {
+		t.Fatalf("term advanced from %d to %d without failure", term, leader.Term())
+	}
+	// Followers agree on who leads.
+	for _, e := range es {
+		name, _ := e.Leader()
+		if name == "" {
+			t.Fatal("follower does not know the leader")
+		}
+	}
+}
+
+func TestFailoverElectsNewLeader(t *testing.T) {
+	f := simtest.New(simtest.Options{Servers: 3})
+	defer f.Stop()
+	es := electors(f, 2)
+	for _, e := range es {
+		e.Start()
+		defer e.Stop()
+	}
+	advanceUntil(t, f, func() bool { return len(leaders(es)) == 1 }, "no initial leader")
+	old := leaders(es)[0]
+	oldTerm := old.Term()
+
+	// Crash the leader's server.
+	for i, e := range es {
+		if e == old {
+			f.Crash(f.Servers[i].Name)
+			e.Stop()
+		}
+	}
+	advanceUntil(t, f, func() bool {
+		ls := leaders(es)
+		return len(ls) == 1 && ls[0] != old
+	}, "no new leader after crash")
+	if leaders(es)[0].Term() <= oldTerm {
+		t.Fatal("new leader must have a higher term (fencing token)")
+	}
+}
+
+func TestIsolatedLeaderStepsDown(t *testing.T) {
+	f := simtest.New(simtest.Options{Servers: 3})
+	defer f.Stop()
+	es := electors(f, 3)
+	for _, e := range es {
+		e.Start()
+		defer e.Stop()
+	}
+	advanceUntil(t, f, func() bool { return len(leaders(es)) == 1 }, "no initial leader")
+	old := leaders(es)[0]
+	var oldAddr string
+	for i, e := range es {
+		if e == old {
+			oldAddr = f.Servers[i].Endpoint.Addr()
+		}
+	}
+
+	// Partition the leader from both peers: it must lose leadership (it
+	// cannot reach a quorum), and the majority side elects a new leader.
+	f.Net.Isolate(oldAddr, true)
+	advanceUntil(t, f, func() bool {
+		if old.IsLeader() {
+			return false
+		}
+		ls := leaders(es)
+		return len(ls) == 1 && ls[0] != old
+	}, "isolated leader did not step down / majority did not re-elect")
+
+	// At no point should both sides claim the same term.
+	newLeader := leaders(es)[0]
+	if newLeader.Term() == old.Term() && old.Role() == consensus.Leader {
+		t.Fatal("two leaders in one term")
+	}
+
+	// Heal: the old leader rejoins as a follower and adopts the new term.
+	f.Net.Isolate(oldAddr, false)
+	advanceUntil(t, f, func() bool {
+		name, _ := old.Leader()
+		return !old.IsLeader() && name != "" && len(leaders(es)) == 1
+	}, "healed node did not converge")
+}
+
+func TestNoQuorumNoLeader(t *testing.T) {
+	f := simtest.New(simtest.Options{Servers: 1})
+	defer f.Stop()
+	// This elector believes the management set has three members, but the
+	// other two do not exist: 1 vote < quorum(2), so it can never win.
+	e := consensus.NewElector(consensus.Config{
+		Self: f.Servers[0].Name,
+		Peers: map[string]string{
+			f.Servers[0].Name: f.Servers[0].Endpoint.Addr(),
+			"ghost-1":         "10.9.9.1:7001",
+			"ghost-2":         "10.9.9.2:7001",
+		},
+		Seed: 4,
+	}, f.Clock, f.Servers[0].Registry)
+	e.Start()
+	defer e.Stop()
+	for i := 0; i < 40; i++ {
+		f.VClock.Advance(100 * time.Millisecond)
+		time.Sleep(time.Millisecond)
+	}
+	if e.IsLeader() {
+		t.Fatal("leader elected without quorum")
+	}
+}
+
+func TestLeadershipChangeNotification(t *testing.T) {
+	f := simtest.New(simtest.Options{Servers: 3})
+	defer f.Stop()
+	es := electors(f, 5)
+	notified := make(chan string, 64)
+	for _, e := range es {
+		e.OnLeadershipChange(func(leader string, term uint64) {
+			select {
+			case notified <- leader:
+			default:
+			}
+		})
+	}
+	for _, e := range es {
+		e.Start()
+		defer e.Stop()
+	}
+	advanceUntil(t, f, func() bool { return len(leaders(es)) == 1 }, "no leader")
+	select {
+	case l := <-notified:
+		if l == "" {
+			t.Fatal("first notification should name a leader")
+		}
+	default:
+		t.Fatal("no leadership notification delivered")
+	}
+}
+
+func TestTermsNeverRegress(t *testing.T) {
+	f := simtest.New(simtest.Options{Servers: 3})
+	defer f.Stop()
+	es := electors(f, 6)
+	for _, e := range es {
+		e.Start()
+		defer e.Stop()
+	}
+	advanceUntil(t, f, func() bool { return len(leaders(es)) == 1 }, "no leader")
+	prev := make([]uint64, len(es))
+	for round := 0; round < 30; round++ {
+		f.VClock.Advance(100 * time.Millisecond)
+		time.Sleep(time.Millisecond)
+		for i, e := range es {
+			cur := e.Term()
+			if cur < prev[i] {
+				t.Fatalf("term regressed on elector %d: %d -> %d", i, prev[i], cur)
+			}
+			prev[i] = cur
+		}
+	}
+}
+
+func TestFiveNodeClusterSurvivesTwoFailures(t *testing.T) {
+	f := simtest.New(simtest.Options{Servers: 5})
+	defer f.Stop()
+	es := electors(f, 7)
+	for _, e := range es {
+		e.Start()
+		defer e.Stop()
+	}
+	advanceUntil(t, f, func() bool { return len(leaders(es)) == 1 }, "no leader (5 nodes)")
+
+	// Crash two non-leader servers: quorum (3 of 5) survives.
+	crashed := 0
+	for i, e := range es {
+		if !e.IsLeader() && crashed < 2 {
+			f.Crash(f.Servers[i].Name)
+			e.Stop()
+			crashed++
+		}
+	}
+	stable := leaders(es)[0]
+	for i := 0; i < 30; i++ {
+		f.VClock.Advance(100 * time.Millisecond)
+		time.Sleep(time.Millisecond)
+	}
+	ls := leaders(es)
+	if len(ls) != 1 || ls[0] != stable {
+		t.Fatalf("leadership unstable after minority failure: %d leaders", len(ls))
+	}
+}

@@ -1,0 +1,252 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wls/internal/core"
+	"wls/internal/filestore"
+	"wls/internal/simtest"
+	"wls/internal/singleton"
+	"wls/internal/vclock"
+)
+
+func TestServiceKindString(t *testing.T) {
+	for k, want := range map[core.ServiceKind]string{
+		core.Stateless: "stateless", core.Conversational: "conversational",
+		core.Cached: "cached", core.Singleton: "singleton",
+	} {
+		if k.String() != want {
+			t.Fatalf("%d = %q", k, k.String())
+		}
+	}
+}
+
+func TestExecuteQueueRunsTasks(t *testing.T) {
+	q := core.NewExecuteQueue(core.QueueConfig{Workers: 2}, vclock.System, nil)
+	defer q.Close()
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		if err := q.Submit(func() { n.Add(1); wg.Done() }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if n.Load() != 50 {
+		t.Fatalf("ran %d", n.Load())
+	}
+}
+
+func TestDenyPolicyRejectsWhenFull(t *testing.T) {
+	q := core.NewExecuteQueue(core.QueueConfig{Workers: 1, QueueLen: 2, Policy: core.Deny}, vclock.System, nil)
+	defer q.Close()
+	block := make(chan struct{})
+	defer close(block)
+	// Occupy the worker, then fill the queue.
+	q.Submit(func() { <-block })
+	time.Sleep(10 * time.Millisecond)
+	q.Submit(func() {})
+	q.Submit(func() {})
+	err := q.Submit(func() {})
+	if !errors.Is(err, core.ErrDenied) {
+		t.Fatalf("want ErrDenied, got %v", err)
+	}
+}
+
+func TestDegradePolicyBlocksInsteadOfDenying(t *testing.T) {
+	q := core.NewExecuteQueue(core.QueueConfig{Workers: 1, QueueLen: 1, Policy: core.Degrade}, vclock.System, nil)
+	defer q.Close()
+	release := make(chan struct{})
+	q.Submit(func() { <-release })
+	time.Sleep(5 * time.Millisecond)
+	q.Submit(func() {}) // fills the queue
+	accepted := make(chan struct{})
+	go func() {
+		q.Submit(func() {}) // blocks until the worker drains
+		close(accepted)
+	}()
+	select {
+	case <-accepted:
+		t.Fatal("degrade should have blocked while full")
+	case <-time.After(30 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case <-accepted:
+	case <-time.After(time.Second):
+		t.Fatal("degrade never accepted after drain")
+	}
+}
+
+func TestSelfTuningGrowsAndShrinks(t *testing.T) {
+	clk := vclock.NewVirtualAtZero()
+	q := core.NewExecuteQueue(core.QueueConfig{
+		Workers: 1, MaxWorkers: 8, QueueLen: 128,
+		SelfTuning: true, TuneInterval: 100 * time.Millisecond,
+	}, clk, nil)
+	defer q.Close()
+
+	// Saturate: blocked tasks pile up backlog.
+	release := make(chan struct{})
+	for i := 0; i < 32; i++ {
+		q.Submit(func() { <-release })
+	}
+	for i := 0; i < 10; i++ {
+		clk.Advance(100 * time.Millisecond)
+		time.Sleep(time.Millisecond)
+	}
+	grown := q.Workers()
+	if grown <= 1 {
+		t.Fatalf("pool did not grow under backlog: %d", grown)
+	}
+	// Drain and idle: pool shrinks back toward the floor.
+	close(release)
+	for i := 0; i < 60 && q.Workers() > 1; i++ {
+		clk.Advance(100 * time.Millisecond)
+		time.Sleep(time.Millisecond)
+	}
+	if q.Workers() != 1 {
+		t.Fatalf("pool did not shrink when idle: %d", q.Workers())
+	}
+}
+
+func TestQueueCloseRejects(t *testing.T) {
+	q := core.NewExecuteQueue(core.QueueConfig{}, vclock.System, nil)
+	q.Close()
+	if err := q.Submit(func() {}); !errors.Is(err, core.ErrQueueClosed) {
+		t.Fatalf("want ErrQueueClosed, got %v", err)
+	}
+	q.Close() // idempotent
+}
+
+// --- Migratable targets ---------------------------------------------------------
+
+type flagService struct {
+	name   string
+	log    *[]string
+	failOn bool
+}
+
+func (f *flagService) Activate(epoch uint64) error {
+	if f.failOn {
+		return errors.New(f.name + " refuses")
+	}
+	*f.log = append(*f.log, "up:"+f.name)
+	return nil
+}
+func (f *flagService) Deactivate() { *f.log = append(*f.log, "down:"+f.name) }
+
+func TestMigratableTargetActivatesInOrder(t *testing.T) {
+	var log []string
+	target := core.NewMigratableTarget("jms-unit").
+		Add("queue", &flagService{name: "queue", log: &log}).
+		Add("txlog", &flagService{name: "txlog", log: &log})
+	if err := target.Activate(1); err != nil {
+		t.Fatal(err)
+	}
+	target.Deactivate()
+	want := []string{"up:queue", "up:txlog", "down:txlog", "down:queue"}
+	for i, w := range want {
+		if log[i] != w {
+			t.Fatalf("log = %v", log)
+		}
+	}
+	if got := target.Services(); len(got) != 2 || got[0] != "queue" {
+		t.Fatalf("services = %v", got)
+	}
+}
+
+func TestMigratableTargetAllOrNothing(t *testing.T) {
+	var log []string
+	target := core.NewMigratableTarget("t").
+		Add("a", &flagService{name: "a", log: &log}).
+		Add("b", &flagService{name: "b", log: &log, failOn: true})
+	if err := target.Activate(1); err == nil {
+		t.Fatal("want activation failure")
+	}
+	// a must have been rolled back.
+	if len(log) != 2 || log[1] != "down:a" {
+		t.Fatalf("log = %v", log)
+	}
+}
+
+func TestMigratableTargetAsSingleton(t *testing.T) {
+	var _ singleton.Activatable = core.NewMigratableTarget("x")
+}
+
+// --- Domain & config boot --------------------------------------------------------
+
+func TestDomainConfig(t *testing.T) {
+	d := core.NewDomain("prod")
+	d.AddServer("web", "server-1", map[string]string{"port": "7001"})
+	d.AddServer("web", "server-2", map[string]string{"port": "7001"})
+	d.AddServer("tx", "server-3", map[string]string{"port": "8001"})
+
+	if got := d.Clusters(); len(got) != 2 || got[0] != "tx" {
+		t.Fatalf("clusters = %v", got)
+	}
+	if got := d.ServersIn("web"); len(got) != 2 {
+		t.Fatalf("web servers = %v", got)
+	}
+	cfg, ok := d.ConfigOf("server-3")
+	if !ok || cfg["port"] != "8001" || cfg["domain"] != "prod" || cfg["cluster"] != "tx" {
+		t.Fatalf("config = %v", cfg)
+	}
+	if _, ok := d.ConfigOf("ghost"); ok {
+		t.Fatal("ghost resolved")
+	}
+}
+
+func TestBootFromAdminAndLocalReplica(t *testing.T) {
+	f := simtest.New(simtest.Options{Servers: 2})
+	defer f.Stop()
+	d := core.NewDomain("prod")
+	d.AddServer("c", "server-2", map[string]string{"port": "7001", "heap": "2g"})
+	f.Servers[0].Registry.Register(d.AdminService())
+	f.Settle(2)
+
+	// Dependent boot: fetch from the admin server.
+	cfg, err := core.BootFromAdmin(context.Background(), f.Servers[1].Endpoint,
+		f.Servers[0].Endpoint.Addr(), "server-2")
+	if err != nil || cfg["heap"] != "2g" {
+		t.Fatalf("admin boot: %v %v", cfg, err)
+	}
+
+	// Replicate locally, crash the admin, boot autonomously.
+	fs, err := filestore.Open(filepath.Join(t.TempDir(), "cfg.log"), filestore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	if err := core.SaveLocalConfig(fs, "server-2", cfg); err != nil {
+		t.Fatal(err)
+	}
+	f.Crash("server-1")
+	local, err := core.BootFromLocal(fs, "server-2")
+	if err != nil || local["heap"] != "2g" || local["domain"] != "prod" {
+		t.Fatalf("local boot: %v %v", local, err)
+	}
+	// And without the replica, a dependent boot would fail.
+	if _, err := core.BootFromAdmin(context.Background(), f.Servers[1].Endpoint,
+		f.Servers[0].Endpoint.Addr(), "server-2"); err == nil {
+		t.Fatal("admin boot should fail with the admin server down")
+	}
+}
+
+func TestBootFromLocalMissingReplica(t *testing.T) {
+	fs, err := filestore.Open(filepath.Join(t.TempDir(), "cfg.log"), filestore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	if _, err := core.BootFromLocal(fs, "nope"); err == nil {
+		t.Fatal("want error for missing replica")
+	}
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"wls/internal/filestore"
+	"wls/internal/rmi"
+	"wls/internal/wire"
+)
+
+// Domain is the administrative unit of §4: "the unit of startup, shutdown,
+// configuration, and monitoring — which can contain multiple clusters".
+// The admin server holds the configuration of every managed server;
+// managed servers may also keep a replica of their own slice on local disk
+// so they "can start more rapidly and more autonomously" (§5.1, benchmark
+// E23).
+type Domain struct {
+	Name string
+
+	mu       sync.Mutex
+	clusters map[string][]string          // cluster name → server names
+	config   map[string]map[string]string // server name → config
+}
+
+// NewDomain creates an empty domain.
+func NewDomain(name string) *Domain {
+	return &Domain{
+		Name:     name,
+		clusters: make(map[string][]string),
+		config:   make(map[string]map[string]string),
+	}
+}
+
+// AddServer registers a managed server with its configuration.
+func (d *Domain) AddServer(cluster, server string, config map[string]string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.clusters[cluster] = append(d.clusters[cluster], server)
+	cp := make(map[string]string, len(config))
+	for k, v := range config {
+		cp[k] = v
+	}
+	cp["domain"] = d.Name
+	cp["cluster"] = cluster
+	d.config[server] = cp
+}
+
+// Clusters lists the domain's clusters, sorted.
+func (d *Domain) Clusters() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, 0, len(d.clusters))
+	for c := range d.clusters {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ServersIn lists a cluster's servers.
+func (d *Domain) ServersIn(cluster string) []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]string(nil), d.clusters[cluster]...)
+}
+
+// ConfigOf returns a copy of a server's configuration.
+func (d *Domain) ConfigOf(server string) (map[string]string, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cfg, ok := d.config[server]
+	if !ok {
+		return nil, false
+	}
+	out := make(map[string]string, len(cfg))
+	for k, v := range cfg {
+		out[k] = v
+	}
+	return out, true
+}
+
+// AdminServiceName is the admin server's RMI surface.
+const AdminServiceName = "wls.admin"
+
+// AdminService exposes the domain configuration to booting servers.
+func (d *Domain) AdminService() *rmi.Service {
+	return &rmi.Service{
+		Name: AdminServiceName,
+		Methods: map[string]rmi.MethodSpec{
+			"getConfig": {Idempotent: true, Handler: func(ctx context.Context, c *rmi.Call) ([]byte, error) {
+				dec := wire.NewDecoder(c.Args)
+				server := dec.String()
+				if err := dec.Err(); err != nil {
+					return nil, err
+				}
+				cfg, ok := d.ConfigOf(server)
+				if !ok {
+					return nil, &rmi.AppError{Msg: "no such server: " + server}
+				}
+				return encodeConfig(cfg), nil
+			}},
+		},
+	}
+}
+
+func encodeConfig(cfg map[string]string) []byte {
+	keys := make([]string, 0, len(cfg))
+	for k := range cfg {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	e := wire.NewEncoder(128)
+	e.Int(len(keys))
+	for _, k := range keys {
+		e.String(k)
+		e.String(cfg[k])
+	}
+	return e.Bytes()
+}
+
+func decodeConfig(raw []byte) (map[string]string, error) {
+	d := wire.NewDecoder(raw)
+	n := d.Int()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 || n > 1<<20 {
+		return nil, fmt.Errorf("core: absurd config size %d", n)
+	}
+	cfg := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		k := d.String()
+		cfg[k] = d.String()
+	}
+	return cfg, d.Err()
+}
+
+// configRegion is the filestore region holding the local config replica.
+const configRegion = "wls.config"
+
+// BootFromAdmin fetches a server's configuration from the admin server —
+// the dependent boot path.
+func BootFromAdmin(ctx context.Context, node rmi.Node, adminAddr, server string) (map[string]string, error) {
+	e := wire.NewEncoder(32)
+	e.String(server)
+	stub := rmi.NewStub(AdminServiceName, node, rmi.StaticView(adminAddr))
+	res, err := stub.Invoke(ctx, "getConfig", e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	return decodeConfig(res.Body)
+}
+
+// SaveLocalConfig replicates a server's configuration to its local
+// filestore, enabling autonomous boots.
+func SaveLocalConfig(fs *filestore.FileStore, server string, cfg map[string]string) error {
+	return fs.Put(configRegion, server, encodeConfig(cfg))
+}
+
+// BootFromLocal reads the locally replicated configuration — the §5.1
+// autonomous boot path that needs no admin server round trip.
+func BootFromLocal(fs *filestore.FileStore, server string) (map[string]string, error) {
+	raw, ok := fs.Get(configRegion, server)
+	if !ok {
+		return nil, fmt.Errorf("core: no local config replica for %s", server)
+	}
+	return decodeConfig(raw)
+}

@@ -1,0 +1,84 @@
+package core_test
+
+import (
+	"context"
+	"testing"
+
+	"wls/internal/core"
+	"wls/internal/simtest"
+)
+
+func TestHealthMonitorAggregatesWorst(t *testing.T) {
+	h := core.NewHealthMonitor()
+	if h.Overall() != core.HealthOK {
+		t.Fatal("empty monitor should be OK")
+	}
+	h.RegisterCheck("jms", func() core.HealthState { return core.HealthOK })
+	h.RegisterCheck("jdbc", func() core.HealthState { return core.HealthWarn })
+	if h.Overall() != core.HealthWarn {
+		t.Fatalf("overall = %v", h.Overall())
+	}
+	h.RegisterCheck("tx", func() core.HealthState { return core.HealthCritical })
+	if h.Overall() != core.HealthCritical {
+		t.Fatalf("overall = %v", h.Overall())
+	}
+	rep := h.Report()
+	if len(rep) != 3 || rep[0].Subsystem != "jdbc" || rep[1].Subsystem != "jms" {
+		t.Fatalf("report = %v", rep)
+	}
+}
+
+func TestHealthLifecycle(t *testing.T) {
+	h := core.NewHealthMonitor()
+	if h.Lifecycle() != core.LifecycleStarting {
+		t.Fatal("should start in starting")
+	}
+	h.SetLifecycle(core.LifecycleRunning)
+	if h.Lifecycle() != core.LifecycleRunning || h.Overall() != core.HealthOK {
+		t.Fatal("running server should be OK")
+	}
+	h.SetLifecycle(core.LifecycleShutdown)
+	if h.Overall() != core.HealthFailed {
+		t.Fatal("shutdown server reports failed")
+	}
+}
+
+func TestHealthStateStrings(t *testing.T) {
+	if core.HealthOK.String() != "ok" || core.HealthFailed.String() != "failed" ||
+		core.LifecycleSuspended.String() != "suspended" {
+		t.Fatal("string forms")
+	}
+}
+
+func TestHealthQueryOverRMI(t *testing.T) {
+	f := simtest.New(simtest.Options{Servers: 2})
+	defer f.Stop()
+	h := core.NewHealthMonitor()
+	h.SetLifecycle(core.LifecycleRunning)
+	h.RegisterCheck("jms", func() core.HealthState { return core.HealthWarn })
+	f.Servers[0].Registry.Register(h.Service())
+	f.Settle(2)
+
+	overall, lc, report, err := core.QueryHealth(context.Background(),
+		f.Servers[1].Endpoint, f.Servers[0].Endpoint.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if overall != core.HealthWarn || lc != core.LifecycleRunning {
+		t.Fatalf("overall=%v lifecycle=%v", overall, lc)
+	}
+	if len(report) != 1 || report[0].Subsystem != "jms" || report[0].State != core.HealthWarn {
+		t.Fatalf("report = %v", report)
+	}
+}
+
+func TestHealthQueryUnreachableIsFailed(t *testing.T) {
+	f := simtest.New(simtest.Options{Servers: 2})
+	defer f.Stop()
+	f.Crash("server-1")
+	overall, _, _, err := core.QueryHealth(context.Background(),
+		f.Servers[1].Endpoint, f.Servers[0].Endpoint.Addr())
+	if err == nil || overall != core.HealthFailed {
+		t.Fatalf("want failed+error, got %v %v", overall, err)
+	}
+}

@@ -1,0 +1,526 @@
+package ejb
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"wls/internal/cluster"
+	"wls/internal/rmi"
+	"wls/internal/wire"
+)
+
+// DeltaPolicy controls when a stateful bean's primary ships state changes
+// to its secondary (§3.2).
+type DeltaPolicy int
+
+// Delta policies.
+const (
+	// DeltaPerTx ships one delta at each transaction (here: method)
+	// boundary — the scheme "originally developed for the Tandem NonStop
+	// Kernel's process pairs", which "customers universally prefer".
+	DeltaPerTx DeltaPolicy = iota
+	// DeltaPerUpdate ships a delta on every state mutation — "the more
+	// expensive option of sending deltas on every update".
+	DeltaPerUpdate
+)
+
+// StatefulCtx is the view of conversational state a business method gets.
+type StatefulCtx struct {
+	bean  *beanState
+	store *statefulStore
+	// dirty records keys changed by this invocation.
+	dirty map[string]bool
+}
+
+// Get reads a state field.
+func (sc *StatefulCtx) Get(key string) string { return sc.bean.state[key] }
+
+// Set writes a state field. Under DeltaPerUpdate the change ships to the
+// secondary immediately.
+func (sc *StatefulCtx) Set(key, value string) {
+	sc.bean.state[key] = value
+	sc.dirty[key] = true
+	if sc.store.spec.Deltas == DeltaPerUpdate {
+		sc.store.ship(sc.bean, map[string]string{key: value})
+		delete(sc.dirty, key)
+	}
+}
+
+// Keys lists the state's keys, sorted.
+func (sc *StatefulCtx) Keys() []string {
+	out := make([]string, 0, len(sc.bean.state))
+	for k := range sc.bean.state {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// StatefulMethod is one business method of a stateful bean.
+type StatefulMethod func(sc *StatefulCtx, args []byte) ([]byte, error)
+
+// StatefulSpec declares a stateful session bean.
+type StatefulSpec struct {
+	// Name is the bean's clustered service name.
+	Name string
+	// Methods maps method names to implementations.
+	Methods map[string]StatefulMethod
+	// Deltas selects the replication policy (default DeltaPerTx).
+	Deltas DeltaPolicy
+}
+
+// beanState is one conversation's state on one server.
+type beanState struct {
+	id        string
+	state     map[string]string
+	secondary string // server name hosting the replica ("" = unreplicated)
+	primary   bool
+	gen       uint64 // replica generation, guards stale delta application
+}
+
+// statefulStore is the per-server container state for one bean type.
+type statefulStore struct {
+	c    *Container
+	spec StatefulSpec
+
+	mu    sync.Mutex
+	beans map[string]*beanState // primaries and replicas
+	paged map[string][]byte     // passivated conversational state
+	// dropShips injects the §3.2 anomaly in tests: the next N delta ships
+	// are lost (primary dies between mutating memory and shipping).
+	dropShips int
+
+	passivations int
+}
+
+// DeployStateful deploys a stateful session bean and returns its home.
+func (c *Container) DeployStateful(spec StatefulSpec) *StatefulHome {
+	ss := &statefulStore{
+		c:     c,
+		spec:  spec,
+		beans: make(map[string]*beanState),
+		paged: make(map[string][]byte),
+	}
+	c.mu.Lock()
+	c.stateful[spec.Name] = ss
+	c.mu.Unlock()
+
+	c.registry.Register(&rmi.Service{
+		Name: spec.Name,
+		Methods: map[string]rmi.MethodSpec{
+			"create":         {Handler: ss.handleCreate},
+			"invoke":         {Handler: ss.handleInvoke},
+			"remove":         {Handler: ss.handleRemove},
+			"replica.update": {Handler: ss.handleReplicaUpdate},
+		},
+	})
+	return &StatefulHome{container: c, bean: spec.Name}
+}
+
+// envelope encodes the routing header every stateful response carries: the
+// current primary and secondary, so client handles rewrite themselves the
+// way §3.2's session cookies do.
+func respEnvelope(primary, secondary string, body []byte) []byte {
+	e := wire.NewEncoder(64 + len(body))
+	e.String(primary)
+	e.String(secondary)
+	e.Bytes2(body)
+	return e.Bytes()
+}
+
+// handleCreate makes a new conversation on this server; load balancing
+// already happened when the home picked this server (§3.2).
+func (ss *statefulStore) handleCreate(ctx context.Context, call *rmi.Call) ([]byte, error) {
+	self := ss.c.ServerName()
+	id := nextBeanID(self, ss.spec.Name)
+	b := &beanState{id: id, state: make(map[string]string), primary: true}
+	ss.chooseSecondary(b)
+	ss.mu.Lock()
+	ss.beans[id] = b
+	ss.mu.Unlock()
+	ss.c.reg.Counter("ejb.stateful.creates").Inc()
+
+	e := wire.NewEncoder(64)
+	e.String(id)
+	return respEnvelope(self, b.secondary, e.Bytes()), nil
+}
+
+// chooseSecondary applies the §3.2 ring algorithm among servers offering
+// this bean.
+func (ss *statefulStore) chooseSecondary(b *beanState) {
+	self := ss.c.member.Self()
+	cands := ss.c.member.OffersOf(ss.spec.Name)
+	sec, ok := cluster.ChooseSecondaryFrom(self, cands)
+	if !ok {
+		b.secondary = ""
+		return
+	}
+	b.secondary = sec.Name
+	// Ship the full state to seed the replica.
+	ss.ship(b, b.state)
+}
+
+// ship sends a delta to the bean's secondary synchronously ("the primary
+// ... synchronously transmits a delta for any updates to the secondary
+// before returning the response").
+func (ss *statefulStore) ship(b *beanState, delta map[string]string) {
+	ss.mu.Lock()
+	if ss.dropShips > 0 {
+		ss.dropShips--
+		ss.mu.Unlock()
+		return
+	}
+	sec := b.secondary
+	if sec == "" {
+		ss.mu.Unlock()
+		return
+	}
+	b.gen++
+	gen := b.gen
+	ss.mu.Unlock()
+	info, ok := ss.c.member.Lookup(sec)
+	if !ok {
+		// Secondary died; pick a fresh one and ship everything.
+		ss.chooseSecondaryAndReship(b)
+		return
+	}
+	e := wire.NewEncoder(128)
+	e.String(b.id)
+	e.Uint64(gen)
+	e.Int(len(delta))
+	for k, v := range delta {
+		e.String(k)
+		e.String(v)
+	}
+	stub := rmi.NewStub(ss.spec.Name, ss.c.registry.Node(), rmi.StaticView(info.Addr))
+	if _, err := stub.Invoke(context.Background(), "replica.update", e.Bytes()); err != nil {
+		ss.chooseSecondaryAndReship(b)
+	}
+	ss.c.reg.Counter("ejb.stateful.deltas").Inc()
+}
+
+func (ss *statefulStore) chooseSecondaryAndReship(b *beanState) {
+	self := ss.c.member.Self()
+	cands := ss.c.member.OffersOf(ss.spec.Name)
+	sec, ok := cluster.ChooseSecondaryFrom(self, cands)
+	if !ok || sec.Name == b.secondary {
+		if !ok {
+			b.secondary = ""
+		}
+		return
+	}
+	b.secondary = sec.Name
+	info, ok := ss.c.member.Lookup(sec.Name)
+	if !ok {
+		b.secondary = ""
+		return
+	}
+	b.gen++
+	e := wire.NewEncoder(256)
+	e.String(b.id)
+	e.Uint64(b.gen)
+	e.Int(len(b.state))
+	for k, v := range b.state {
+		e.String(k)
+		e.String(v)
+	}
+	stub := rmi.NewStub(ss.spec.Name, ss.c.registry.Node(), rmi.StaticView(info.Addr))
+	_, _ = stub.Invoke(context.Background(), "replica.update", e.Bytes())
+}
+
+// handleReplicaUpdate applies a delta on the secondary.
+func (ss *statefulStore) handleReplicaUpdate(ctx context.Context, call *rmi.Call) ([]byte, error) {
+	d := wire.NewDecoder(call.Args)
+	id := d.String()
+	gen := d.Uint64()
+	n := d.Int()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	delta := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		k := d.String()
+		v := d.String()
+		delta[k] = v
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	b, ok := ss.beans[id]
+	if !ok {
+		b = &beanState{id: id, state: make(map[string]string)}
+		ss.beans[id] = b
+	}
+	if gen <= b.gen && b.gen != 0 {
+		return nil, nil // stale delta from a deposed primary
+	}
+	b.gen = gen
+	for k, v := range delta {
+		b.state[k] = v
+	}
+	ss.c.reg.Counter("ejb.stateful.replica_updates").Inc()
+	return nil, nil
+}
+
+// handleInvoke runs a business method; if this server holds only the
+// replica, it promotes itself first (failover).
+func (ss *statefulStore) handleInvoke(ctx context.Context, call *rmi.Call) ([]byte, error) {
+	d := wire.NewDecoder(call.Args)
+	id := d.String()
+	method := d.String()
+	payload := d.Bytes()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	impl, ok := ss.spec.Methods[method]
+	if !ok {
+		return nil, &rmi.AppError{Msg: "no such method: " + method}
+	}
+
+	ss.mu.Lock()
+	b, found := ss.beans[id]
+	if !found {
+		if raw, paged := ss.paged[id]; paged {
+			b = ss.activate(id, raw)
+			found = true
+		}
+	}
+	if !found {
+		ss.mu.Unlock()
+		return nil, &rmi.AppError{Msg: "no such bean: " + id}
+	}
+	if !b.primary {
+		// Failover: the replica becomes the primary and recruits a new
+		// secondary (§3.2's promote-and-rewrite-cookie flow).
+		b.primary = true
+		ss.mu.Unlock()
+		ss.chooseSecondaryAndReship(b)
+		ss.c.reg.Counter("ejb.stateful.promotions").Inc()
+		ss.mu.Lock()
+	}
+	sc := &StatefulCtx{bean: b, store: ss, dirty: make(map[string]bool)}
+	ss.mu.Unlock()
+
+	out, err := impl(sc, payload)
+	if err != nil {
+		if !rmi.IsAppError(err) {
+			return nil, err
+		}
+		return nil, err
+	}
+	// Transaction boundary: ship accumulated dirty keys.
+	if ss.spec.Deltas == DeltaPerTx && len(sc.dirty) > 0 {
+		delta := make(map[string]string, len(sc.dirty))
+		for k := range sc.dirty {
+			delta[k] = b.state[k]
+		}
+		ss.ship(b, delta)
+	}
+	ss.c.reg.Counter("ejb.stateful.calls").Inc()
+	return respEnvelope(ss.c.ServerName(), b.secondary, out), nil
+}
+
+func (ss *statefulStore) handleRemove(ctx context.Context, call *rmi.Call) ([]byte, error) {
+	d := wire.NewDecoder(call.Args)
+	id := d.String()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	ss.mu.Lock()
+	delete(ss.beans, id)
+	delete(ss.paged, id)
+	ss.mu.Unlock()
+	return nil, nil
+}
+
+// --- passivation (§3.2: "Conversational state may be paged out on an
+// as-needed basis to free up memory ... the data is not expected to
+// survive failures") -------------------------------------------------------
+
+// PassivateIdle pages out primaries beyond maxResident (oldest IDs first —
+// a stand-in for LRU). Replicas are never passivated.
+func (ss *statefulStore) PassivateIdle(maxResident int) int {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	var primaries []string
+	for id, b := range ss.beans {
+		if b.primary {
+			primaries = append(primaries, id)
+		}
+	}
+	if len(primaries) <= maxResident {
+		return 0
+	}
+	sort.Strings(primaries)
+	evict := primaries[:len(primaries)-maxResident]
+	for _, id := range evict {
+		b := ss.beans[id]
+		e := wire.NewEncoder(128)
+		e.String(b.secondary)
+		e.Uint64(b.gen)
+		e.Int(len(b.state))
+		for k, v := range b.state {
+			e.String(k)
+			e.String(v)
+		}
+		ss.paged[id] = e.Bytes()
+		delete(ss.beans, id)
+		ss.passivations++
+	}
+	return len(evict)
+}
+
+// activate re-reads paged state (ss.mu held).
+func (ss *statefulStore) activate(id string, raw []byte) *beanState {
+	d := wire.NewDecoder(raw)
+	b := &beanState{id: id, state: make(map[string]string), primary: true}
+	b.secondary = d.String()
+	b.gen = d.Uint64()
+	n := d.Int()
+	for i := 0; i < n; i++ {
+		k := d.String()
+		v := d.String()
+		b.state[k] = v
+	}
+	delete(ss.paged, id)
+	ss.beans[id] = b
+	return b
+}
+
+// Resident reports (in-memory, passivated) conversation counts.
+func (ss *statefulStore) Resident() (mem, paged int) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return len(ss.beans), len(ss.paged)
+}
+
+// DropNextShips injects delta-ship loss for anomaly tests.
+func (ss *statefulStore) DropNextShips(n int) {
+	ss.mu.Lock()
+	ss.dropShips = n
+	ss.mu.Unlock()
+}
+
+// StatefulStore exposes the per-server container state for tests and
+// benchmarks (passivation, fault injection).
+func (c *Container) StatefulStore(bean string) interface {
+	PassivateIdle(maxResident int) int
+	Resident() (mem, paged int)
+	DropNextShips(n int)
+} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stateful[bean]
+}
+
+// ---------------------------------------------------------------------------
+// Client side
+
+// StatefulHome creates conversations, load-balancing the create call.
+type StatefulHome struct {
+	container *Container
+	bean      string
+}
+
+// Handle is the client-side reference to one conversation: hardwired to the
+// primary, aware of the secondary, rewritten from every response envelope.
+type Handle struct {
+	bean      string
+	id        string
+	primary   string
+	secondary string
+	node      rmi.Node
+	member    *cluster.Member
+}
+
+// Create starts a conversation on a server chosen by the stub policy
+// (default: round robin with local preference — §3.2's "load balancing
+// occurs when a (stateless) EJB home is chosen").
+func (h *StatefulHome) Create(ctx context.Context, opts ...rmi.StubOption) (*Handle, error) {
+	stub := h.container.StatelessStub(h.bean, opts...)
+	res, err := stub.Invoke(ctx, "create", nil)
+	if err != nil {
+		return nil, err
+	}
+	d := wire.NewDecoder(res.Body)
+	primary, secondary, body := d.String(), d.String(), d.Bytes()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	d2 := wire.NewDecoder(body)
+	id := d2.String()
+	if err := d2.Err(); err != nil {
+		return nil, err
+	}
+	return &Handle{
+		bean:      h.bean,
+		id:        id,
+		primary:   primary,
+		secondary: secondary,
+		node:      h.container.registry.Node(),
+		member:    h.container.member,
+	}, nil
+}
+
+// ID returns the conversation id.
+func (h *Handle) ID() string { return h.id }
+
+// Primary and Secondary report the current replication pair.
+func (h *Handle) Primary() string   { return h.primary }
+func (h *Handle) Secondary() string { return h.secondary }
+
+// Invoke calls a business method on the primary, failing over to the
+// secondary when the primary is unreachable.
+func (h *Handle) Invoke(ctx context.Context, method string, args []byte) ([]byte, error) {
+	e := wire.NewEncoder(64 + len(args))
+	e.String(h.id)
+	e.String(method)
+	e.Bytes2(args)
+	req := e.Bytes()
+
+	try := func(server string) ([]byte, error) {
+		info, ok := h.member.Lookup(server)
+		if !ok {
+			return nil, fmt.Errorf("ejb: server %s not in view", server)
+		}
+		stub := rmi.NewStub(h.bean, h.node, rmi.StaticView(info.Addr))
+		res, err := stub.Invoke(ctx, "invoke", req)
+		if err != nil {
+			return nil, err
+		}
+		d := wire.NewDecoder(res.Body)
+		primary, secondary, body := d.String(), d.String(), d.Bytes()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		// Rewrite the handle (the cookie-rewrite analogue).
+		h.primary, h.secondary = primary, secondary
+		return body, nil
+	}
+
+	out, err := try(h.primary)
+	if err == nil {
+		return out, nil
+	}
+	if rmi.IsAppError(err) || h.secondary == "" {
+		return nil, err
+	}
+	return try(h.secondary)
+}
+
+// Remove ends the conversation.
+func (h *Handle) Remove(ctx context.Context) error {
+	e := wire.NewEncoder(32)
+	e.String(h.id)
+	info, ok := h.member.Lookup(h.primary)
+	if !ok {
+		return nil
+	}
+	stub := rmi.NewStub(h.bean, h.node, rmi.StaticView(info.Addr))
+	_, err := stub.Invoke(ctx, "remove", e.Bytes())
+	return err
+}

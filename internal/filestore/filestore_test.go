@@ -1,0 +1,392 @@
+package filestore
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"wls/internal/tx"
+	"wls/internal/vclock"
+)
+
+func openTemp(t *testing.T) (*FileStore, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "store.log")
+	fs, err := Open(path, Options{SyncEveryAppend: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fs.Close() })
+	return fs, path
+}
+
+func reopen(t *testing.T, path string) *FileStore {
+	t.Helper()
+	fs, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fs.Close() })
+	return fs
+}
+
+func TestPutGetDelete(t *testing.T) {
+	fs, _ := openTemp(t)
+	if err := fs.Put("r", "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := fs.Get("r", "k")
+	if !ok || string(v) != "v" {
+		t.Fatalf("get = %q ok=%v", v, ok)
+	}
+	if err := fs.Delete("r", "k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fs.Get("r", "k"); ok {
+		t.Fatal("key survived delete")
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	fs, _ := openTemp(t)
+	fs.Put("r", "k", []byte("abc"))
+	v, _ := fs.Get("r", "k")
+	v[0] = 'X'
+	v2, _ := fs.Get("r", "k")
+	if string(v2) != "abc" {
+		t.Fatal("Get aliases internal buffer")
+	}
+}
+
+func TestRegionsAreIsolated(t *testing.T) {
+	fs, _ := openTemp(t)
+	fs.Put("a", "k", []byte("1"))
+	fs.Put("b", "k", []byte("2"))
+	va, _ := fs.Get("a", "k")
+	vb, _ := fs.Get("b", "k")
+	if string(va) != "1" || string(vb) != "2" {
+		t.Fatal("regions collided")
+	}
+	regions := fs.Regions()
+	if !reflect.DeepEqual(regions, []string{"a", "b"}) {
+		t.Fatalf("regions = %v", regions)
+	}
+}
+
+func TestKeysSortedAndCount(t *testing.T) {
+	fs, _ := openTemp(t)
+	for _, k := range []string{"c", "a", "b"} {
+		fs.Put("r", k, []byte("x"))
+	}
+	if !reflect.DeepEqual(fs.Keys("r"), []string{"a", "b", "c"}) {
+		t.Fatalf("keys = %v", fs.Keys("r"))
+	}
+	if fs.Count("r") != 3 {
+		t.Fatalf("count = %d", fs.Count("r"))
+	}
+}
+
+func TestReplayAfterReopen(t *testing.T) {
+	fs, path := openTemp(t)
+	fs.Put("msgs", "m1", []byte("hello"))
+	fs.Put("msgs", "m2", []byte("world"))
+	fs.Delete("msgs", "m1")
+	fs.Put("conv", "c1", []byte("state"))
+	fs.Close()
+
+	fs2 := reopen(t, path)
+	if _, ok := fs2.Get("msgs", "m1"); ok {
+		t.Fatal("deleted key resurrected")
+	}
+	v, _ := fs2.Get("msgs", "m2")
+	if string(v) != "world" {
+		t.Fatalf("m2 = %q", v)
+	}
+	if c, _ := fs2.Get("conv", "c1"); string(c) != "state" {
+		t.Fatal("conv region lost")
+	}
+}
+
+func TestTornTailIgnored(t *testing.T) {
+	fs, path := openTemp(t)
+	fs.Put("r", "k1", []byte("v1"))
+	fs.Put("r", "k2", []byte("v2"))
+	fs.Close()
+
+	// Append garbage simulating a crash mid-record: a frame header that
+	// promises more bytes than exist.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0, 0, 0, 200, 1, 2, 3}) // claims 200-byte frame, has 3
+	f.Close()
+
+	fs2 := reopen(t, path)
+	if v, _ := fs2.Get("r", "k2"); string(v) != "v2" {
+		t.Fatal("torn tail corrupted earlier records")
+	}
+	// The store must remain writable and re-openable after the torn tail.
+	if err := fs2.Put("r", "k3", []byte("v3")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactShrinksAndPreserves(t *testing.T) {
+	fs, path := openTemp(t)
+	for i := 0; i < 100; i++ {
+		fs.Put("r", "hot", []byte(fmt.Sprintf("version-%d", i)))
+	}
+	fs.Put("r", "cold", []byte("stable"))
+	before, _ := fs.Size()
+	if err := fs.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := fs.Size()
+	if after >= before {
+		t.Fatalf("compaction did not shrink: %d -> %d", before, after)
+	}
+	if v, _ := fs.Get("r", "hot"); string(v) != "version-99" {
+		t.Fatalf("hot = %q", v)
+	}
+	// Still writable and replayable after compaction.
+	fs.Put("r", "post", []byte("x"))
+	fs.Close()
+	fs2 := reopen(t, path)
+	if v, _ := fs2.Get("r", "post"); string(v) != "x" {
+		t.Fatal("post-compaction write lost")
+	}
+	if v, _ := fs2.Get("r", "cold"); string(v) != "stable" {
+		t.Fatal("cold key lost in compaction")
+	}
+}
+
+func TestTransactionalCommit(t *testing.T) {
+	fs, _ := openTemp(t)
+	sess := fs.Session()
+	sess.Put("msgs", "m1", []byte("in-flight"))
+	sess.Put("conv", "c1", []byte("step-2"))
+	sess.Delete("msgs", "m0")
+	if _, ok := fs.Get("msgs", "m1"); ok {
+		t.Fatal("staged write visible")
+	}
+	if err := sess.Prepare("t1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fs.Get("msgs", "m1"); ok {
+		t.Fatal("prepared write visible before commit")
+	}
+	if err := sess.Commit("t1"); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := fs.Get("conv", "c1"); string(v) != "step-2" {
+		t.Fatal("committed write missing")
+	}
+}
+
+func TestTransactionalRollback(t *testing.T) {
+	fs, _ := openTemp(t)
+	fs.Put("r", "k", []byte("orig"))
+	sess := fs.Session()
+	sess.Put("r", "k", []byte("new"))
+	sess.Prepare("t1")
+	sess.Rollback("t1")
+	if v, _ := fs.Get("r", "k"); string(v) != "orig" {
+		t.Fatalf("rollback leaked: %q", v)
+	}
+	if len(fs.InDoubt()) != 0 {
+		t.Fatal("aborted tx still in doubt")
+	}
+}
+
+func TestOnePhaseCommitWithoutPrepare(t *testing.T) {
+	fs, _ := openTemp(t)
+	sess := fs.Session()
+	sess.Put("r", "k", []byte("v"))
+	if err := sess.Commit("t1"); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := fs.Get("r", "k"); string(v) != "v" {
+		t.Fatal("1PC commit lost")
+	}
+}
+
+func TestInDoubtSurvivesRestart(t *testing.T) {
+	fs, path := openTemp(t)
+	sess := fs.Session()
+	sess.Put("msgs", "m1", []byte("v"))
+	if err := sess.Prepare("tx-indoubt"); err != nil {
+		t.Fatal(err)
+	}
+	fs.Close() // crash between prepare and commit
+
+	fs2 := reopen(t, path)
+	if got := fs2.InDoubt(); len(got) != 1 || got[0] != "tx-indoubt" {
+		t.Fatalf("in doubt = %v", got)
+	}
+	if _, ok := fs2.Get("msgs", "m1"); ok {
+		t.Fatal("prepared write visible before resolution")
+	}
+	if err := fs2.ResolveInDoubt("tx-indoubt", true); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := fs2.Get("msgs", "m1"); string(v) != "v" {
+		t.Fatal("resolved commit not applied")
+	}
+	if len(fs2.InDoubt()) != 0 {
+		t.Fatal("still in doubt after resolution")
+	}
+}
+
+func TestInDoubtAbortOnRestart(t *testing.T) {
+	fs, path := openTemp(t)
+	sess := fs.Session()
+	sess.Put("r", "k", []byte("v"))
+	sess.Prepare("tx-1")
+	fs.Close()
+
+	fs2 := reopen(t, path)
+	if err := fs2.ResolveInDoubt("tx-1", false); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fs2.Get("r", "k"); ok {
+		t.Fatal("aborted write applied")
+	}
+	// The abort decision must itself be durable.
+	fs2.Close()
+	fs3 := reopen(t, path)
+	if len(fs3.InDoubt()) != 0 {
+		t.Fatal("abort decision lost on restart")
+	}
+}
+
+func TestCommittedTxSurvivesRestart(t *testing.T) {
+	fs, path := openTemp(t)
+	sess := fs.Session()
+	sess.Put("a", "k", []byte("1"))
+	sess.Put("b", "k", []byte("2"))
+	sess.Prepare("t1")
+	sess.Commit("t1")
+	fs.Close()
+	fs2 := reopen(t, path)
+	if v, _ := fs2.Get("a", "k"); string(v) != "1" {
+		t.Fatal("region a lost")
+	}
+	if v, _ := fs2.Get("b", "k"); string(v) != "2" {
+		t.Fatal("region b lost")
+	}
+	if len(fs2.InDoubt()) != 0 {
+		t.Fatal("committed tx in doubt")
+	}
+}
+
+func TestWorksAsTxResource(t *testing.T) {
+	// The whole point of §5.1: one FileStore backing both the message
+	// store and conversation state joins a transaction as ONE resource, so
+	// the manager uses the one-phase path.
+	fs, _ := openTemp(t)
+	mgr := tx.NewManager("s1", vclock.NewVirtualAtZero(), nil, nil)
+	txn := mgr.Begin(0)
+	sess := fs.Session()
+	sess.Put("jms.queue.orders", "m1", []byte("order"))
+	sess.Put("conversations", "c1", []byte("state"))
+	txn.Enlist("filestore", sess)
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if mgr.Metrics().Counter("tx.1pc").Value() != 1 {
+		t.Fatal("co-located commit should be 1PC")
+	}
+	if _, ok := fs.Get("jms.queue.orders", "m1"); !ok {
+		t.Fatal("message lost")
+	}
+}
+
+func TestConcurrentAutocommitWriters(t *testing.T) {
+	fs, _ := openTemp(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				if err := fs.Put("r", fmt.Sprintf("k%d-%d", i, j), []byte("v")); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if fs.Count("r") != 400 {
+		t.Fatalf("count = %d", fs.Count("r"))
+	}
+}
+
+func TestClosedStoreRejectsWrites(t *testing.T) {
+	fs, _ := openTemp(t)
+	fs.Close()
+	if err := fs.Put("r", "k", []byte("v")); err != ErrClosed {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestPropertyReplayEquivalence(t *testing.T) {
+	// Any sequence of puts/deletes replays to the same state after reopen.
+	type step struct {
+		Key    uint8
+		Value  []byte
+		Delete bool
+	}
+	f := func(steps []step) bool {
+		dir, err := os.MkdirTemp("", "fsprop")
+		if err != nil {
+			return false
+		}
+		defer os.RemoveAll(dir)
+		path := filepath.Join(dir, "log")
+		fs, err := Open(path, Options{})
+		if err != nil {
+			return false
+		}
+		model := map[string][]byte{}
+		for _, s := range steps {
+			key := fmt.Sprintf("k%d", s.Key%16)
+			if s.Delete {
+				fs.Delete("r", key)
+				delete(model, key)
+			} else {
+				fs.Put("r", key, s.Value)
+				model[key] = append([]byte(nil), s.Value...)
+			}
+		}
+		fs.Close()
+		fs2, err := Open(path, Options{})
+		if err != nil {
+			return false
+		}
+		defer fs2.Close()
+		if fs2.Count("r") != len(model) {
+			return false
+		}
+		for k, v := range model {
+			got, ok := fs2.Get("r", k)
+			if !ok || !bytes.Equal(got, v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

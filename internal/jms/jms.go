@@ -1,0 +1,549 @@
+// Package jms implements the messaging substrate the paper leans on in
+// §3.4 (message queues as singleton services, partitioned destinations),
+// §4 (store-and-forward messaging between clusters, with "simple ACKing
+// protocols that are appropriate even for loosely-coupled systems"), and
+// §5.1 ("specialized file-based message stores are in fact common" — the
+// broker persists messages in the middle-tier filestore, and transactional
+// consume+state-update against the same filestore commits in one phase).
+//
+// Two delivery styles, as the paper distinguishes them:
+//
+//   - Client/server messaging: producers and consumers interact with a
+//     central queue using (transactional) RPCs.
+//   - Store-and-forward: a Forwarder buffers messages in a local queue and
+//     drains them to a remote destination when it is reachable, retrying
+//     with backoff and deduplicating at the receiver so delivery is
+//     exactly-once despite retries.
+package jms
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"wls/internal/filestore"
+	"wls/internal/metrics"
+	"wls/internal/rmi"
+	"wls/internal/tx"
+	"wls/internal/vclock"
+	"wls/internal/wire"
+)
+
+// Message is one JMS message.
+type Message struct {
+	// ID is globally unique (assigned at send) and is the deduplication
+	// key for store-and-forward redelivery.
+	ID string
+	// Key optionally carries the partitioning key (producer, consumer or
+	// user identity — §3.4).
+	Key string
+	// Body is the payload.
+	Body []byte
+}
+
+func encodeMessage(m Message) []byte {
+	e := wire.NewEncoder(64 + len(m.Body))
+	e.String(m.ID)
+	e.String(m.Key)
+	e.Bytes2(m.Body)
+	return e.Bytes()
+}
+
+func decodeMessage(b []byte) (Message, error) {
+	d := wire.NewDecoder(b)
+	m := Message{ID: d.String(), Key: d.String(), Body: d.Bytes()}
+	return m, d.Err()
+}
+
+// ErrEmpty is returned by Receive on an empty queue.
+var ErrEmpty = errors.New("jms: queue empty")
+
+// Broker hosts the queues of one server. With a filestore, messages are
+// durable; without one they are in-memory (lost with the server, like the
+// in-memory conversations of §4).
+type Broker struct {
+	server string
+	clock  vclock.Clock
+	fs     *filestore.FileStore // nil = non-persistent
+	reg    *metrics.Registry
+
+	mu     sync.Mutex
+	queues map[string]*Queue
+	topics map[string]*Topic
+	seq    uint64
+}
+
+// NewBroker creates a broker. fs may be nil for non-persistent operation.
+func NewBroker(server string, clock vclock.Clock, fs *filestore.FileStore, reg *metrics.Registry) *Broker {
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	return &Broker{server: server, clock: clock, fs: fs, reg: reg, queues: make(map[string]*Queue)}
+}
+
+// Queue returns (creating on first use) a named queue, recovering any
+// persistent backlog from the filestore.
+func (b *Broker) Queue(name string) *Queue {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	q, ok := b.queues[name]
+	if !ok {
+		q = newQueue(b, name)
+		b.queues[name] = q
+	}
+	return q
+}
+
+func (b *Broker) nextMsgID(queue string) string {
+	b.mu.Lock()
+	b.seq++
+	n := b.seq
+	b.mu.Unlock()
+	return fmt.Sprintf("%s/%s/m%d", b.server, queue, n)
+}
+
+// Metrics returns the broker's metric registry.
+func (b *Broker) Metrics() *metrics.Registry { return b.reg }
+
+// Queue is one FIFO destination.
+type Queue struct {
+	b      *Broker
+	name   string
+	region string
+
+	mu       sync.Mutex
+	order    []string           // pending message ids, FIFO
+	pending  map[string]Message // id → message
+	inflight map[string]Message // received but not yet acked
+}
+
+func newQueue(b *Broker, name string) *Queue {
+	q := &Queue{
+		b:        b,
+		name:     name,
+		region:   "jms.queue." + name,
+		pending:  make(map[string]Message),
+		inflight: make(map[string]Message),
+	}
+	if b.fs != nil {
+		// Recover the persistent backlog (including messages that were
+		// in flight at crash: un-acked means un-consumed).
+		for _, id := range b.fs.Keys(q.region) {
+			raw, _ := b.fs.Get(q.region, id)
+			if m, err := decodeMessage(raw); err == nil {
+				q.pending[id] = m
+				q.order = append(q.order, id)
+			}
+		}
+		sort.Strings(q.order) // ids embed the sequence; sort restores FIFO per producer
+	}
+	return q
+}
+
+// Name returns the queue name.
+func (q *Queue) Name() string { return q.name }
+
+// Send enqueues a message immediately (auto-commit). It assigns and
+// returns the message ID when m.ID is empty.
+func (q *Queue) Send(m Message) (string, error) {
+	if m.ID == "" {
+		m.ID = q.b.nextMsgID(q.name)
+	}
+	if q.b.fs != nil {
+		if err := q.b.fs.Put(q.region, m.ID, encodeMessage(m)); err != nil {
+			return "", err
+		}
+	}
+	q.mu.Lock()
+	if _, dup := q.pending[m.ID]; !dup {
+		if _, infl := q.inflight[m.ID]; !infl {
+			q.pending[m.ID] = m
+			q.order = append(q.order, m.ID)
+		}
+	}
+	q.mu.Unlock()
+	q.b.reg.Counter("jms.sent").Inc()
+	return m.ID, nil
+}
+
+// Receive dequeues the oldest message. The message stays in flight until
+// Ack (crash before ack → redelivery after recovery).
+func (q *Queue) Receive() (Message, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.order) > 0 {
+		id := q.order[0]
+		q.order = q.order[1:]
+		m, ok := q.pending[id]
+		if !ok {
+			continue
+		}
+		delete(q.pending, id)
+		q.inflight[id] = m
+		q.b.reg.Counter("jms.received").Inc()
+		return m, nil
+	}
+	return Message{}, ErrEmpty
+}
+
+// Ack finalizes consumption of a received message.
+func (q *Queue) Ack(id string) error {
+	q.mu.Lock()
+	_, ok := q.inflight[id]
+	delete(q.inflight, id)
+	q.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("jms: ack of unknown message %s", id)
+	}
+	if q.b.fs != nil {
+		return q.b.fs.Delete(q.region, id)
+	}
+	return nil
+}
+
+// Nack returns a received message to the queue (front).
+func (q *Queue) Nack(id string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	m, ok := q.inflight[id]
+	if !ok {
+		return
+	}
+	delete(q.inflight, id)
+	q.pending[id] = m
+	q.order = append([]string{id}, q.order...)
+}
+
+// Len reports pending (not in-flight) messages.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.pending)
+}
+
+// ---------------------------------------------------------------------------
+// Transactional send and receive
+
+// txSend is the tx.Resource staging a send until commit.
+type txSend struct {
+	q *Queue
+	m Message
+	// fsess stages the durable write so prepare is a durable vote.
+	fsess *filestore.Session
+}
+
+// SendTx stages a message to be enqueued when txn commits. The durable
+// write participates in the transaction through the broker's filestore, so
+// a transaction that also updates other regions of the same filestore
+// commits in one phase (§5.1's co-location argument).
+func (q *Queue) SendTx(txn *tx.Tx, m Message) (string, error) {
+	if m.ID == "" {
+		m.ID = q.b.nextMsgID(q.name)
+	}
+	r := &txSend{q: q, m: m}
+	if q.b.fs != nil {
+		r.fsess = q.b.fs.Session()
+		r.fsess.Put(q.region, m.ID, encodeMessage(m))
+	}
+	if err := txn.Enlist("jms.send:"+m.ID, r); err != nil {
+		return "", err
+	}
+	return m.ID, nil
+}
+
+// Prepare implements tx.Resource.
+func (r *txSend) Prepare(txID string) error {
+	if r.fsess != nil {
+		return r.fsess.Prepare(txID)
+	}
+	return nil
+}
+
+// Commit implements tx.Resource.
+func (r *txSend) Commit(txID string) error {
+	if r.fsess != nil {
+		if err := r.fsess.Commit(txID); err != nil {
+			return err
+		}
+	}
+	q := r.q
+	q.mu.Lock()
+	if _, dup := q.pending[r.m.ID]; !dup {
+		q.pending[r.m.ID] = r.m
+		q.order = append(q.order, r.m.ID)
+	}
+	q.mu.Unlock()
+	q.b.reg.Counter("jms.sent").Inc()
+	return nil
+}
+
+// Rollback implements tx.Resource.
+func (r *txSend) Rollback(txID string) error {
+	if r.fsess != nil {
+		return r.fsess.Rollback(txID)
+	}
+	return nil
+}
+
+// txReceive acks on commit, returns the message to the queue on rollback.
+type txReceive struct {
+	q *Queue
+	m Message
+}
+
+// ReceiveTx dequeues a message whose consumption is decided by txn: commit
+// acks it, rollback returns it to the queue.
+func (q *Queue) ReceiveTx(txn *tx.Tx) (Message, error) {
+	m, err := q.Receive()
+	if err != nil {
+		return Message{}, err
+	}
+	r := &txReceive{q: q, m: m}
+	if err := txn.Enlist("jms.recv:"+m.ID, r); err != nil {
+		q.Nack(m.ID)
+		return Message{}, err
+	}
+	return m, nil
+}
+
+// Prepare implements tx.Resource.
+func (r *txReceive) Prepare(string) error { return nil }
+
+// Commit implements tx.Resource.
+func (r *txReceive) Commit(string) error { return r.q.Ack(r.m.ID) }
+
+// Rollback implements tx.Resource.
+func (r *txReceive) Rollback(string) error {
+	r.q.Nack(r.m.ID)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Remote delivery surface
+
+// ServiceName is the RMI service brokers expose for remote producers and
+// store-and-forward agents.
+const ServiceName = "wls.jms"
+
+// RMIService exposes the broker. The "deliver" method is the SAF receiving
+// end: it deduplicates by message ID (persistently when a filestore is
+// attached), making redelivery after lost ACKs harmless.
+func (b *Broker) RMIService() *rmi.Service {
+	const dedupRegion = "jms.dedup"
+	seen := make(map[string]bool)
+	var seenMu sync.Mutex
+	if b.fs != nil {
+		for _, id := range b.fs.Keys(dedupRegion) {
+			seen[id] = true
+		}
+	}
+	return &rmi.Service{
+		Name: ServiceName,
+		Methods: map[string]rmi.MethodSpec{
+			// send: plain remote produce (client/server messaging).
+			"send": {Handler: func(ctx context.Context, c *rmi.Call) ([]byte, error) {
+				d := wire.NewDecoder(c.Args)
+				queue := d.String()
+				m, err := decodeMessageTail(d)
+				if err != nil {
+					return nil, err
+				}
+				id, err := b.Queue(queue).Send(m)
+				if err != nil {
+					return nil, err
+				}
+				e := wire.NewEncoder(32)
+				e.String(id)
+				return e.Bytes(), nil
+			}},
+			// deliver: exactly-once SAF delivery (idempotent: the ACK is
+			// the RPC response; retries hit the dedup table).
+			"deliver": {Idempotent: true, Handler: func(ctx context.Context, c *rmi.Call) ([]byte, error) {
+				d := wire.NewDecoder(c.Args)
+				queue := d.String()
+				m, err := decodeMessageTail(d)
+				if err != nil {
+					return nil, err
+				}
+				seenMu.Lock()
+				dup := seen[m.ID]
+				if !dup {
+					seen[m.ID] = true
+				}
+				seenMu.Unlock()
+				if dup {
+					b.reg.Counter("jms.dedup_drops").Inc()
+					return nil, nil
+				}
+				if b.fs != nil {
+					_ = b.fs.Put(dedupRegion, m.ID, nil)
+				}
+				if _, err := b.Queue(queue).Send(m); err != nil {
+					return nil, err
+				}
+				return nil, nil
+			}},
+			// receive: remote consume (one message, auto-ack).
+			"receive": {Handler: func(ctx context.Context, c *rmi.Call) ([]byte, error) {
+				d := wire.NewDecoder(c.Args)
+				queue := d.String()
+				if err := d.Err(); err != nil {
+					return nil, err
+				}
+				m, err := b.Queue(queue).Receive()
+				if err != nil {
+					return nil, &rmi.AppError{Msg: err.Error()}
+				}
+				_ = b.Queue(queue).Ack(m.ID)
+				return encodeMessage(m), nil
+			}},
+		},
+	}
+}
+
+func decodeMessageTail(d *wire.Decoder) (Message, error) {
+	m := Message{ID: d.String(), Key: d.String(), Body: d.Bytes()}
+	return m, d.Err()
+}
+
+// SendRemote produces a message onto a queue hosted at addr.
+func SendRemote(ctx context.Context, node rmi.Node, addr, queue string, m Message) (string, error) {
+	e := wire.NewEncoder(64 + len(m.Body))
+	e.String(queue)
+	e.String(m.ID)
+	e.String(m.Key)
+	e.Bytes2(m.Body)
+	stub := rmi.NewStub(ServiceName, node, rmi.StaticView(addr))
+	res, err := stub.Invoke(ctx, "send", e.Bytes())
+	if err != nil {
+		return "", err
+	}
+	d := wire.NewDecoder(res.Body)
+	return d.String(), d.Err()
+}
+
+// ReceiveRemote consumes one message from a queue hosted at addr.
+func ReceiveRemote(ctx context.Context, node rmi.Node, addr, queue string) (Message, error) {
+	e := wire.NewEncoder(32)
+	e.String(queue)
+	stub := rmi.NewStub(ServiceName, node, rmi.StaticView(addr))
+	res, err := stub.Invoke(ctx, "receive", e.Bytes())
+	if err != nil {
+		if rmi.IsAppError(err) && strings.Contains(err.Error(), "queue empty") {
+			return Message{}, ErrEmpty
+		}
+		return Message{}, err
+	}
+	return decodeMessage(res.Body)
+}
+
+// ---------------------------------------------------------------------------
+// Store-and-forward (§4)
+
+// Forwarder drains a local buffer queue to a remote destination,
+// "buffering work to handle temporarily disconnected or overloaded
+// systems". Delivery uses the deliver RPC: the response is the ACK; no
+// response → retry with backoff; the receiver deduplicates.
+type Forwarder struct {
+	local      *Queue
+	node       rmi.Node
+	remoteAddr string
+	remoteQ    string
+	clock      vclock.Clock
+	interval   time.Duration
+	maxBackoff time.Duration
+
+	mu      sync.Mutex
+	timer   vclock.Timer
+	backoff time.Duration
+	stopped bool
+}
+
+// NewForwarder creates a SAF agent draining local into remoteQ at
+// remoteAddr every interval (with exponential backoff up to 16x while the
+// remote is down).
+func NewForwarder(local *Queue, node rmi.Node, remoteAddr, remoteQ string, clock vclock.Clock, interval time.Duration) *Forwarder {
+	return &Forwarder{
+		local:      local,
+		node:       node,
+		remoteAddr: remoteAddr,
+		remoteQ:    remoteQ,
+		clock:      clock,
+		interval:   interval,
+		maxBackoff: interval * 16,
+		backoff:    interval,
+	}
+}
+
+// Start begins draining.
+func (f *Forwarder) Start() {
+	f.mu.Lock()
+	f.stopped = false
+	f.mu.Unlock()
+	f.schedule(f.interval)
+}
+
+// Stop halts the agent (buffered messages stay in the local queue).
+func (f *Forwarder) Stop() {
+	f.mu.Lock()
+	f.stopped = true
+	t := f.timer
+	f.timer = nil
+	f.mu.Unlock()
+	if t != nil {
+		t.Stop()
+	}
+}
+
+func (f *Forwarder) schedule(d time.Duration) {
+	f.mu.Lock()
+	if f.stopped {
+		f.mu.Unlock()
+		return
+	}
+	f.timer = f.clock.AfterFunc(d, func() { go f.drain() })
+	f.mu.Unlock()
+}
+
+// drain forwards as many messages as possible, then re-schedules.
+func (f *Forwarder) drain() {
+	for {
+		m, err := f.local.Receive()
+		if err != nil {
+			f.mu.Lock()
+			f.backoff = f.interval
+			f.mu.Unlock()
+			f.schedule(f.interval)
+			return
+		}
+		e := wire.NewEncoder(64 + len(m.Body))
+		e.String(f.remoteQ)
+		e.String(m.ID)
+		e.String(m.Key)
+		e.Bytes2(m.Body)
+		stub := rmi.NewStub(ServiceName, f.node, rmi.StaticView(f.remoteAddr))
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		_, err = stub.Invoke(ctx, "deliver", e.Bytes())
+		cancel()
+		if err != nil {
+			// No ACK: message back to the buffer, back off, retry later.
+			f.local.Nack(m.ID)
+			f.mu.Lock()
+			f.backoff *= 2
+			if f.backoff > f.maxBackoff {
+				f.backoff = f.maxBackoff
+			}
+			next := f.backoff
+			f.mu.Unlock()
+			f.local.b.reg.Counter("jms.saf_retries").Inc()
+			f.schedule(next)
+			return
+		}
+		_ = f.local.Ack(m.ID)
+		f.local.b.reg.Counter("jms.saf_forwarded").Inc()
+	}
+}

@@ -1,0 +1,273 @@
+// Package metrics provides the lightweight counters and latency histograms
+// used by the benchmark harness and by the server's monitoring subsystem
+// (the paper's §5.1 notes that monitoring/auditing data is a first-class
+// category of middle-tier data).
+//
+// The histogram uses fixed log-scaled buckets so recording is a single
+// atomic increment; percentile queries interpolate within a bucket. That is
+// accurate enough for the "shape" comparisons the experiment harness makes
+// and keeps the hot path allocation-free.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous value that can move both ways.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds n (n may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+// numBuckets covers 1ns .. ~17.6s with ~4.3% relative error (16 buckets per
+// power of two, 34 powers).
+const (
+	bucketsPerOctave = 16
+	numOctaves       = 34
+	numBuckets       = bucketsPerOctave*numOctaves + 1
+)
+
+// Histogram records durations (or any non-negative int64 values) into
+// log-scaled buckets. The zero value is ready to use and safe for
+// concurrent recording.
+type Histogram struct {
+	buckets [numBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	min     atomic.Int64 // stored as -min to allow CAS from zero; see Record
+	hasMin  atomic.Bool
+	mu      sync.Mutex // serializes min updates only
+}
+
+// bucketIndex maps a value to its bucket.
+func bucketIndex(v int64) int {
+	if v < 1 {
+		return 0
+	}
+	lg := math.Log2(float64(v))
+	idx := int(lg * bucketsPerOctave)
+	if idx >= numBuckets {
+		idx = numBuckets - 1
+	}
+	return idx
+}
+
+// bucketLower returns the lower bound of bucket i.
+func bucketLower(i int) int64 {
+	return int64(math.Pow(2, float64(i)/bucketsPerOctave))
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur {
+			break
+		}
+		if h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	if !h.hasMin.Load() || v < h.min.Load() {
+		h.mu.Lock()
+		if !h.hasMin.Load() || v < h.min.Load() {
+			h.min.Store(v)
+			h.hasMin.Store(true)
+		}
+		h.mu.Unlock()
+	}
+}
+
+// RecordDuration records d in nanoseconds.
+func (h *Histogram) RecordDuration(d time.Duration) { h.Record(int64(d)) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Mean returns the arithmetic mean, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Max returns the largest observation, or 0 when empty.
+func (h *Histogram) Max() int64 { return h.max.Load() }
+
+// Min returns the smallest observation, or 0 when empty.
+func (h *Histogram) Min() int64 {
+	if !h.hasMin.Load() {
+		return 0
+	}
+	return h.min.Load()
+}
+
+// Quantile returns an estimate of the q-quantile (0 <= q <= 1).
+func (h *Histogram) Quantile(q float64) int64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(n-1))
+	var seen int64
+	for i := 0; i < numBuckets; i++ {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		if seen+c > rank {
+			// Interpolate within the bucket.
+			lo := bucketLower(i)
+			hi := bucketLower(i + 1)
+			if hi <= lo {
+				return lo
+			}
+			frac := float64(rank-seen) / float64(c)
+			return lo + int64(frac*float64(hi-lo))
+		}
+		seen += c
+	}
+	return h.max.Load()
+}
+
+// P50, P95, P99 are convenience accessors.
+func (h *Histogram) P50() int64 { return h.Quantile(0.50) }
+func (h *Histogram) P95() int64 { return h.Quantile(0.95) }
+func (h *Histogram) P99() int64 { return h.Quantile(0.99) }
+
+// MeanDuration returns the mean as a time.Duration.
+func (h *Histogram) MeanDuration() time.Duration { return time.Duration(h.Mean()) }
+
+// String summarizes the histogram for harness output.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		h.Count(),
+		time.Duration(h.Mean()).Round(time.Microsecond),
+		time.Duration(h.P50()).Round(time.Microsecond),
+		time.Duration(h.P95()).Round(time.Microsecond),
+		time.Duration(h.P99()).Round(time.Microsecond),
+		time.Duration(h.Max()).Round(time.Microsecond))
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+// Registry is a named collection of metrics, one per server, that the admin
+// tooling can snapshot.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot returns a sorted, human-readable dump of every metric.
+func (r *Registry) Snapshot() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []string
+	for name, c := range r.counters {
+		out = append(out, fmt.Sprintf("counter %s = %d", name, c.Value()))
+	}
+	for name, g := range r.gauges {
+		out = append(out, fmt.Sprintf("gauge %s = %d", name, g.Value()))
+	}
+	for name, h := range r.histograms {
+		out = append(out, fmt.Sprintf("hist %s: %s", name, h))
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,98 @@
+package naming
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"wls/internal/gossip"
+	"wls/internal/vclock"
+)
+
+func three() (*gossip.InMemory, []*Context) {
+	bus := gossip.NewInMemory(vclock.NewVirtualAtZero(), 1)
+	var cs []*Context
+	for i := 1; i <= 3; i++ {
+		cs = append(cs, New("app", fmt.Sprintf("s%d", i), bus))
+	}
+	return bus, cs
+}
+
+func TestBindReplicates(t *testing.T) {
+	_, cs := three()
+	cs[0].Bind("ejb/OrderHome", []byte("server-1"))
+	for i, c := range cs {
+		v, ok := c.Lookup("ejb/OrderHome")
+		if !ok || string(v) != "server-1" {
+			t.Fatalf("context %d: %q ok=%v", i, v, ok)
+		}
+	}
+}
+
+func TestUnbindReplicates(t *testing.T) {
+	_, cs := three()
+	cs[0].Bind("x", []byte("1"))
+	cs[1].Unbind("x")
+	for i, c := range cs {
+		if _, ok := c.Lookup("x"); ok {
+			t.Fatalf("context %d still resolves unbound name", i)
+		}
+	}
+}
+
+func TestRebindLastWriterWins(t *testing.T) {
+	_, cs := three()
+	cs[0].Bind("k", []byte("old"))
+	cs[1].Bind("k", []byte("new"))
+	for i, c := range cs {
+		v, _ := c.Lookup("k")
+		if string(v) != "new" {
+			t.Fatalf("context %d: %q", i, v)
+		}
+	}
+}
+
+func TestListPrefix(t *testing.T) {
+	_, cs := three()
+	cs[0].Bind("ejb/A", []byte("1"))
+	cs[0].Bind("ejb/B", []byte("2"))
+	cs[0].Bind("jms/Q", []byte("3"))
+	got := cs[2].List("ejb/")
+	if !reflect.DeepEqual(got, []string{"ejb/A", "ejb/B"}) {
+		t.Fatalf("list = %v", got)
+	}
+}
+
+func TestLateJoinerConvergesViaAnnounce(t *testing.T) {
+	bus := gossip.NewInMemory(vclock.NewVirtualAtZero(), 1)
+	c1 := New("app", "s1", bus)
+	c1.Bind("k", []byte("v"))
+	late := New("app", "s9", bus)
+	if _, ok := late.Lookup("k"); ok {
+		t.Fatal("late joiner should not know k yet")
+	}
+	c1.Announce()
+	if v, ok := late.Lookup("k"); !ok || string(v) != "v" {
+		t.Fatal("announce did not converge the late joiner")
+	}
+}
+
+func TestClosedContextStopsReceiving(t *testing.T) {
+	_, cs := three()
+	cs[2].Close()
+	cs[0].Bind("k", []byte("v"))
+	if _, ok := cs[2].Lookup("k"); ok {
+		t.Fatal("closed context received binding")
+	}
+}
+
+func TestLookupReturnsCopy(t *testing.T) {
+	_, cs := three()
+	cs[0].Bind("k", []byte("abc"))
+	v, _ := cs[0].Lookup("k")
+	v[0] = 'X'
+	v2, _ := cs[0].Lookup("k")
+	if string(v2) != "abc" {
+		t.Fatal("Lookup aliases stored value")
+	}
+}

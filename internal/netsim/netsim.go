@@ -1,0 +1,409 @@
+// Package netsim provides an in-process network fabric with controllable
+// failure modes. All cluster protocols in this repository are written
+// against the small Node interface implemented both here and by the real
+// TCP transport (internal/transport), so every distributed scenario the
+// paper discusses can be reproduced deterministically:
+//
+//   - server crash              → Network.Stop / Endpoint.Close
+//   - frozen server (§3.4)      → Network.Freeze — the endpoint stops
+//     processing traffic but is NOT dead, the classic split-brain setup
+//   - network partition         → Network.SetPartitioned
+//   - router-level fencing      → Network.Fence — the platform-dependent
+//     isolation step of §3.4; a fenced server's outbound messages are
+//     dropped by the fabric itself
+//   - lossy multicast (§3.1)    → per-link drop rate for one-way frames
+//   - LAN/WAN latency           → per-link latency, applied on the fabric's
+//     virtual clock
+//
+// Handlers run on their own goroutines, like a server's execute threads.
+package netsim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"wls/internal/vclock"
+	"wls/internal/wire"
+)
+
+// Handler is the shared frame-handler type; see wire.Handler.
+type Handler = wire.Handler
+
+// Errors returned by fabric operations.
+var (
+	ErrUnreachable = errors.New("netsim: destination unreachable")
+	ErrClosed      = errors.New("netsim: endpoint closed")
+	ErrFenced      = errors.New("netsim: endpoint fenced")
+)
+
+// Network is the fabric connecting simulated endpoints.
+type Network struct {
+	clock vclock.Clock
+	rng   *rand.Rand
+
+	mu          sync.Mutex
+	endpoints   map[string]*Endpoint
+	partitioned map[linkKey]bool
+	latency     map[linkKey]time.Duration
+	dropRate    map[linkKey]float64
+	fenced      map[string]bool
+	defLatency  time.Duration
+
+	// Stats.
+	sent    int64
+	dropped int64
+}
+
+type linkKey struct{ a, b string }
+
+func link(a, b string) linkKey {
+	if a > b {
+		a, b = b, a
+	}
+	return linkKey{a, b}
+}
+
+// New returns an empty fabric driven by clock. seed makes drop decisions
+// reproducible.
+func New(clock vclock.Clock, seed int64) *Network {
+	return &Network{
+		clock:       clock,
+		rng:         rand.New(rand.NewSource(seed)),
+		endpoints:   make(map[string]*Endpoint),
+		partitioned: make(map[linkKey]bool),
+		latency:     make(map[linkKey]time.Duration),
+		dropRate:    make(map[linkKey]float64),
+		fenced:      make(map[string]bool),
+	}
+}
+
+// Clock returns the clock driving the fabric.
+func (n *Network) Clock() vclock.Clock { return n.clock }
+
+// Endpoint attaches a new endpoint with the given address. It panics if the
+// address is already taken (configuration error).
+func (n *Network) Endpoint(addr string) *Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.endpoints[addr]; ok {
+		panic(fmt.Sprintf("netsim: duplicate endpoint %q", addr))
+	}
+	ep := &Endpoint{net: n, addr: addr}
+	n.endpoints[addr] = ep
+	return ep
+}
+
+// SetDefaultLatency sets the latency applied to links with no explicit
+// setting.
+func (n *Network) SetDefaultLatency(d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.defLatency = d
+}
+
+// SetLatency sets the one-way latency between a and b.
+func (n *Network) SetLatency(a, b string, d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.latency[link(a, b)] = d
+}
+
+// SetDropRate sets the probability (0..1) that a one-way frame between a and
+// b is silently lost. Request/response traffic is never dropped by rate —
+// it models TCP — only by partitions, fencing, and crashes.
+func (n *Network) SetDropRate(a, b string, p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.dropRate[link(a, b)] = p
+}
+
+// SetPartitioned splits or heals the link between a and b.
+func (n *Network) SetPartitioned(a, b string, broken bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partitioned[link(a, b)] = broken
+}
+
+// Isolate partitions addr from every other current endpoint.
+func (n *Network) Isolate(addr string, broken bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for other := range n.endpoints {
+		if other != addr {
+			n.partitioned[link(addr, other)] = broken
+		}
+	}
+}
+
+// Fence marks addr as fenced: the fabric drops everything it sends and
+// everything sent to it. This models the SNMP router-level fencing of §3.4.
+func (n *Network) Fence(addr string, fenced bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.fenced[addr] = fenced
+}
+
+// Freeze pauses or resumes an endpoint's handler. A frozen endpoint is not
+// dead: frames addressed to it block until it thaws (or fail when the
+// sender's context expires), exactly the "target server temporarily
+// freezes" scenario of §3.4.
+func (n *Network) Freeze(addr string, frozen bool) {
+	n.mu.Lock()
+	ep := n.endpoints[addr]
+	n.mu.Unlock()
+	if ep != nil {
+		ep.freeze(frozen)
+	}
+}
+
+// Stop closes the endpoint with the given address (crash).
+func (n *Network) Stop(addr string) {
+	n.mu.Lock()
+	ep := n.endpoints[addr]
+	n.mu.Unlock()
+	if ep != nil {
+		ep.Close()
+	}
+}
+
+// Restart re-opens a previously closed endpoint, returning it to service
+// with no handler installed (the server must re-register).
+func (n *Network) Restart(addr string) *Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ep, ok := n.endpoints[addr]; ok {
+		ep.mu.Lock()
+		ep.closed = false
+		ep.handler = nil
+		ep.mu.Unlock()
+		return ep
+	}
+	ep := &Endpoint{net: n, addr: addr}
+	n.endpoints[addr] = ep
+	return ep
+}
+
+// Stats reports (sent, dropped) frame counts.
+func (n *Network) Stats() (sent, dropped int64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.sent, n.dropped
+}
+
+// route decides whether a frame from src to dst may pass and with what
+// latency. It returns the destination endpoint, the latency, and whether
+// the frame is dropped.
+func (n *Network) route(src, dst string, oneWay bool) (*Endpoint, time.Duration, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.fenced[src] || n.fenced[dst] {
+		return nil, 0, ErrFenced
+	}
+	if n.partitioned[link(src, dst)] {
+		return nil, 0, ErrUnreachable
+	}
+	ep, ok := n.endpoints[dst]
+	if !ok {
+		return nil, 0, ErrUnreachable
+	}
+	ep.mu.Lock()
+	closed := ep.closed
+	ep.mu.Unlock()
+	if closed {
+		return nil, 0, ErrUnreachable
+	}
+	n.sent++
+	if oneWay {
+		if p := n.dropRate[link(src, dst)]; p > 0 && n.rng.Float64() < p {
+			n.dropped++
+			return nil, 0, nil // silently dropped: ep==nil, no error
+		}
+	}
+	lat, ok := n.latency[link(src, dst)]
+	if !ok {
+		lat = n.defLatency
+	}
+	return ep, lat, nil
+}
+
+// Endpoint is a simulated server address on the fabric.
+type Endpoint struct {
+	net  *Network
+	addr string
+
+	mu      sync.Mutex
+	handler Handler
+	closed  bool
+	frozen  bool
+	thaw    chan struct{}
+}
+
+// Addr returns the endpoint's address.
+func (e *Endpoint) Addr() string { return e.addr }
+
+// SetHandler installs the inbound frame handler.
+func (e *Endpoint) SetHandler(h Handler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.handler = h
+}
+
+// Close marks the endpoint crashed.
+func (e *Endpoint) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.closed = true
+	if e.frozen {
+		e.frozen = false
+		if e.thaw != nil {
+			close(e.thaw)
+			e.thaw = nil
+		}
+	}
+	return nil
+}
+
+// Closed reports whether the endpoint has crashed.
+func (e *Endpoint) Closed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.closed
+}
+
+func (e *Endpoint) freeze(frozen bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.frozen == frozen {
+		return
+	}
+	e.frozen = frozen
+	if frozen {
+		e.thaw = make(chan struct{})
+	} else if e.thaw != nil {
+		close(e.thaw)
+		e.thaw = nil
+	}
+}
+
+// waitThaw blocks while the endpoint is frozen, or until ctx expires.
+func (e *Endpoint) waitThaw(ctx context.Context) error {
+	for {
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			return ErrClosed
+		}
+		if !e.frozen {
+			e.mu.Unlock()
+			return nil
+		}
+		ch := e.thaw
+		e.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// deliver runs the handler for an inbound frame after the link latency.
+func (e *Endpoint) deliver(ctx context.Context, from string, f wire.Frame, lat time.Duration, reply chan<- *wire.Frame) {
+	run := func() {
+		go func() {
+			if err := e.waitThaw(ctx); err != nil {
+				if reply != nil {
+					select {
+					case reply <- nil:
+					default:
+					}
+				}
+				return
+			}
+			e.mu.Lock()
+			h := e.handler
+			closed := e.closed
+			e.mu.Unlock()
+			var resp *wire.Frame
+			if h != nil && !closed {
+				resp = h(from, f)
+			}
+			if reply != nil {
+				select {
+				case reply <- resp:
+				default:
+				}
+			}
+		}()
+	}
+	if lat > 0 {
+		e.net.clock.AfterFunc(lat, run)
+	} else {
+		run()
+	}
+}
+
+// Send transmits a one-way frame to the destination address. Lost frames
+// (drop rate) return nil error, like UDP. A frozen sender blocks until it
+// thaws: a frozen process executes nothing, including its own sends.
+func (e *Endpoint) Send(ctx context.Context, to string, f wire.Frame) error {
+	if e.Closed() {
+		return ErrClosed
+	}
+	if err := e.waitThaw(ctx); err != nil {
+		return err
+	}
+	dst, lat, err := e.net.route(e.addr, to, true)
+	if err != nil {
+		return err
+	}
+	if dst == nil {
+		return nil // dropped
+	}
+	dst.deliver(ctx, e.addr, f, lat, nil)
+	return nil
+}
+
+// Call performs a request/response exchange. The response frame's kind is
+// whatever the remote handler produced (normally KindResponse). A frozen
+// caller blocks until it thaws, like a frozen process would.
+func (e *Endpoint) Call(ctx context.Context, to string, f wire.Frame) (wire.Frame, error) {
+	if e.Closed() {
+		return wire.Frame{}, ErrClosed
+	}
+	if err := e.waitThaw(ctx); err != nil {
+		return wire.Frame{}, err
+	}
+	dst, lat, err := e.net.route(e.addr, to, false)
+	if err != nil {
+		return wire.Frame{}, err
+	}
+	reply := make(chan *wire.Frame, 1)
+	dst.deliver(ctx, e.addr, f, lat, reply)
+	select {
+	case resp := <-reply:
+		if resp == nil {
+			return wire.Frame{}, ErrUnreachable
+		}
+		// Response also pays link latency; check the reverse path is alive.
+		if _, _, err := e.net.route(to, e.addr, false); err != nil {
+			return wire.Frame{}, err
+		}
+		if lat > 0 {
+			done := make(chan struct{})
+			e.net.clock.AfterFunc(lat, func() { close(done) })
+			select {
+			case <-done:
+			case <-ctx.Done():
+				return wire.Frame{}, ctx.Err()
+			}
+		}
+		return *resp, nil
+	case <-ctx.Done():
+		return wire.Frame{}, ctx.Err()
+	}
+}

@@ -1,0 +1,286 @@
+package netsim
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wls/internal/vclock"
+	"wls/internal/wire"
+)
+
+func echoHandler(from string, f wire.Frame) *wire.Frame {
+	return &wire.Frame{Kind: wire.KindResponse, Corr: f.Corr, Body: f.Body}
+}
+
+func newPair(t *testing.T) (*Network, *Endpoint, *Endpoint) {
+	t.Helper()
+	n := New(vclock.System, 1)
+	a := n.Endpoint("a:1")
+	b := n.Endpoint("b:1")
+	b.SetHandler(echoHandler)
+	return n, a, b
+}
+
+func TestCallEcho(t *testing.T) {
+	_, a, _ := newPair(t)
+	resp, err := a.Call(context.Background(), "b:1", wire.Frame{Kind: wire.KindRequest, Corr: 9, Body: []byte("hi")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Corr != 9 || string(resp.Body) != "hi" {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestSendOneWay(t *testing.T) {
+	n := New(vclock.System, 1)
+	a := n.Endpoint("a")
+	b := n.Endpoint("b")
+	got := make(chan string, 1)
+	b.SetHandler(func(from string, f wire.Frame) *wire.Frame {
+		got <- from + ":" + string(f.Body)
+		return nil
+	})
+	if err := a.Send(context.Background(), "b", wire.Frame{Kind: wire.KindOneWay, Body: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case s := <-got:
+		if s != "a:x" {
+			t.Fatalf("got %q", s)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("one-way frame not delivered")
+	}
+}
+
+func TestUnknownDestination(t *testing.T) {
+	_, a, _ := newPair(t)
+	if _, err := a.Call(context.Background(), "nowhere", wire.Frame{Kind: wire.KindRequest}); err != ErrUnreachable {
+		t.Fatalf("want ErrUnreachable, got %v", err)
+	}
+}
+
+func TestCrashedDestination(t *testing.T) {
+	n, a, _ := newPair(t)
+	n.Stop("b:1")
+	if _, err := a.Call(context.Background(), "b:1", wire.Frame{Kind: wire.KindRequest}); err != ErrUnreachable {
+		t.Fatalf("want ErrUnreachable, got %v", err)
+	}
+	if err := a.Send(context.Background(), "b:1", wire.Frame{Kind: wire.KindOneWay}); err != ErrUnreachable {
+		t.Fatalf("send: want ErrUnreachable, got %v", err)
+	}
+}
+
+func TestClosedSender(t *testing.T) {
+	_, a, _ := newPair(t)
+	a.Close()
+	if _, err := a.Call(context.Background(), "b:1", wire.Frame{Kind: wire.KindRequest}); err != ErrClosed {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+}
+
+func TestPartition(t *testing.T) {
+	n, a, _ := newPair(t)
+	n.SetPartitioned("a:1", "b:1", true)
+	if _, err := a.Call(context.Background(), "b:1", wire.Frame{Kind: wire.KindRequest}); err != ErrUnreachable {
+		t.Fatalf("want ErrUnreachable, got %v", err)
+	}
+	n.SetPartitioned("a:1", "b:1", false)
+	if _, err := a.Call(context.Background(), "b:1", wire.Frame{Kind: wire.KindRequest}); err != nil {
+		t.Fatalf("healed partition should pass: %v", err)
+	}
+}
+
+func TestIsolate(t *testing.T) {
+	n := New(vclock.System, 1)
+	a := n.Endpoint("a")
+	b := n.Endpoint("b")
+	c := n.Endpoint("c")
+	for _, ep := range []*Endpoint{b, c} {
+		ep.SetHandler(echoHandler)
+	}
+	n.Isolate("a", true)
+	if _, err := a.Call(context.Background(), "b", wire.Frame{Kind: wire.KindRequest}); err == nil {
+		t.Fatal("isolated endpoint should not reach b")
+	}
+	// b and c can still talk.
+	b.SetHandler(echoHandler)
+	if _, err := c.Call(context.Background(), "b", wire.Frame{Kind: wire.KindRequest}); err != nil {
+		t.Fatalf("b<->c should be fine: %v", err)
+	}
+	n.Isolate("a", false)
+	if _, err := a.Call(context.Background(), "b", wire.Frame{Kind: wire.KindRequest}); err != nil {
+		t.Fatalf("after heal: %v", err)
+	}
+}
+
+func TestFenceDropsBothDirections(t *testing.T) {
+	n, a, b := newPair(t)
+	a.SetHandler(echoHandler)
+	n.Fence("b:1", true)
+	if _, err := a.Call(context.Background(), "b:1", wire.Frame{Kind: wire.KindRequest}); err != ErrFenced {
+		t.Fatalf("to fenced: want ErrFenced, got %v", err)
+	}
+	if _, err := b.Call(context.Background(), "a:1", wire.Frame{Kind: wire.KindRequest}); err != ErrFenced {
+		t.Fatalf("from fenced: want ErrFenced, got %v", err)
+	}
+	n.Fence("b:1", false)
+	if _, err := a.Call(context.Background(), "b:1", wire.Frame{Kind: wire.KindRequest}); err != nil {
+		t.Fatalf("after unfence: %v", err)
+	}
+}
+
+func TestFreezeBlocksThenThaws(t *testing.T) {
+	n, a, _ := newPair(t)
+	n.Freeze("b:1", true)
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.Call(context.Background(), "b:1", wire.Frame{Kind: wire.KindRequest, Body: []byte("z")})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("call completed while frozen: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	n.Freeze("b:1", false)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("after thaw: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("call did not complete after thaw")
+	}
+}
+
+func TestFreezeWithContextTimeout(t *testing.T) {
+	n, a, _ := newPair(t)
+	n.Freeze("b:1", true)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := a.Call(ctx, "b:1", wire.Frame{Kind: wire.KindRequest}); err != context.DeadlineExceeded {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+}
+
+func TestDropRateLosesOneWays(t *testing.T) {
+	n := New(vclock.System, 42)
+	a := n.Endpoint("a")
+	b := n.Endpoint("b")
+	var got atomic.Int64
+	b.SetHandler(func(string, wire.Frame) *wire.Frame { got.Add(1); return nil })
+	n.SetDropRate("a", "b", 0.5)
+	for i := 0; i < 200; i++ {
+		if err := a.Send(context.Background(), "b", wire.Frame{Kind: wire.KindOneWay}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		g := got.Load()
+		if g > 50 && g < 150 {
+			_, dropped := n.Stats()
+			if dropped == 0 {
+				t.Fatal("expected dropped frames counted")
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("delivered %d of 200 with 50%% drop; want 50<n<150", got.Load())
+}
+
+func TestDropRateNeverDropsCalls(t *testing.T) {
+	n := New(vclock.System, 7)
+	a := n.Endpoint("a")
+	b := n.Endpoint("b")
+	b.SetHandler(echoHandler)
+	n.SetDropRate("a", "b", 0.9)
+	for i := 0; i < 50; i++ {
+		if _, err := a.Call(context.Background(), "b", wire.Frame{Kind: wire.KindRequest}); err != nil {
+			t.Fatalf("call %d dropped: %v", i, err)
+		}
+	}
+}
+
+func TestLatencyOnVirtualClock(t *testing.T) {
+	clk := vclock.NewVirtualAtZero()
+	n := New(clk, 1)
+	a := n.Endpoint("a")
+	b := n.Endpoint("b")
+	b.SetHandler(echoHandler)
+	n.SetLatency("a", "b", 10*time.Millisecond)
+	done := make(chan struct{})
+	go func() {
+		if _, err := a.Call(context.Background(), "b", wire.Frame{Kind: wire.KindRequest}); err != nil {
+			t.Error(err)
+		}
+		close(done)
+	}()
+	// Without advancing the clock the call must stay pending.
+	select {
+	case <-done:
+		t.Fatal("call completed without clock advance")
+	case <-time.After(30 * time.Millisecond):
+	}
+	// Advance enough for request + response latency. Advance repeatedly:
+	// the response timer is only scheduled after the handler runs.
+	for i := 0; i < 10; i++ {
+		clk.Advance(10 * time.Millisecond)
+		select {
+		case <-done:
+			return
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	t.Fatal("call never completed under virtual latency")
+}
+
+func TestRestartAfterCrash(t *testing.T) {
+	n, a, _ := newPair(t)
+	n.Stop("b:1")
+	ep := n.Restart("b:1")
+	ep.SetHandler(echoHandler)
+	if _, err := a.Call(context.Background(), "b:1", wire.Frame{Kind: wire.KindRequest}); err != nil {
+		t.Fatalf("after restart: %v", err)
+	}
+}
+
+func TestDuplicateEndpointPanics(t *testing.T) {
+	n := New(vclock.System, 1)
+	n.Endpoint("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate endpoint should panic")
+		}
+	}()
+	n.Endpoint("x")
+}
+
+func TestHandlerlessEndpointAnswersNil(t *testing.T) {
+	n := New(vclock.System, 1)
+	a := n.Endpoint("a")
+	n.Endpoint("b") // no handler
+	if _, err := a.Call(context.Background(), "b", wire.Frame{Kind: wire.KindRequest}); err != ErrUnreachable {
+		t.Fatalf("want ErrUnreachable for handlerless endpoint, got %v", err)
+	}
+}
+
+func TestStatsCountSent(t *testing.T) {
+	_, a, _ := newPair(t)
+	for i := 0; i < 5; i++ {
+		if _, err := a.Call(context.Background(), "b:1", wire.Frame{Kind: wire.KindRequest}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sent, _ := n2(a)
+	if sent < 5 {
+		t.Fatalf("sent = %d, want >= 5", sent)
+	}
+}
+
+func n2(e *Endpoint) (int64, int64) { return e.net.Stats() }

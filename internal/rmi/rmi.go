@@ -1,0 +1,284 @@
+// Package rmi implements the cluster-aware remote method invocation layer
+// of §2.2/§3.1: "The WebLogic RMI stub for a service obtains information
+// about which members of the cluster are actively offering the service and
+// uses it to make load balancing and failover decisions. The algorithm for
+// obtaining this information and making these decisions is pluggable."
+//
+// A Registry runs on every server: it holds the local service
+// implementations, dispatches inbound request frames to them, and
+// advertises deployed services through cluster membership heartbeats. A
+// Stub is the client side: it consults a View (live membership for internal
+// clients, a periodically refreshed cached copy for external clients),
+// picks a target with a pluggable Policy, and fails over according to the
+// paper's rule — an operation is retried only when it is guaranteed to have
+// had no side effects (the request never reached a server, the service was
+// not deployed there) or when the method is declared idempotent.
+package rmi
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"wls/internal/cluster"
+	"wls/internal/metrics"
+	"wls/internal/wire"
+)
+
+// Node is the transport endpoint the registry and stubs ride on. Both
+// netsim.Endpoint and transport.Transport satisfy it.
+type Node interface {
+	Addr() string
+	Send(ctx context.Context, to string, f wire.Frame) error
+	Call(ctx context.Context, to string, f wire.Frame) (wire.Frame, error)
+	SetHandler(h wire.Handler)
+}
+
+// Errors surfaced by stubs.
+var (
+	// ErrNoServers means no live cluster member offers the service.
+	ErrNoServers = errors.New("rmi: no servers offer the service")
+	// ErrNotRetryable wraps a failure that occurred after the request may
+	// have had side effects on a non-idempotent method.
+	ErrNotRetryable = errors.New("rmi: failed after possible side effects")
+)
+
+// AppError is an error returned by the service implementation itself (as
+// opposed to a system/transport failure). Application errors never trigger
+// failover — the request executed.
+type AppError struct{ Msg string }
+
+func (e *AppError) Error() string { return e.Msg }
+
+// IsAppError reports whether err is an application-level error.
+func IsAppError(err error) bool {
+	var ae *AppError
+	return errors.As(err, &ae)
+}
+
+// Call carries one inbound invocation to a service method.
+type Call struct {
+	// From is the advertised address of the calling server (or client).
+	From string
+	// Service and Method name what is being invoked.
+	Service, Method string
+	// Args is the wire-encoded argument payload.
+	Args []byte
+	// TxID is the propagated transaction identifier, empty outside any
+	// transaction.
+	TxID string
+	// ConvID is the propagated conversation/session identifier, empty for
+	// stateless calls.
+	ConvID string
+}
+
+// Handler implements one service method. Returning an error of type
+// *AppError reports an application failure to the caller; any other error
+// is reported as a system failure.
+type Handler func(ctx context.Context, call *Call) ([]byte, error)
+
+// MethodSpec describes one method of a service.
+type MethodSpec struct {
+	Handler Handler
+	// Idempotent declares that the method may be safely retried on another
+	// server even after it may have executed (§3.1).
+	Idempotent bool
+}
+
+// Service is a named set of methods.
+type Service struct {
+	Name    string
+	Methods map[string]MethodSpec
+}
+
+// ---------------------------------------------------------------------------
+// Wire encoding of requests and responses.
+
+const (
+	respOK byte = iota
+	respAppError
+	respSystemError
+	respNoSuchService // definitely no side effects: safe to fail over
+)
+
+func encodeRequest(c *Call) []byte {
+	e := wire.NewEncoder(64 + len(c.Args))
+	e.String(c.Service)
+	e.String(c.Method)
+	e.String(c.TxID)
+	e.String(c.ConvID)
+	e.Bytes2(c.Args)
+	return e.Bytes()
+}
+
+func decodeRequest(from string, b []byte) (*Call, error) {
+	d := wire.NewDecoder(b)
+	c := &Call{
+		From:    from,
+		Service: d.String(),
+		Method:  d.String(),
+		TxID:    d.String(),
+		ConvID:  d.String(),
+		Args:    d.Bytes(),
+	}
+	return c, d.Err()
+}
+
+func encodeResponse(status byte, servedBy, errMsg string, body []byte) []byte {
+	e := wire.NewEncoder(32 + len(body))
+	e.Byte(status)
+	e.String(servedBy)
+	e.String(errMsg)
+	e.Bytes2(body)
+	return e.Bytes()
+}
+
+type response struct {
+	status   byte
+	servedBy string
+	errMsg   string
+	body     []byte
+}
+
+func decodeResponse(b []byte) (response, error) {
+	d := wire.NewDecoder(b)
+	r := response{
+		status:   d.Byte(),
+		servedBy: d.String(),
+		errMsg:   d.String(),
+		body:     d.Bytes(),
+	}
+	return r, d.Err()
+}
+
+// ---------------------------------------------------------------------------
+// Registry (server side)
+
+// Registry dispatches inbound invocations on one server and advertises its
+// services cluster-wide.
+type Registry struct {
+	node   Node
+	member *cluster.Member
+	reg    *metrics.Registry
+
+	mu       sync.Mutex
+	services map[string]*Service
+}
+
+// NewRegistry installs a registry as the node's frame handler. Frames that
+// are not RMI requests fall through to the handler previously installed on
+// the node, so multiple subsystems can share one node.
+func NewRegistry(node Node, member *cluster.Member, reg *metrics.Registry) *Registry {
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	r := &Registry{
+		node:     node,
+		member:   member,
+		reg:      reg,
+		services: make(map[string]*Service),
+	}
+	node.SetHandler(r.handle)
+	r.registerBuiltins()
+	return r
+}
+
+// Node returns the underlying transport node.
+func (r *Registry) Node() Node { return r.node }
+
+// Member returns the cluster member this registry advertises through.
+func (r *Registry) Member() *cluster.Member { return r.member }
+
+// Metrics returns the server's metrics registry.
+func (r *Registry) Metrics() *metrics.Registry { return r.reg }
+
+// Register deploys a service on this server and advertises it.
+func (r *Registry) Register(s *Service) {
+	r.mu.Lock()
+	r.services[s.Name] = s
+	r.mu.Unlock()
+	r.member.Advertise(s.Name)
+}
+
+// Unregister undeploys a service and withdraws its advertisement.
+func (r *Registry) Unregister(name string) {
+	r.mu.Lock()
+	delete(r.services, name)
+	r.mu.Unlock()
+	r.member.Withdraw(name)
+}
+
+// Deployed reports whether the named service is deployed locally.
+func (r *Registry) Deployed(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.services[name]
+	return ok
+}
+
+// handle is the node frame handler.
+func (r *Registry) handle(from string, f wire.Frame) *wire.Frame {
+	if f.Kind != wire.KindRequest {
+		return nil
+	}
+	call, err := decodeRequest(from, f.Body)
+	if err != nil {
+		return &wire.Frame{Kind: wire.KindResponse, Corr: f.Corr,
+			Body: encodeResponse(respSystemError, r.node.Addr(), "malformed request", nil)}
+	}
+	self := r.member.Self().Name
+
+	r.mu.Lock()
+	svc, ok := r.services[call.Service]
+	r.mu.Unlock()
+	if !ok {
+		return &wire.Frame{Kind: wire.KindResponse, Corr: f.Corr,
+			Body: encodeResponse(respNoSuchService, self, "no such service: "+call.Service, nil)}
+	}
+	m, ok := svc.Methods[call.Method]
+	if !ok {
+		return &wire.Frame{Kind: wire.KindResponse, Corr: f.Corr,
+			Body: encodeResponse(respNoSuchService, self, "no such method: "+call.Service+"."+call.Method, nil)}
+	}
+
+	r.reg.Counter("rmi.requests").Inc()
+	r.reg.Counter("rmi.requests." + call.Service).Inc()
+	body, err := m.Handler(context.Background(), call)
+	switch {
+	case err == nil:
+		return &wire.Frame{Kind: wire.KindResponse, Corr: f.Corr,
+			Body: encodeResponse(respOK, self, "", body)}
+	case IsAppError(err):
+		return &wire.Frame{Kind: wire.KindResponse, Corr: f.Corr,
+			Body: encodeResponse(respAppError, self, err.Error(), nil)}
+	default:
+		return &wire.Frame{Kind: wire.KindResponse, Corr: f.Corr,
+			Body: encodeResponse(respSystemError, self, err.Error(), nil)}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Views
+
+// View supplies the candidate servers currently offering a service. The
+// internal view reads live membership; the external view reads a cached
+// copy (§2.2).
+type View interface {
+	// Candidates returns members offering the service, in ring order.
+	Candidates(service string) []cluster.MemberInfo
+	// LocalName returns the name of the local server, or "" for external
+	// clients (used by the local-preference policy).
+	LocalName() string
+}
+
+// MemberView is the internal-client view backed directly by live
+// membership.
+type MemberView struct{ Member *cluster.Member }
+
+// Candidates implements View.
+func (v MemberView) Candidates(service string) []cluster.MemberInfo {
+	return v.Member.OffersOf(service)
+}
+
+// LocalName implements View.
+func (v MemberView) LocalName() string { return v.Member.Self().Name }

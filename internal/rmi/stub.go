@@ -1,0 +1,355 @@
+package rmi
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"wls/internal/cluster"
+	"wls/internal/netsim"
+	"wls/internal/transport"
+	"wls/internal/wire"
+)
+
+// ---------------------------------------------------------------------------
+// Load-balancing policies
+
+// Policy orders the candidate servers for one invocation. The stub tries
+// candidates in the returned order when failing over. Policies must be safe
+// for concurrent use.
+type Policy interface {
+	Order(ctx context.Context, localName string, cands []cluster.MemberInfo) []cluster.MemberInfo
+}
+
+// RoundRobin rotates through candidates; the paper notes this simple scheme
+// is "particularly effective" for short-running transactional requests
+// (§2.1).
+type RoundRobin struct{ n atomic.Uint64 }
+
+// NewRoundRobin returns a fresh round-robin policy.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Order implements Policy.
+func (p *RoundRobin) Order(_ context.Context, _ string, cands []cluster.MemberInfo) []cluster.MemberInfo {
+	if len(cands) == 0 {
+		return nil
+	}
+	start := int(p.n.Add(1)-1) % len(cands)
+	out := make([]cluster.MemberInfo, 0, len(cands))
+	for i := 0; i < len(cands); i++ {
+		out = append(out, cands[(start+i)%len(cands)])
+	}
+	return out
+}
+
+// Random picks a uniformly random starting candidate.
+type Random struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewRandom returns a Random policy with the given seed.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Order implements Policy.
+func (p *Random) Order(_ context.Context, _ string, cands []cluster.MemberInfo) []cluster.MemberInfo {
+	if len(cands) == 0 {
+		return nil
+	}
+	p.mu.Lock()
+	start := p.rng.Intn(len(cands))
+	p.mu.Unlock()
+	out := make([]cluster.MemberInfo, 0, len(cands))
+	for i := 0; i < len(cands); i++ {
+		out = append(out, cands[(start+i)%len(cands)])
+	}
+	return out
+}
+
+// WeightBased orders candidates by configured weight with weighted random
+// selection of the first target.
+type WeightBased struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	weights map[string]int // by server name; default weight 1
+}
+
+// NewWeightBased returns a weight-based policy.
+func NewWeightBased(seed int64, weights map[string]int) *WeightBased {
+	w := make(map[string]int, len(weights))
+	for k, v := range weights {
+		w[k] = v
+	}
+	return &WeightBased{rng: rand.New(rand.NewSource(seed)), weights: w}
+}
+
+func (p *WeightBased) weight(name string) int {
+	if w, ok := p.weights[name]; ok && w > 0 {
+		return w
+	}
+	return 1
+}
+
+// Order implements Policy.
+func (p *WeightBased) Order(_ context.Context, _ string, cands []cluster.MemberInfo) []cluster.MemberInfo {
+	if len(cands) == 0 {
+		return nil
+	}
+	total := 0
+	for _, c := range cands {
+		total += p.weight(c.Name)
+	}
+	p.mu.Lock()
+	pick := p.rng.Intn(total)
+	p.mu.Unlock()
+	start := 0
+	for i, c := range cands {
+		pick -= p.weight(c.Name)
+		if pick < 0 {
+			start = i
+			break
+		}
+	}
+	out := make([]cluster.MemberInfo, 0, len(cands))
+	for i := 0; i < len(cands); i++ {
+		out = append(out, cands[(start+i)%len(cands)])
+	}
+	return out
+}
+
+// LocalPreference wraps another policy and, for internal clients, always
+// prefers an instance on the local server "in order to minimize the number
+// of servers involved in processing a request" (§3.1).
+type LocalPreference struct{ Next Policy }
+
+// Order implements Policy.
+func (p LocalPreference) Order(ctx context.Context, localName string, cands []cluster.MemberInfo) []cluster.MemberInfo {
+	ordered := p.Next.Order(ctx, localName, cands)
+	if localName == "" {
+		return ordered
+	}
+	for i, c := range ordered {
+		if c.Name == localName {
+			if i != 0 {
+				reordered := make([]cluster.MemberInfo, 0, len(ordered))
+				reordered = append(reordered, c)
+				reordered = append(reordered, ordered[:i]...)
+				reordered = append(reordered, ordered[i+1:]...)
+				return reordered
+			}
+			return ordered
+		}
+	}
+	return ordered
+}
+
+// affinityKey carries the set of servers already participating in the
+// caller's transaction.
+type affinityKey struct{}
+
+// WithAffinity returns a context that prefers the given servers, used to
+// "limit the spread of the transaction" (§3.1): the transaction layer adds
+// every server it has enlisted.
+func WithAffinity(ctx context.Context, servers ...string) context.Context {
+	return context.WithValue(ctx, affinityKey{}, servers)
+}
+
+// AffinityFrom extracts the preferred-server list from ctx.
+func AffinityFrom(ctx context.Context) []string {
+	if v, ok := ctx.Value(affinityKey{}).([]string); ok {
+		return v
+	}
+	return nil
+}
+
+// TxAffinity wraps another policy and prefers servers already involved in
+// the in-progress transaction (from the context), after any local
+// preference the wrapped policy applies.
+type TxAffinity struct{ Next Policy }
+
+// Order implements Policy.
+func (p TxAffinity) Order(ctx context.Context, localName string, cands []cluster.MemberInfo) []cluster.MemberInfo {
+	ordered := p.Next.Order(ctx, localName, cands)
+	aff := AffinityFrom(ctx)
+	if len(aff) == 0 {
+		return ordered
+	}
+	inTx := make(map[string]bool, len(aff))
+	for _, s := range aff {
+		inTx[s] = true
+	}
+	preferred := make([]cluster.MemberInfo, 0, len(ordered))
+	rest := make([]cluster.MemberInfo, 0, len(ordered))
+	for _, c := range ordered {
+		// Local server stays first even when not in the transaction yet;
+		// invoking locally never spreads the transaction further.
+		if c.Name == localName || inTx[c.Name] {
+			preferred = append(preferred, c)
+		} else {
+			rest = append(rest, c)
+		}
+	}
+	return append(preferred, rest...)
+}
+
+// DefaultPolicy is what WebLogic ships: round robin with local preference
+// and transaction affinity (§3.1).
+func DefaultPolicy() Policy {
+	return TxAffinity{Next: LocalPreference{Next: NewRoundRobin()}}
+}
+
+// ---------------------------------------------------------------------------
+// Stub
+
+// Stub is the client-side proxy for a clustered service.
+type Stub struct {
+	service string
+	node    Node
+	view    View
+	policy  Policy
+	// idempotent lists methods declared idempotent in the deployment
+	// descriptor mirrored into the stub.
+	idempotent map[string]bool
+}
+
+// StubOption configures a Stub.
+type StubOption func(*Stub)
+
+// WithPolicy overrides the load-balancing policy (default DefaultPolicy).
+func WithPolicy(p Policy) StubOption { return func(s *Stub) { s.policy = p } }
+
+// WithIdempotent declares methods that may be retried after possible side
+// effects.
+func WithIdempotent(methods ...string) StubOption {
+	return func(s *Stub) {
+		for _, m := range methods {
+			s.idempotent[m] = true
+		}
+	}
+}
+
+// NewStub creates a stub for service using the given node and view.
+func NewStub(service string, node Node, view View, opts ...StubOption) *Stub {
+	s := &Stub{
+		service:    service,
+		node:       node,
+		view:       view,
+		policy:     DefaultPolicy(),
+		idempotent: make(map[string]bool),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Result is a successful invocation outcome.
+type Result struct {
+	// Body is the method's encoded return payload.
+	Body []byte
+	// ServedBy is the name of the server that executed the request; the
+	// transaction layer records it to build affinity.
+	ServedBy string
+}
+
+// Invoke calls service.method with load balancing and failover.
+func (s *Stub) Invoke(ctx context.Context, method string, args []byte) (*Result, error) {
+	return s.invoke(ctx, method, args, "", "")
+}
+
+// InvokeTx calls service.method propagating a transaction identifier.
+func (s *Stub) InvokeTx(ctx context.Context, txID, method string, args []byte) (*Result, error) {
+	return s.invoke(ctx, method, args, txID, "")
+}
+
+// InvokeConv calls service.method propagating a conversation identifier.
+func (s *Stub) InvokeConv(ctx context.Context, convID, method string, args []byte) (*Result, error) {
+	return s.invoke(ctx, method, args, "", convID)
+}
+
+func (s *Stub) invoke(ctx context.Context, method string, args []byte, txID, convID string) (*Result, error) {
+	cands := s.view.Candidates(s.service)
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("%w: %s", ErrNoServers, s.service)
+	}
+	ordered := s.policy.Order(ctx, s.view.LocalName(), cands)
+	var lastErr error
+	for _, cand := range ordered {
+		res, err := s.callOne(ctx, cand.Addr, method, args, txID, convID)
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+		if !s.mayFailOver(method, err) {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("rmi: all %d candidates failed for %s.%s: %w",
+		len(ordered), s.service, method, lastErr)
+}
+
+// InvokeOn calls the method on a specific server, bypassing load balancing.
+// Conversational stubs are "hardwired to the chosen server so requests are
+// naturally routed to the right place" (§3.2).
+func (s *Stub) InvokeOn(ctx context.Context, serverAddr, method string, args []byte) (*Result, error) {
+	return s.callOne(ctx, serverAddr, method, args, "", "")
+}
+
+// retryableErr marks failures that are guaranteed to have produced no side
+// effects on the target.
+type retryableErr struct{ err error }
+
+func (e *retryableErr) Error() string { return e.err.Error() }
+func (e *retryableErr) Unwrap() error { return e.err }
+
+func (s *Stub) mayFailOver(method string, err error) bool {
+	if IsAppError(err) {
+		return false // the request executed; the application said no
+	}
+	if s.idempotent[method] {
+		return true
+	}
+	var re *retryableErr
+	return errors.As(err, &re)
+}
+
+// requestNeverSent classifies transport errors that occur before a request
+// could have reached the target's application code.
+func requestNeverSent(err error) bool {
+	return errors.Is(err, netsim.ErrUnreachable) ||
+		errors.Is(err, netsim.ErrFenced) ||
+		errors.Is(err, transport.ErrDial)
+}
+
+func (s *Stub) callOne(ctx context.Context, addr, method string, args []byte, txID, convID string) (*Result, error) {
+	req := &Call{Service: s.service, Method: method, Args: args, TxID: txID, ConvID: convID}
+	frame := wire.Frame{Kind: wire.KindRequest, Body: encodeRequest(req)}
+	respFrame, err := s.node.Call(ctx, addr, frame)
+	if err != nil {
+		if requestNeverSent(err) {
+			return nil, &retryableErr{err}
+		}
+		return nil, fmt.Errorf("%w: %v", ErrNotRetryable, err)
+	}
+	resp, err := decodeResponse(respFrame.Body)
+	if err != nil {
+		return nil, fmt.Errorf("%w: malformed response: %v", ErrNotRetryable, err)
+	}
+	switch resp.status {
+	case respOK:
+		return &Result{Body: resp.body, ServedBy: resp.servedBy}, nil
+	case respAppError:
+		return nil, &AppError{Msg: resp.errMsg}
+	case respNoSuchService:
+		// The service is not deployed there (stale view); certainly no side
+		// effects, so failover is always safe.
+		return nil, &retryableErr{errors.New(resp.errMsg)}
+	default:
+		return nil, fmt.Errorf("%w: %s", ErrNotRetryable, resp.errMsg)
+	}
+}

@@ -1,0 +1,213 @@
+package servlet
+
+import (
+	"context"
+
+	"net/http"
+	"sync"
+
+	"wls/internal/rmi"
+	"wls/internal/store"
+	"wls/internal/wire"
+)
+
+// ServiceName is the RMI service every servlet engine exposes; presentation
+// tier processes (web servers, proxy plug-ins) route requests to it.
+const ServiceName = "wls.http"
+
+// Request is one servlet invocation.
+type Request struct {
+	// Path selects the servlet.
+	Path string
+	// Body is the request payload.
+	Body []byte
+	// Session is the resolved session (never nil).
+	Session *Session
+	// Server is the engine's server name (handy for test assertions about
+	// routing).
+	Server string
+}
+
+// Response is a servlet's result.
+type Response struct {
+	Status int
+	Body   []byte
+	// Cookie is set by the engine, not by servlets.
+	Cookie string
+	// ServedBy records the engine that ran the servlet.
+	ServedBy string
+}
+
+// HandlerFunc is a servlet.
+type HandlerFunc func(r *Request) Response
+
+// Engine is one server's servlet container.
+type Engine struct {
+	registry *rmi.Registry
+	sessions *SessionManager
+
+	mu       sync.Mutex
+	servlets map[string]HandlerFunc
+}
+
+// Config configures an engine.
+type Config struct {
+	// Sessions selects the session-state option (§3.2).
+	Sessions SessionMode
+	// DB is required for SessionsPersistent.
+	DB *store.Store
+}
+
+// NewEngine builds a servlet engine on a server's registry and advertises
+// it cluster-wide.
+func NewEngine(registry *rmi.Registry, cfg Config) *Engine {
+	e := &Engine{
+		registry: registry,
+		servlets: make(map[string]HandlerFunc),
+	}
+	e.sessions = newSessionManager(cfg.Sessions, ServiceName, registry.Member(), registry.Node(), cfg.DB)
+	registry.Register(&rmi.Service{
+		Name: ServiceName,
+		Methods: map[string]rmi.MethodSpec{
+			"request": {Handler: e.handleRequest},
+			"session.update": {Handler: func(ctx context.Context, c *rmi.Call) ([]byte, error) {
+				return nil, e.sessions.handleUpdate(c.Args)
+			}},
+			"session.fetch": {Handler: func(ctx context.Context, c *rmi.Call) ([]byte, error) {
+				return e.sessions.handleFetch(c.Args)
+			}},
+		},
+	})
+	return e
+}
+
+// Sessions exposes the engine's session manager.
+func (e *Engine) Sessions() *SessionManager { return e.sessions }
+
+// ServerName returns the hosting server's name.
+func (e *Engine) ServerName() string { return e.registry.Member().Self().Name }
+
+// Handle registers a servlet at a path.
+func (e *Engine) Handle(path string, h HandlerFunc) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.servlets[path] = h
+}
+
+// Serve processes one request locally: resolve the session, run the
+// servlet, replicate/persist the session, return the (possibly rewritten)
+// cookie.
+func (e *Engine) Serve(path, cookie string, body []byte) Response {
+	// URL rewriting (§3.2): a cookie-less client may carry the session
+	// token in the path instead.
+	if bare, urlTok := SplitURL(path); urlTok != "" {
+		path = bare
+		if cookie == "" {
+			cookie = urlTok
+		}
+	}
+	c, err := DecodeCookie(cookie)
+	if err != nil {
+		return Response{Status: 400, Body: []byte("bad cookie"), ServedBy: e.ServerName()}
+	}
+	sess, err := e.sessions.resolve(c)
+	if err != nil {
+		return Response{Status: 500, Body: []byte(err.Error()), ServedBy: e.ServerName()}
+	}
+	e.mu.Lock()
+	h, ok := e.servlets[path]
+	e.mu.Unlock()
+	if !ok {
+		return Response{Status: 404, Body: []byte("no servlet at " + path), ServedBy: e.ServerName()}
+	}
+	resp := h(&Request{Path: path, Body: body, Session: sess, Server: e.ServerName()})
+	if resp.Status == 0 {
+		resp.Status = 200
+	}
+	out, err := e.sessions.finish(sess)
+	if err != nil {
+		return Response{Status: 500, Body: []byte(err.Error()), ServedBy: e.ServerName()}
+	}
+	resp.Cookie = out.Encode()
+	resp.ServedBy = e.ServerName()
+	return resp
+}
+
+// handleRequest is the RMI surface used by the presentation tier.
+func (e *Engine) handleRequest(ctx context.Context, c *rmi.Call) ([]byte, error) {
+	d := wire.NewDecoder(c.Args)
+	path := d.String()
+	cookie := d.String()
+	body := d.Bytes()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	resp := e.Serve(path, cookie, body)
+	return EncodeResponse(resp), nil
+}
+
+// EncodeResponse serializes a Response for the RMI surface.
+func EncodeResponse(r Response) []byte {
+	enc := wire.NewEncoder(64 + len(r.Body))
+	enc.Int(r.Status)
+	enc.String(r.Cookie)
+	enc.String(r.ServedBy)
+	enc.Bytes2(r.Body)
+	return enc.Bytes()
+}
+
+// DecodeResponse reverses EncodeResponse.
+func DecodeResponse(b []byte) (Response, error) {
+	d := wire.NewDecoder(b)
+	r := Response{
+		Status:   d.Int(),
+		Cookie:   d.String(),
+		ServedBy: d.String(),
+		Body:     d.Bytes(),
+	}
+	return r, d.Err()
+}
+
+// EncodeRequest serializes a request for the RMI surface.
+func EncodeRequest(path, cookie string, body []byte) []byte {
+	e := wire.NewEncoder(64 + len(body))
+	e.String(path)
+	e.String(cookie)
+	e.Bytes2(body)
+	return e.Bytes()
+}
+
+// ---------------------------------------------------------------------------
+// net/http adapter (for real deployments via cmd/wlsd)
+
+// HTTPHandler adapts the engine to net/http: the session cookie rides in
+// the standard Cookie header under the given name.
+func (e *Engine) HTTPHandler(cookieName string) http.Handler {
+	if cookieName == "" {
+		cookieName = "WLSESSION"
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var cookie string
+		if c, err := r.Cookie(cookieName); err == nil {
+			cookie = c.Value
+		}
+		body := make([]byte, 0)
+		if r.Body != nil {
+			buf := make([]byte, 1<<16)
+			for {
+				n, err := r.Body.Read(buf)
+				body = append(body, buf[:n]...)
+				if err != nil {
+					break
+				}
+			}
+		}
+		resp := e.Serve(r.URL.Path, cookie, body)
+		if resp.Cookie != "" {
+			http.SetCookie(w, &http.Cookie{Name: cookieName, Value: resp.Cookie, Path: "/"})
+		}
+		w.Header().Set("X-Served-By", resp.ServedBy)
+		w.WriteHeader(resp.Status)
+		_, _ = w.Write(resp.Body)
+	})
+}

@@ -1,0 +1,76 @@
+package servlet_test
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"wls/internal/servlet"
+	"wls/internal/simtest"
+)
+
+// TestHTTPHandlerAdapter drives the engine through net/http with real
+// cookies, the deployment surface cmd/wlsd uses.
+func TestHTTPHandlerAdapter(t *testing.T) {
+	f := simtest.New(simtest.Options{Servers: 1})
+	defer f.Stop()
+	e := servlet.NewEngine(f.Servers[0].Registry, servlet.Config{})
+	e.Handle("/count", counterServlet)
+	srv := httptest.NewServer(e.HTTPHandler("WLSESSION"))
+	defer srv.Close()
+
+	jar := map[string]string{}
+	get := func(path string) (int, string) {
+		req, _ := http.NewRequest("GET", srv.URL+path, nil)
+		if v, ok := jar["WLSESSION"]; ok {
+			req.AddCookie(&http.Cookie{Name: "WLSESSION", Value: v})
+		}
+		resp, err := srv.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		for _, c := range resp.Cookies() {
+			jar[c.Name] = c.Value
+		}
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	status, body := get("/count")
+	if status != 200 || body != "1" {
+		t.Fatalf("first: %d %q", status, body)
+	}
+	if jar["WLSESSION"] == "" {
+		t.Fatal("no session cookie set")
+	}
+	_, body = get("/count")
+	if body != "2" {
+		t.Fatalf("second: %q (cookie not honoured)", body)
+	}
+	status, _ = get("/nope")
+	if status != 404 {
+		t.Fatalf("status for unknown path = %d", status)
+	}
+}
+
+func TestHTTPHandlerServedByHeader(t *testing.T) {
+	f := simtest.New(simtest.Options{Servers: 1})
+	defer f.Stop()
+	e := servlet.NewEngine(f.Servers[0].Registry, servlet.Config{})
+	e.Handle("/x", func(r *servlet.Request) servlet.Response {
+		return servlet.Response{Body: []byte("ok")}
+	})
+	srv := httptest.NewServer(e.HTTPHandler(""))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("X-Served-By"); !strings.HasPrefix(got, "server-") {
+		t.Fatalf("X-Served-By = %q", got)
+	}
+}

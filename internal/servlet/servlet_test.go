@@ -1,0 +1,323 @@
+package servlet_test
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"wls/internal/servlet"
+	"wls/internal/simtest"
+	"wls/internal/store"
+	"wls/internal/vclock"
+)
+
+// counterServlet increments a session attribute per request.
+func counterServlet(r *servlet.Request) servlet.Response {
+	n, _ := strconv.Atoi(r.Session.Get("n"))
+	n++
+	r.Session.Set("n", strconv.Itoa(n))
+	return servlet.Response{Body: []byte(strconv.Itoa(n))}
+}
+
+func newEngines(t *testing.T, n int, cfg servlet.Config) (*simtest.Fixture, []*servlet.Engine) {
+	t.Helper()
+	f := simtest.New(simtest.Options{Servers: n})
+	t.Cleanup(f.Stop)
+	var engines []*servlet.Engine
+	for _, s := range f.Servers {
+		e := servlet.NewEngine(s.Registry, cfg)
+		e.Handle("/count", counterServlet)
+		engines = append(engines, e)
+	}
+	f.Settle(2)
+	return f, engines
+}
+
+func TestCookieRoundTripProperty(t *testing.T) {
+	f := func(id, primary, secondary string, keys, vals []string) bool {
+		c := servlet.Cookie{ID: id, Primary: primary, Secondary: secondary}
+		if len(keys) > 0 {
+			c.State = map[string]string{}
+			for i, k := range keys {
+				v := ""
+				if i < len(vals) {
+					v = vals[i]
+				}
+				c.State[k] = v
+			}
+		}
+		out, err := servlet.DecodeCookie(c.Encode())
+		if err != nil {
+			return false
+		}
+		if out.ID != c.ID || out.Primary != c.Primary || out.Secondary != c.Secondary {
+			return false
+		}
+		if len(out.State) != len(c.State) {
+			return false
+		}
+		for k, v := range c.State {
+			if out.State[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyCookieDecodes(t *testing.T) {
+	c, err := servlet.DecodeCookie("")
+	if err != nil || c.ID != "" {
+		t.Fatalf("empty cookie: %+v err=%v", c, err)
+	}
+	if _, err := servlet.DecodeCookie("!!!not-base64!!!"); err == nil {
+		t.Fatal("garbage cookie should error")
+	}
+}
+
+func TestSessionPersistsAcrossRequests(t *testing.T) {
+	_, engines := newEngines(t, 1, servlet.Config{})
+	resp := engines[0].Serve("/count", "", nil)
+	if string(resp.Body) != "1" || resp.Cookie == "" {
+		t.Fatalf("first: %q cookie=%q", resp.Body, resp.Cookie)
+	}
+	resp2 := engines[0].Serve("/count", resp.Cookie, nil)
+	if string(resp2.Body) != "2" {
+		t.Fatalf("second: %q", resp2.Body)
+	}
+}
+
+func TestReplicatedSessionHasSecondary(t *testing.T) {
+	_, engines := newEngines(t, 3, servlet.Config{})
+	resp := engines[0].Serve("/count", "", nil)
+	c, err := servlet.DecodeCookie(resp.Cookie)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Primary != "server-1" {
+		t.Fatalf("primary = %s", c.Primary)
+	}
+	if c.Secondary == "" || c.Secondary == c.Primary {
+		t.Fatalf("secondary = %q", c.Secondary)
+	}
+	// The secondary engine holds a replica.
+	for i, e := range engines {
+		name := fmt.Sprintf("server-%d", i+1)
+		if name == c.Secondary && e.Sessions().ResidentSessions() != 1 {
+			t.Fatal("secondary has no replica")
+		}
+	}
+}
+
+func TestSecondaryPromotionKeepsState(t *testing.T) {
+	// Fig 2's engine-side flow: request lands directly on the secondary
+	// (as the plug-in would route it after a primary failure).
+	f, engines := newEngines(t, 3, servlet.Config{})
+	resp := engines[0].Serve("/count", "", nil)
+	engines[0].Serve("/count", resp.Cookie, nil) // n=2 — reuse original cookie is fine (same session)
+	c, _ := servlet.DecodeCookie(resp.Cookie)
+
+	f.Crash(c.Primary)
+	var secondary *servlet.Engine
+	for i, e := range engines {
+		if fmt.Sprintf("server-%d", i+1) == c.Secondary {
+			secondary = e
+		}
+	}
+	resp3 := secondary.Serve("/count", resp.Cookie, nil)
+	if string(resp3.Body) != "3" {
+		t.Fatalf("state lost on promotion: %q", resp3.Body)
+	}
+	c3, _ := servlet.DecodeCookie(resp3.Cookie)
+	if c3.Primary != c.Secondary {
+		t.Fatalf("cookie not rewritten: primary=%s", c3.Primary)
+	}
+	if c3.Secondary == "" || c3.Secondary == c3.Primary || c3.Secondary == c.Primary {
+		t.Fatalf("new secondary = %q", c3.Secondary)
+	}
+}
+
+func TestFetchFromSecondaryOnArbitraryServer(t *testing.T) {
+	// Fig 3's engine-side flow: request lands on a server that holds
+	// neither primary nor replica; it fetches from the secondary and
+	// becomes primary, leaving the secondary unchanged.
+	_, engines := newEngines(t, 3, servlet.Config{})
+	resp := engines[0].Serve("/count", "", nil)
+	c, _ := servlet.DecodeCookie(resp.Cookie)
+
+	var third *servlet.Engine
+	for i, e := range engines {
+		name := fmt.Sprintf("server-%d", i+1)
+		if name != c.Primary && name != c.Secondary {
+			third = e
+		}
+	}
+	resp2 := third.Serve("/count", resp.Cookie, nil)
+	if string(resp2.Body) != "2" {
+		t.Fatalf("state not fetched: %q", resp2.Body)
+	}
+	c2, _ := servlet.DecodeCookie(resp2.Cookie)
+	if c2.Primary == c.Primary || c2.Primary == "" {
+		t.Fatalf("new primary = %q", c2.Primary)
+	}
+	if c2.Secondary != c.Secondary {
+		t.Fatalf("secondary must be left unchanged: %q -> %q", c.Secondary, c2.Secondary)
+	}
+}
+
+func TestBothReplicasGoneStartsFresh(t *testing.T) {
+	f, engines := newEngines(t, 3, servlet.Config{})
+	resp := engines[0].Serve("/count", "", nil)
+	c, _ := servlet.DecodeCookie(resp.Cookie)
+	f.Crash(c.Primary)
+	f.Crash(c.Secondary)
+	f.SettleTimeout()
+	var survivor *servlet.Engine
+	for i, e := range engines {
+		name := fmt.Sprintf("server-%d", i+1)
+		if name != c.Primary && name != c.Secondary {
+			survivor = e
+		}
+	}
+	resp2 := survivor.Serve("/count", resp.Cookie, nil)
+	if string(resp2.Body) != "1" {
+		t.Fatalf("expected fresh session after total loss, got %q", resp2.Body)
+	}
+}
+
+func TestPersistentSessionsAreStateless(t *testing.T) {
+	f := simtest.New(simtest.Options{Servers: 2})
+	defer f.Stop()
+	db := store.New("backend", f.Clock)
+	var engines []*servlet.Engine
+	for _, s := range f.Servers {
+		e := servlet.NewEngine(s.Registry, servlet.Config{Sessions: servlet.SessionsPersistent, DB: db})
+		e.Handle("/count", counterServlet)
+		engines = append(engines, e)
+	}
+	f.Settle(2)
+	// Any server can handle any request with no replication machinery.
+	resp := engines[0].Serve("/count", "", nil)
+	resp2 := engines[1].Serve("/count", resp.Cookie, nil)
+	if string(resp2.Body) != "2" {
+		t.Fatalf("persistent session not shared: %q", resp2.Body)
+	}
+	// State survives both servers dying (it is in the database).
+	if db.Count("wls.sessions") != 1 {
+		t.Fatalf("sessions in db = %d", db.Count("wls.sessions"))
+	}
+}
+
+func TestClientCookieSessions(t *testing.T) {
+	_, engines := newEngines(t, 2, servlet.Config{Sessions: servlet.SessionsClientCookie})
+	resp := engines[0].Serve("/count", "", nil)
+	c, _ := servlet.DecodeCookie(resp.Cookie)
+	if c.State["n"] != "1" {
+		t.Fatalf("state not in cookie: %v", c.State)
+	}
+	// Any server can continue the session purely from the cookie.
+	resp2 := engines[1].Serve("/count", resp.Cookie, nil)
+	if string(resp2.Body) != "2" {
+		t.Fatalf("cookie state not used: %q", resp2.Body)
+	}
+	// Nothing resident server-side.
+	if engines[0].Sessions().ResidentSessions() != 0 {
+		t.Fatal("client-cookie mode left server-side state")
+	}
+}
+
+func TestUnknownPath404(t *testing.T) {
+	_, engines := newEngines(t, 1, servlet.Config{})
+	resp := engines[0].Serve("/nope", "", nil)
+	if resp.Status != 404 {
+		t.Fatalf("status = %d", resp.Status)
+	}
+}
+
+// --- JSP page/fragment cache -------------------------------------------------
+
+func testPage(renders *int) servlet.Page {
+	return servlet.Page{
+		Name: "home",
+		Fragments: []servlet.Fragment{
+			{Name: "header", Scope: servlet.ScopeGlobal, TTL: time.Hour,
+				Render: func(u, g string) []byte { *renders++; return []byte("[header]") }},
+			{Name: "greeting", Scope: servlet.ScopeUser, TTL: time.Hour,
+				Render: func(u, g string) []byte { *renders++; return []byte("[hi " + u + "]") }},
+			{Name: "deals", Scope: servlet.ScopeGroup, TTL: time.Minute,
+				Render: func(u, g string) []byte { *renders++; return []byte("[deals " + g + "]") }},
+		},
+	}
+}
+
+func TestFragmentCachingSharesAcrossUsers(t *testing.T) {
+	clk := vclock.NewVirtualAtZero()
+	renders := 0
+	pc := servlet.NewPageCache(servlet.CacheFragments, clk, nil)
+	p := testPage(&renders)
+
+	out := pc.Render(p, "alice", "gold")
+	if string(out) != "[header][hi alice][deals gold]" {
+		t.Fatalf("page = %q", out)
+	}
+	rendersAfterAlice := renders // 3
+	pc.Render(p, "bob", "gold")  // header + deals shared; greeting re-rendered
+	if renders != rendersAfterAlice+1 {
+		t.Fatalf("renders = %d, want %d (only the per-user fragment)", renders, rendersAfterAlice+1)
+	}
+	pc.Render(p, "alice", "gold") // fully cached
+	if renders != rendersAfterAlice+1 {
+		t.Fatal("cached page re-rendered")
+	}
+}
+
+func TestWholePageCachingIsPerUserWhenPersonalized(t *testing.T) {
+	clk := vclock.NewVirtualAtZero()
+	renders := 0
+	pc := servlet.NewPageCache(servlet.CacheWholePage, clk, nil)
+	p := testPage(&renders)
+	pc.Render(p, "alice", "gold")
+	pc.Render(p, "bob", "gold")
+	// Whole-page mode cannot share anything between users: 6 renders.
+	if renders != 6 {
+		t.Fatalf("renders = %d, want 6", renders)
+	}
+	pc.Render(p, "alice", "gold")
+	if renders != 6 {
+		t.Fatal("whole-page entry not cached per user")
+	}
+}
+
+func TestFragmentTTLExpiry(t *testing.T) {
+	clk := vclock.NewVirtualAtZero()
+	renders := 0
+	pc := servlet.NewPageCache(servlet.CacheFragments, clk, nil)
+	p := testPage(&renders)
+	pc.Render(p, "alice", "gold")
+	clk.Advance(2 * time.Minute) // deals TTL (1m) expired; others (1h) not
+	pc.Render(p, "alice", "gold")
+	if renders != 4 {
+		t.Fatalf("renders = %d, want 4 (only the expired fragment)", renders)
+	}
+}
+
+func TestPageCacheFlush(t *testing.T) {
+	clk := vclock.NewVirtualAtZero()
+	renders := 0
+	pc := servlet.NewPageCache(servlet.CacheFragments, clk, nil)
+	p := testPage(&renders)
+	pc.Render(p, "alice", "gold")
+	pc.Flush()
+	pc.Render(p, "alice", "gold")
+	if renders != 6 {
+		t.Fatalf("renders = %d, want 6 after flush", renders)
+	}
+	if pc.Renders() != 6 {
+		t.Fatalf("Renders() = %d", pc.Renders())
+	}
+}

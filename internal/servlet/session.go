@@ -1,0 +1,445 @@
+// Package servlet implements the web-tier pieces of §3.2 and §3.3: a
+// servlet engine whose in-memory session state is made highly available by
+// primary/secondary replication, the cookie protocol that lets the
+// presentation tier route to the right server, and the JSP page/fragment
+// cache.
+//
+// The three session-state options of §3.2 are all implemented:
+//
+//   - SessionsReplicated (default): state stays in memory on the primary,
+//     which "synchronously transmits a delta for any updates to the
+//     secondary before returning the response to the client"; the cookie
+//     carries the identities of both.
+//   - SessionsPersistent: state is written to shared storage between
+//     invocations, "in which case the service is stateless".
+//   - SessionsClientCookie: state is "sent back and forth between the
+//     client and server under the covers", again yielding a stateless
+//     service.
+package servlet
+
+import (
+	"context"
+	"encoding/base64"
+	"fmt"
+	"strings"
+	"sync"
+
+	"wls/internal/cluster"
+	"wls/internal/rmi"
+	"wls/internal/store"
+	"wls/internal/wire"
+)
+
+// SessionMode selects where session state lives between requests (§3.2).
+type SessionMode int
+
+// Session modes.
+const (
+	SessionsReplicated SessionMode = iota
+	SessionsPersistent
+	SessionsClientCookie
+)
+
+// Cookie is the parsed session cookie. For replicated sessions it embeds
+// the primary and secondary ("the hosting server embed[s] its location in a
+// session cookie that the client returns with each new request"); for
+// client-state sessions it carries the state itself.
+type Cookie struct {
+	ID        string
+	Primary   string
+	Secondary string
+	State     map[string]string // SessionsClientCookie only
+}
+
+// Encode serializes the cookie to its wire string.
+func (c Cookie) Encode() string {
+	e := wire.NewEncoder(64)
+	e.String(c.ID)
+	e.String(c.Primary)
+	e.String(c.Secondary)
+	e.Int(len(c.State))
+	for k, v := range c.State {
+		e.String(k)
+		e.String(v)
+	}
+	return base64.RawURLEncoding.EncodeToString(e.Bytes())
+}
+
+// DecodeCookie parses a cookie string ("" yields a zero cookie).
+func DecodeCookie(s string) (Cookie, error) {
+	if s == "" {
+		return Cookie{}, nil
+	}
+	raw, err := base64.RawURLEncoding.DecodeString(s)
+	if err != nil {
+		return Cookie{}, err
+	}
+	d := wire.NewDecoder(raw)
+	c := Cookie{ID: d.String(), Primary: d.String(), Secondary: d.String()}
+	n := d.Int()
+	if err := d.Err(); err != nil {
+		return Cookie{}, err
+	}
+	if n > 0 {
+		c.State = make(map[string]string, n)
+		for i := 0; i < n; i++ {
+			k := d.String()
+			v := d.String()
+			c.State[k] = v
+		}
+	}
+	return c, d.Err()
+}
+
+// Session is the request-scoped view of one browser session's state.
+type Session struct {
+	ID    string
+	data  map[string]string
+	dirty map[string]bool
+	isNew bool
+}
+
+// Get reads a session attribute.
+func (s *Session) Get(key string) string { return s.data[key] }
+
+// Set writes a session attribute.
+func (s *Session) Set(key, value string) {
+	s.data[key] = value
+	s.dirty[key] = true
+}
+
+// IsNew reports whether the session was created by this request.
+func (s *Session) IsNew() bool { return s.isNew }
+
+// Len returns the number of attributes.
+func (s *Session) Len() int { return len(s.data) }
+
+// sessState is the engine-resident state of one session.
+type sessState struct {
+	id        string
+	data      map[string]string
+	secondary string
+	primary   bool
+	gen       uint64
+}
+
+// SessionManager holds one engine's sessions and implements the §3.2
+// replication and failover flows.
+type SessionManager struct {
+	mode    SessionMode
+	service string // the engine's RMI service name, for replica traffic
+	member  *cluster.Member
+	node    rmi.Node
+	db      *store.Store // SessionsPersistent only
+
+	mu       sync.Mutex
+	sessions map[string]*sessState
+	seq      uint64
+}
+
+func newSessionManager(mode SessionMode, service string, member *cluster.Member, node rmi.Node, db *store.Store) *SessionManager {
+	return &SessionManager{
+		mode:     mode,
+		service:  service,
+		member:   member,
+		node:     node,
+		db:       db,
+		sessions: make(map[string]*sessState),
+	}
+}
+
+func (sm *SessionManager) self() string { return sm.member.Self().Name }
+
+func (sm *SessionManager) newID() string {
+	sm.mu.Lock()
+	sm.seq++
+	n := sm.seq
+	sm.mu.Unlock()
+	return fmt.Sprintf("%s-sess-%d", sm.self(), n)
+}
+
+// ResidentSessions reports how many sessions (primary or replica) live in
+// this engine's memory.
+func (sm *SessionManager) ResidentSessions() int {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	return len(sm.sessions)
+}
+
+// resolve produces the Session for a request's cookie, performing
+// creation, promotion (Fig 2), or state fetch (Fig 3) as needed.
+func (sm *SessionManager) resolve(c Cookie) (*Session, error) {
+	switch sm.mode {
+	case SessionsClientCookie:
+		data := c.State
+		isNew := false
+		if data == nil {
+			data = make(map[string]string)
+			isNew = true
+		}
+		id := c.ID
+		if id == "" {
+			id = sm.newID()
+		}
+		return &Session{ID: id, data: data, dirty: map[string]bool{}, isNew: isNew}, nil
+
+	case SessionsPersistent:
+		id := c.ID
+		isNew := id == ""
+		data := make(map[string]string)
+		if isNew {
+			id = sm.newID()
+		} else if row, ok := sm.db.Get("wls.sessions", id); ok {
+			for k, v := range row.Fields {
+				data[k] = v
+			}
+		}
+		return &Session{ID: id, data: data, dirty: map[string]bool{}, isNew: isNew}, nil
+
+	default: // SessionsReplicated
+		return sm.resolveReplicated(c)
+	}
+}
+
+func (sm *SessionManager) resolveReplicated(c Cookie) (*Session, error) {
+	if c.ID == "" {
+		// New session: this server is the primary; pick a secondary by the
+		// ring algorithm among servers running this engine.
+		st := &sessState{id: sm.newID(), data: make(map[string]string), primary: true}
+		sm.chooseSecondary(st)
+		sm.mu.Lock()
+		sm.sessions[st.id] = st
+		sm.mu.Unlock()
+		return &Session{ID: st.id, data: st.data, dirty: map[string]bool{}, isNew: true}, nil
+	}
+
+	sm.mu.Lock()
+	st, ok := sm.sessions[c.ID]
+	sm.mu.Unlock()
+	if ok {
+		if !st.primary {
+			// Fig 2 failover: the plug-in routed to us, the secondary. We
+			// become the primary and create a new secondary.
+			st.primary = true
+			sm.chooseSecondary(st)
+			sm.shipFull(st)
+		}
+		return &Session{ID: st.id, data: st.data, dirty: map[string]bool{}}, nil
+	}
+
+	// Fig 3 failover: external routing sent the request to an arbitrary
+	// server. "The servlet engine inspects the cookie, contacts the
+	// secondary to obtain a copy of the state, becomes the primary, and
+	// then rewrites the cookie leaving the secondary unchanged."
+	if c.Secondary != "" && c.Secondary != sm.self() {
+		if data, err := sm.fetchFrom(c.Secondary, c.ID); err == nil {
+			st := &sessState{id: c.ID, data: data, primary: true, secondary: c.Secondary}
+			sm.shipFull(st)
+			sm.mu.Lock()
+			sm.sessions[c.ID] = st
+			sm.mu.Unlock()
+			return &Session{ID: st.id, data: st.data, dirty: map[string]bool{}}, nil
+		}
+	}
+	// Both replicas gone: the session state is lost; start fresh under the
+	// same id (the paper's in-memory sessions are "not expected to survive
+	// failures" beyond one).
+	st = &sessState{id: c.ID, data: make(map[string]string), primary: true}
+	sm.chooseSecondary(st)
+	sm.mu.Lock()
+	sm.sessions[c.ID] = st
+	sm.mu.Unlock()
+	return &Session{ID: st.id, data: st.data, dirty: map[string]bool{}, isNew: true}, nil
+}
+
+// chooseSecondary applies the §3.2 ring algorithm among live engines.
+func (sm *SessionManager) chooseSecondary(st *sessState) {
+	sec, ok := cluster.ChooseSecondaryFrom(sm.member.Self(), sm.member.OffersOf(sm.service))
+	if !ok {
+		st.secondary = ""
+		return
+	}
+	st.secondary = sec.Name
+}
+
+// finish persists/replicates the session after the servlet ran, and
+// returns the cookie the response must carry.
+func (sm *SessionManager) finish(s *Session) (Cookie, error) {
+	switch sm.mode {
+	case SessionsClientCookie:
+		return Cookie{ID: s.ID, State: s.data}, nil
+	case SessionsPersistent:
+		sm.db.Put("wls.sessions", s.ID, s.data)
+		return Cookie{ID: s.ID}, nil
+	default:
+		sm.mu.Lock()
+		st := sm.sessions[s.ID]
+		sm.mu.Unlock()
+		if st == nil {
+			return Cookie{ID: s.ID, Primary: sm.self()}, nil
+		}
+		if len(s.dirty) > 0 && st.secondary != "" {
+			delta := make(map[string]string, len(s.dirty))
+			for k := range s.dirty {
+				delta[k] = s.data[k]
+			}
+			sm.ship(st, delta)
+		}
+		return Cookie{ID: s.ID, Primary: sm.self(), Secondary: st.secondary}, nil
+	}
+}
+
+// ship synchronously transmits a delta to the secondary.
+func (sm *SessionManager) ship(st *sessState, delta map[string]string) {
+	info, ok := sm.member.Lookup(st.secondary)
+	if !ok {
+		sm.chooseSecondary(st)
+		if st.secondary == "" {
+			return
+		}
+		sm.shipFull(st)
+		return
+	}
+	st.gen++
+	e := wire.NewEncoder(128)
+	e.String(st.id)
+	e.Uint64(st.gen)
+	e.Int(len(delta))
+	for k, v := range delta {
+		e.String(k)
+		e.String(v)
+	}
+	stub := rmi.NewStub(sm.service, sm.node, rmi.StaticView(info.Addr))
+	if _, err := stub.Invoke(context.Background(), "session.update", e.Bytes()); err != nil {
+		sm.chooseSecondary(st)
+		sm.shipFull(st)
+	}
+}
+
+// shipFull seeds (or re-seeds) the secondary with the whole state.
+func (sm *SessionManager) shipFull(st *sessState) {
+	if st.secondary == "" {
+		return
+	}
+	full := make(map[string]string, len(st.data))
+	for k, v := range st.data {
+		full[k] = v
+	}
+	sm.ship(st, full)
+}
+
+// fetchFrom copies session state from another engine (Fig 3).
+func (sm *SessionManager) fetchFrom(server, id string) (map[string]string, error) {
+	info, ok := sm.member.Lookup(server)
+	if !ok {
+		return nil, fmt.Errorf("servlet: %s not in view", server)
+	}
+	e := wire.NewEncoder(32)
+	e.String(id)
+	stub := rmi.NewStub(sm.service, sm.node, rmi.StaticView(info.Addr))
+	res, err := stub.Invoke(context.Background(), "session.fetch", e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	d := wire.NewDecoder(res.Body)
+	n := d.Int()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	data := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		k := d.String()
+		v := d.String()
+		data[k] = v
+	}
+	return data, d.Err()
+}
+
+// handleUpdate applies a replica delta (RMI handler).
+func (sm *SessionManager) handleUpdate(args []byte) error {
+	d := wire.NewDecoder(args)
+	id := d.String()
+	gen := d.Uint64()
+	n := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	delta := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		k := d.String()
+		delta[k] = d.String()
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	st, ok := sm.sessions[id]
+	if !ok {
+		st = &sessState{id: id, data: make(map[string]string)}
+		sm.sessions[id] = st
+	}
+	if gen <= st.gen && st.gen != 0 {
+		return nil
+	}
+	st.gen = gen
+	for k, v := range delta {
+		st.data[k] = v
+	}
+	return nil
+}
+
+// handleFetch returns a replica's state (RMI handler).
+func (sm *SessionManager) handleFetch(args []byte) ([]byte, error) {
+	d := wire.NewDecoder(args)
+	id := d.String()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	sm.mu.Lock()
+	st, ok := sm.sessions[id]
+	var snapshot map[string]string
+	if ok {
+		snapshot = make(map[string]string, len(st.data))
+		for k, v := range st.data {
+			snapshot[k] = v
+		}
+	}
+	sm.mu.Unlock()
+	if !ok {
+		return nil, &rmi.AppError{Msg: "no such session: " + id}
+	}
+	e := wire.NewEncoder(128)
+	e.Int(len(snapshot))
+	for k, v := range snapshot {
+		e.String(k)
+		e.String(v)
+	}
+	return e.Bytes(), nil
+}
+
+// ---------------------------------------------------------------------------
+// URL rewriting (§3.2: "Equivalent functionality can also be provided
+// using URL rewriting.") For cookie-less clients the session token is
+// carried as a path suffix: /cart;wlsession=<token>.
+
+// urlSessionMarker separates the path from the rewritten session token.
+const urlSessionMarker = ";wlsession="
+
+// EncodeURL appends the session token to a path, the servlet-spec
+// encodeURL analogue.
+func EncodeURL(path, cookie string) string {
+	if cookie == "" {
+		return path
+	}
+	return path + urlSessionMarker + cookie
+}
+
+// SplitURL separates a possibly rewritten path into the bare path and the
+// session token ("" when the URL carries none).
+func SplitURL(raw string) (path, cookie string) {
+	if i := strings.Index(raw, urlSessionMarker); i >= 0 {
+		return raw[:i], raw[i+len(urlSessionMarker):]
+	}
+	return raw, ""
+}

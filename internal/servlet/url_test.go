@@ -1,0 +1,48 @@
+package servlet_test
+
+import (
+	"testing"
+
+	"wls/internal/servlet"
+)
+
+// TestURLRewriting covers §3.2's cookie-less alternative.
+func TestURLRewriting(t *testing.T) {
+	_, engines := newEngines(t, 2, servlet.Config{})
+	resp := engines[0].Serve("/count", "", nil)
+	if string(resp.Body) != "1" {
+		t.Fatalf("first: %q", resp.Body)
+	}
+	// The client carries the token in the URL instead of a cookie.
+	rewritten := servlet.EncodeURL("/count", resp.Cookie)
+	resp2 := engines[0].Serve(rewritten, "", nil)
+	if string(resp2.Body) != "2" {
+		t.Fatalf("URL-rewritten request: %q", resp2.Body)
+	}
+}
+
+func TestSplitURL(t *testing.T) {
+	path, tok := servlet.SplitURL("/cart;wlsession=abc")
+	if path != "/cart" || tok != "abc" {
+		t.Fatalf("split = %q %q", path, tok)
+	}
+	path, tok = servlet.SplitURL("/plain")
+	if path != "/plain" || tok != "" {
+		t.Fatalf("plain split = %q %q", path, tok)
+	}
+	if servlet.EncodeURL("/x", "") != "/x" {
+		t.Fatal("empty cookie should not rewrite")
+	}
+}
+
+func TestCookieWinsOverURLToken(t *testing.T) {
+	_, engines := newEngines(t, 1, servlet.Config{})
+	r1 := engines[0].Serve("/count", "", nil) // session A: n=1
+	r2 := engines[0].Serve("/count", "", nil) // session B: n=1
+	// Cookie (session A) should win over a URL token for session B.
+	mixed := servlet.EncodeURL("/count", r2.Cookie)
+	resp := engines[0].Serve(mixed, r1.Cookie, nil)
+	if string(resp.Body) != "2" {
+		t.Fatalf("cookie should take precedence: %q", resp.Body)
+	}
+}

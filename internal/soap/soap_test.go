@@ -1,0 +1,104 @@
+package soap
+
+import (
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	in := Envelope{
+		Header: Header{Action: "requestQuote", ConversationID: "c-1"},
+		Body:   Body{Payload: "IBM <&> BEA"},
+	}
+	raw, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "<?xml") {
+		t.Fatal("missing XML header")
+	}
+	out, err := Unmarshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Header.Action != in.Header.Action || out.Header.ConversationID != in.Header.ConversationID ||
+		out.Body.Payload != in.Body.Payload {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}
+
+func TestEnvelopePropertyRoundTrip(t *testing.T) {
+	f := func(action, conv, payload string) bool {
+		// XML cannot carry invalid UTF-8 or control chars; constrain.
+		clean := func(s string) string {
+			var b strings.Builder
+			for _, r := range s {
+				if r >= 0x20 && r != 0xFFFD {
+					b.WriteRune(r)
+				}
+			}
+			return b.String()
+		}
+		action, conv, payload = clean(action), clean(conv), clean(payload)
+		raw, err := Marshal(Envelope{Header: Header{Action: action, ConversationID: conv}, Body: Body{Payload: payload}})
+		if err != nil {
+			return false
+		}
+		out, err := Unmarshal(raw)
+		if err != nil {
+			return false
+		}
+		return out.Header.Action == action && out.Header.ConversationID == conv && out.Body.Payload == payload
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEndpointRoundTripOverHTTP(t *testing.T) {
+	srv := httptest.NewServer(Endpoint(func(action, convID, payload string) (string, error) {
+		if action != "echo" {
+			return "", errors.New("unknown action")
+		}
+		return convID + ":" + payload, nil
+	}))
+	defer srv.Close()
+
+	out, err := Post(nil, srv.URL, "echo", "conv-9", "hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "conv-9:hello" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestFaultPropagates(t *testing.T) {
+	srv := httptest.NewServer(Endpoint(func(action, convID, payload string) (string, error) {
+		return "", errors.New("boom")
+	}))
+	defer srv.Close()
+	_, err := Post(nil, srv.URL, "x", "", "")
+	if !errors.Is(err, ErrFault) {
+		t.Fatalf("want ErrFault, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("fault reason lost: %v", err)
+	}
+}
+
+func TestMalformedEnvelopeFaults(t *testing.T) {
+	srv := httptest.NewServer(Endpoint(func(a, c, p string) (string, error) { return "", nil }))
+	defer srv.Close()
+	resp, err := srv.Client().Post(srv.URL, "text/xml", strings.NewReader("not xml at all"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 500 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}

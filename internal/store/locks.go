@@ -1,0 +1,139 @@
+package store
+
+import (
+	"sync"
+	"time"
+
+	"wls/internal/vclock"
+)
+
+// lockTable is a per-row exclusive lock manager. Locks are reentrant for
+// their owning transaction and queue FIFO otherwise. Waits are bounded by
+// a timeout measured on the store's clock, which doubles as the (crude but
+// standard) deadlock-resolution mechanism.
+type lockTable struct {
+	clock vclock.Clock
+
+	mu    sync.Mutex
+	locks map[rowRef]*rowLock
+}
+
+type rowLock struct {
+	owner   string
+	depth   int
+	waiters []chan struct{} // closed (in FIFO order) as the lock frees
+}
+
+func newLockTable(clock vclock.Clock) *lockTable {
+	return &lockTable{clock: clock, locks: make(map[rowRef]*rowLock)}
+}
+
+// acquire blocks until the row lock is granted to txID or timeout elapses.
+func (lt *lockTable) acquire(txID, table, key string, timeout time.Duration) error {
+	ref := rowRef{table, key}
+	deadline := lt.clock.Now().Add(timeout)
+	for {
+		lt.mu.Lock()
+		l, ok := lt.locks[ref]
+		if !ok {
+			lt.locks[ref] = &rowLock{owner: txID, depth: 1}
+			lt.mu.Unlock()
+			return nil
+		}
+		if l.owner == txID {
+			l.depth++
+			lt.mu.Unlock()
+			return nil
+		}
+		if l.owner == "" {
+			// Released with waiters woken; first contender takes it.
+			l.owner = txID
+			l.depth = 1
+			lt.mu.Unlock()
+			return nil
+		}
+		// Queue up.
+		ch := make(chan struct{})
+		l.waiters = append(l.waiters, ch)
+		lt.mu.Unlock()
+
+		remaining := deadline.Sub(lt.clock.Now())
+		if remaining <= 0 {
+			lt.abandon(ref, ch)
+			return ErrLockTimeout
+		}
+		select {
+		case <-ch:
+			// Woken: loop and contend again (FIFO wake keeps this fair).
+		case <-lt.clock.After(remaining):
+			lt.abandon(ref, ch)
+			return ErrLockTimeout
+		}
+	}
+}
+
+// abandon removes a waiter that gave up; if the lock was already handed to
+// that waiter (channel closed), pass the wake-up along.
+func (lt *lockTable) abandon(ref rowRef, ch chan struct{}) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	l, ok := lt.locks[ref]
+	if !ok {
+		return
+	}
+	for i, w := range l.waiters {
+		if w == ch {
+			l.waiters = append(l.waiters[:i], l.waiters[i+1:]...)
+			return
+		}
+	}
+	// Not in the queue: we were already woken. Wake the next in line so
+	// the grant is not lost.
+	select {
+	case <-ch:
+		if len(l.waiters) > 0 {
+			next := l.waiters[0]
+			l.waiters = l.waiters[1:]
+			close(next)
+		} else if l.owner == "" && l.depth == 0 {
+			delete(lt.locks, ref)
+		}
+	default:
+	}
+}
+
+// release drops one hold of txID's lock; the final release wakes the first
+// waiter.
+func (lt *lockTable) release(txID, table, key string) {
+	ref := rowRef{table, key}
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	l, ok := lt.locks[ref]
+	if !ok || l.owner != txID {
+		return
+	}
+	l.depth--
+	if l.depth > 0 {
+		return
+	}
+	if len(l.waiters) > 0 {
+		// Hand off: clear ownership, wake the head; it re-contends and
+		// wins because the lock entry has no owner.
+		l.owner = ""
+		next := l.waiters[0]
+		l.waiters = l.waiters[1:]
+		close(next)
+		return
+	}
+	delete(lt.locks, ref)
+}
+
+// owner reports the current lock owner (for tests).
+func (lt *lockTable) ownerOf(table, key string) string {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	if l, ok := lt.locks[rowRef{table, key}]; ok {
+		return l.owner
+	}
+	return ""
+}

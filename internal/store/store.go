@@ -1,0 +1,541 @@
+// Package store is the backend database substrate standing in for the
+// relational databases behind the paper's persistence tier. It implements
+// exactly the mechanisms §3.3 discusses:
+//
+//   - versioned rows, so optimistic concurrency can be enforced "using an
+//     additional WHERE clause in the UPDATE statement" — expected versions
+//     or expected field values are validated at prepare time;
+//   - pessimistic row locks held to transaction end, for the lock-based
+//     consistency option (benchmark E12 compares the two);
+//   - triggers and an LSN-ordered change log, the two mechanisms the paper
+//     names for detecting "backdoor" updates (triggers vs log-sniffing);
+//   - transactional sessions that participate in two-phase commit through
+//     the tx.Resource interface;
+//   - disconnected RowSets (rowset.go) that serialize to binary or XML,
+//     travel to a client, and come back as optimistic submits.
+//
+// The store is deliberately navigational (get/put/scan by key) rather than
+// SQL: §5.1 observes that middle-tier data "is accessed only in limited
+// ways, e.g., by key or through a sequential scan".
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"wls/internal/metrics"
+	"wls/internal/vclock"
+)
+
+// Errors.
+var (
+	// ErrConflict is an optimistic-concurrency failure: a WHERE condition
+	// (expected version or field values) no longer holds.
+	ErrConflict = errors.New("store: optimistic concurrency conflict")
+	// ErrLockTimeout means a pessimistic lock could not be acquired in time.
+	ErrLockTimeout = errors.New("store: lock wait timeout")
+	// ErrNotFound is returned for updates of missing rows.
+	ErrNotFound = errors.New("store: row not found")
+	// ErrDuplicate is returned when inserting an existing key.
+	ErrDuplicate = errors.New("store: duplicate key")
+)
+
+// Row is one record. Fields are flat string pairs (the relational model the
+// paper assumes); Version increments on every committed change.
+type Row struct {
+	Key     string
+	Fields  map[string]string
+	Version uint64
+}
+
+func (r Row) clone() Row {
+	f := make(map[string]string, len(r.Fields))
+	for k, v := range r.Fields {
+		f[k] = v
+	}
+	return Row{Key: r.Key, Fields: f, Version: r.Version}
+}
+
+// Op is a change-log operation kind.
+type Op byte
+
+// Change operations.
+const (
+	OpPut Op = iota + 1
+	OpDelete
+)
+
+// Change is one committed modification, in commit order. LSNs are dense
+// and strictly increasing — the contract log-sniffers rely on.
+type Change struct {
+	LSN   uint64
+	Table string
+	Key   string
+	Op    Op
+	TxID  string
+}
+
+// Trigger observes committed changes to a table, synchronously with the
+// commit (the database-trigger flavour of backdoor-update detection).
+type Trigger func(Change)
+
+// Store is one backend database.
+type Store struct {
+	name  string
+	clock vclock.Clock
+	reg   *metrics.Registry
+
+	mu       sync.Mutex
+	tables   map[string]map[string]Row
+	sessions map[string]*Session
+	changes  []Change
+	lsn      uint64
+	triggers map[string][]Trigger
+	locks    *lockTable
+}
+
+// New creates an empty store.
+func New(name string, clock vclock.Clock) *Store {
+	s := &Store{
+		name:     name,
+		clock:    clock,
+		reg:      metrics.NewRegistry(),
+		tables:   make(map[string]map[string]Row),
+		sessions: make(map[string]*Session),
+		triggers: make(map[string][]Trigger),
+	}
+	s.locks = newLockTable(clock)
+	return s
+}
+
+// Name returns the store's name.
+func (s *Store) Name() string { return s.name }
+
+// Metrics returns the store's metric registry.
+func (s *Store) Metrics() *metrics.Registry { return s.reg }
+
+// Get returns a committed row.
+func (s *Store) Get(table, key string) (Row, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reg.Counter("store.reads").Inc()
+	r, ok := s.tables[table][key]
+	if !ok {
+		return Row{}, false
+	}
+	return r.clone(), true
+}
+
+// Put writes a row outside any transaction (auto-commit). It is also the
+// "backdoor": an application sharing the database but bypassing the
+// application server (§3.3).
+func (s *Store) Put(table, key string, fields map[string]string) Row {
+	s.mu.Lock()
+	row := s.applyPut(table, key, fields, "autocommit")
+	trigs, ch := s.triggersFor(table), s.lastChange()
+	s.mu.Unlock()
+	fire(trigs, ch)
+	return row
+}
+
+// Delete removes a row outside any transaction.
+func (s *Store) Delete(table, key string) bool {
+	s.mu.Lock()
+	_, existed := s.tables[table][key]
+	if existed {
+		s.applyDelete(table, key, "autocommit")
+	}
+	trigs, ch := s.triggersFor(table), s.lastChange()
+	s.mu.Unlock()
+	if existed {
+		fire(trigs, ch)
+	}
+	return existed
+}
+
+// Scan returns all rows of a table matching filter (nil matches all), in
+// key order.
+func (s *Store) Scan(table string, filter func(Row) bool) []Row {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reg.Counter("store.scans").Inc()
+	var out []Row
+	for _, r := range s.tables[table] {
+		if filter == nil || filter(r) {
+			out = append(out, r.clone())
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Count returns the number of rows in a table.
+func (s *Store) Count(table string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.tables[table])
+}
+
+// RegisterTrigger attaches a trigger to a table.
+func (s *Store) RegisterTrigger(table string, t Trigger) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.triggers[table] = append(s.triggers[table], t)
+}
+
+// Changes returns committed changes with LSN > since, for log-sniffing.
+func (s *Store) Changes(since uint64) []Change {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i := sort.Search(len(s.changes), func(i int) bool { return s.changes[i].LSN > since })
+	out := make([]Change, len(s.changes)-i)
+	copy(out, s.changes[i:])
+	return out
+}
+
+// LastLSN returns the newest committed LSN.
+func (s *Store) LastLSN() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lsn
+}
+
+// --- internal commit helpers (s.mu held) ----------------------------------
+
+func (s *Store) applyPut(table, key string, fields map[string]string, txID string) Row {
+	t, ok := s.tables[table]
+	if !ok {
+		t = make(map[string]Row)
+		s.tables[table] = t
+	}
+	prev := t[key]
+	f := make(map[string]string, len(fields))
+	for k, v := range fields {
+		f[k] = v
+	}
+	row := Row{Key: key, Fields: f, Version: prev.Version + 1}
+	t[key] = row
+	s.lsn++
+	s.changes = append(s.changes, Change{LSN: s.lsn, Table: table, Key: key, Op: OpPut, TxID: txID})
+	s.reg.Counter("store.writes").Inc()
+	return row.clone()
+}
+
+func (s *Store) applyDelete(table, key, txID string) {
+	delete(s.tables[table], key)
+	s.lsn++
+	s.changes = append(s.changes, Change{LSN: s.lsn, Table: table, Key: key, Op: OpDelete, TxID: txID})
+	s.reg.Counter("store.writes").Inc()
+}
+
+func (s *Store) triggersFor(table string) []Trigger {
+	return append([]Trigger{}, s.triggers[table]...)
+}
+
+func (s *Store) lastChange() Change {
+	if len(s.changes) == 0 {
+		return Change{}
+	}
+	return s.changes[len(s.changes)-1]
+}
+
+func fire(trigs []Trigger, ch Change) {
+	for _, t := range trigs {
+		t(ch)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Transactional sessions
+
+// writeKind distinguishes staged writes.
+type writeKind byte
+
+const (
+	writePut writeKind = iota + 1
+	writeDelete
+)
+
+// stagedWrite is one buffered modification plus its optimistic condition.
+type stagedWrite struct {
+	kind   writeKind
+	table  string
+	key    string
+	fields map[string]string
+	// expectVersion, when non-zero, is the version the row must still have
+	// at prepare time (optimistic, version-field flavour).
+	expectVersion uint64
+	// expectFields, when non-nil, are field values that must still match at
+	// prepare time (optimistic, data-field flavour).
+	expectFields map[string]string
+	// insert requires the row to be absent.
+	insert bool
+}
+
+// Session is the transactional view of the store for one transaction. It
+// implements tx.Resource: writes stage locally, Prepare validates WHERE
+// conditions and locks the write set, Commit publishes.
+type Session struct {
+	store *Store
+	txID  string
+
+	mu       sync.Mutex
+	writes   []stagedWrite
+	locked   []rowRef // pessimistic locks held (to tx end)
+	prepared bool
+	// LockTimeout bounds pessimistic lock waits.
+	LockTimeout time.Duration
+}
+
+type rowRef struct{ table, key string }
+
+// Session returns (creating on first use) the session for txID.
+func (s *Store) Session(txID string) *Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[txID]
+	if !ok {
+		sess = &Session{store: s, txID: txID, LockTimeout: 5 * time.Second}
+		s.sessions[txID] = sess
+	}
+	return sess
+}
+
+func (s *Store) dropSession(txID string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.sessions, txID)
+}
+
+// Get reads a committed row (read-committed isolation; the paper's
+// optimistic option explicitly does not promise serializability).
+func (se *Session) Get(table, key string) (Row, bool) {
+	return se.store.Get(table, key)
+}
+
+// Insert stages a row creation; prepare fails with ErrDuplicate if the key
+// exists by then.
+func (se *Session) Insert(table, key string, fields map[string]string) {
+	se.stage(stagedWrite{kind: writePut, table: table, key: key, fields: cloneFields(fields), insert: true})
+}
+
+// Update stages an unconditional (last-writer-wins) update.
+func (se *Session) Update(table, key string, fields map[string]string) {
+	se.stage(stagedWrite{kind: writePut, table: table, key: key, fields: cloneFields(fields)})
+}
+
+// UpdateVersioned stages an update that only commits if the row still has
+// the given version — the application-level version-field variant of the
+// paper's optimistic concurrency.
+func (se *Session) UpdateVersioned(table, key string, expectVersion uint64, fields map[string]string) {
+	se.stage(stagedWrite{kind: writePut, table: table, key: key, fields: cloneFields(fields), expectVersion: expectVersion})
+}
+
+// UpdateWhere stages an update that only commits if the listed fields still
+// hold the expected values — the actual-data-fields variant ("these values
+// are compared with those in the database using an additional WHERE clause
+// in the UPDATE statement").
+func (se *Session) UpdateWhere(table, key string, expect, fields map[string]string) {
+	se.stage(stagedWrite{kind: writePut, table: table, key: key, fields: cloneFields(fields), expectFields: cloneFields(expect)})
+}
+
+// Delete stages a row removal.
+func (se *Session) Delete(table, key string) {
+	se.stage(stagedWrite{kind: writeDelete, table: table, key: key})
+}
+
+// DeleteVersioned stages a removal conditioned on the row version.
+func (se *Session) DeleteVersioned(table, key string, expectVersion uint64) {
+	se.stage(stagedWrite{kind: writeDelete, table: table, key: key, expectVersion: expectVersion})
+}
+
+func (se *Session) stage(w stagedWrite) {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	se.writes = append(se.writes, w)
+}
+
+// Lock acquires a pessimistic exclusive lock on a row, held until the
+// transaction completes. While held, no other transaction can lock or
+// prepare a write to the row.
+func (se *Session) Lock(table, key string) error {
+	se.mu.Lock()
+	timeout := se.LockTimeout
+	se.mu.Unlock()
+	if err := se.store.locks.acquire(se.txID, table, key, timeout); err != nil {
+		se.store.reg.Counter("store.lock_timeouts").Inc()
+		return err
+	}
+	se.mu.Lock()
+	se.locked = append(se.locked, rowRef{table, key})
+	se.mu.Unlock()
+	return nil
+}
+
+// GetForUpdate locks the row pessimistically and returns it.
+func (se *Session) GetForUpdate(table, key string) (Row, bool, error) {
+	if err := se.Lock(table, key); err != nil {
+		return Row{}, false, err
+	}
+	r, ok := se.store.Get(table, key)
+	return r, ok, nil
+}
+
+// Prepare implements tx.Resource: it locks the write set and validates
+// every optimistic condition.
+func (se *Session) Prepare(txID string) error {
+	se.mu.Lock()
+	writes := append([]stagedWrite{}, se.writes...)
+	timeout := se.LockTimeout
+	se.mu.Unlock()
+
+	// Lock the write set (short-duration prepare locks) so validation and
+	// commit are atomic with respect to other transactions.
+	seen := map[rowRef]bool{}
+	for _, w := range writes {
+		ref := rowRef{w.table, w.key}
+		if seen[ref] || se.holdsLock(ref) {
+			continue
+		}
+		if err := se.store.locks.acquire(se.txID, w.table, w.key, timeout); err != nil {
+			return err
+		}
+		se.mu.Lock()
+		se.locked = append(se.locked, ref)
+		se.mu.Unlock()
+		seen[ref] = true
+	}
+
+	// Validate WHERE conditions against committed state.
+	s := se.store
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, w := range writes {
+		cur, exists := s.tables[w.table][w.key]
+		if w.insert && exists {
+			return fmt.Errorf("%w: %s/%s", ErrDuplicate, w.table, w.key)
+		}
+		if w.expectVersion != 0 {
+			if !exists || cur.Version != w.expectVersion {
+				s.reg.Counter("store.conflicts").Inc()
+				return fmt.Errorf("%w: %s/%s version %d != expected %d",
+					ErrConflict, w.table, w.key, cur.Version, w.expectVersion)
+			}
+		}
+		if w.expectFields != nil {
+			if !exists {
+				s.reg.Counter("store.conflicts").Inc()
+				return fmt.Errorf("%w: %s/%s deleted", ErrConflict, w.table, w.key)
+			}
+			for k, v := range w.expectFields {
+				if cur.Fields[k] != v {
+					s.reg.Counter("store.conflicts").Inc()
+					return fmt.Errorf("%w: %s/%s field %s = %q, expected %q",
+						ErrConflict, w.table, w.key, k, cur.Fields[k], v)
+				}
+			}
+		}
+		if w.kind == writeDelete && w.expectVersion == 0 && !exists {
+			// Unconditional delete of a missing row is a no-op, not an error.
+			continue
+		}
+	}
+	se.mu.Lock()
+	se.prepared = true
+	se.mu.Unlock()
+	return nil
+}
+
+func (se *Session) holdsLock(ref rowRef) bool {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	for _, l := range se.locked {
+		if l == ref {
+			return true
+		}
+	}
+	return false
+}
+
+// Commit implements tx.Resource. For one-phase commits (single resource in
+// the transaction) Prepare may not have run; Commit validates in that case.
+func (se *Session) Commit(txID string) error {
+	se.mu.Lock()
+	prepared := se.prepared
+	se.mu.Unlock()
+	if !prepared {
+		if err := se.Prepare(txID); err != nil {
+			se.release()
+			return err
+		}
+	}
+	se.mu.Lock()
+	writes := append([]stagedWrite{}, se.writes...)
+	se.writes = nil
+	se.mu.Unlock()
+
+	s := se.store
+	s.mu.Lock()
+	var fired []struct {
+		trigs []Trigger
+		ch    Change
+	}
+	for _, w := range writes {
+		switch w.kind {
+		case writePut:
+			s.applyPut(w.table, w.key, w.fields, se.txID)
+		case writeDelete:
+			if _, ok := s.tables[w.table][w.key]; ok {
+				s.applyDelete(w.table, w.key, se.txID)
+			} else {
+				continue
+			}
+		}
+		fired = append(fired, struct {
+			trigs []Trigger
+			ch    Change
+		}{s.triggersFor(w.table), s.lastChange()})
+	}
+	s.mu.Unlock()
+	se.release()
+	s.dropSession(se.txID)
+	for _, f := range fired {
+		fire(f.trigs, f.ch)
+	}
+	return nil
+}
+
+// Rollback implements tx.Resource.
+func (se *Session) Rollback(txID string) error {
+	se.mu.Lock()
+	se.writes = nil
+	se.prepared = false
+	se.mu.Unlock()
+	se.release()
+	se.store.dropSession(se.txID)
+	return nil
+}
+
+func (se *Session) release() {
+	se.mu.Lock()
+	locked := se.locked
+	se.locked = nil
+	se.mu.Unlock()
+	for _, ref := range locked {
+		se.store.locks.release(se.txID, ref.table, ref.key)
+	}
+}
+
+func cloneFields(f map[string]string) map[string]string {
+	if f == nil {
+		return nil
+	}
+	out := make(map[string]string, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,360 @@
+// Package transport is the production counterpart of internal/netsim: the
+// same Node interface (Addr/Send/Call/SetHandler/Close) implemented over
+// real TCP connections with wire framing.
+//
+// Like WebLogic's T3 protocol, a single connection between two servers
+// multiplexes many concurrent requests using correlation identifiers, and
+// connections are established lazily and cached, which is what gives the
+// presentation tier its "session concentration" property (§2.1): thousands
+// of client sockets fan in to a handful of back-end connections.
+//
+// A connection doubles as both directions of traffic: if A dialed B, B
+// sends its own requests to A over the same TCP connection rather than
+// dialing back.
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"wls/internal/wire"
+)
+
+// Handler is the shared frame-handler type; see wire.Handler.
+type Handler = wire.Handler
+
+// ErrClosed is returned after Close.
+var ErrClosed = errors.New("transport: closed")
+
+// ErrDial wraps connection-establishment failures. A request that failed
+// with ErrDial never left this server, so the RMI layer may fail it over to
+// another candidate even for non-idempotent methods (§3.1).
+var ErrDial = errors.New("transport: dial failed")
+
+// Transport is one server's endpoint on the network.
+type Transport struct {
+	ln      net.Listener
+	addr    string
+	handler atomic.Value // Handler
+
+	mu     sync.Mutex
+	conns  map[string]*conn // by advertised remote address
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Listen starts a transport on the given TCP address ("127.0.0.1:0" picks a
+// free port). The advertised address is the actual listen address.
+func Listen(addr string) (*Transport, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	t := &Transport{
+		ln:    ln,
+		addr:  ln.Addr().String(),
+		conns: make(map[string]*conn),
+	}
+	t.handler.Store(Handler(func(string, wire.Frame) *wire.Frame { return nil }))
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the advertised address of this transport.
+func (t *Transport) Addr() string { return t.addr }
+
+// SetHandler installs the inbound frame handler.
+func (t *Transport) SetHandler(h Handler) { t.handler.Store(h) }
+
+// Close shuts down the listener and all connections.
+func (t *Transport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := make([]*conn, 0, len(t.conns))
+	for _, c := range t.conns {
+		conns = append(conns, c)
+	}
+	t.mu.Unlock()
+	err := t.ln.Close()
+	for _, c := range conns {
+		c.close(ErrClosed)
+	}
+	t.wg.Wait()
+	return err
+}
+
+func (t *Transport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		nc, err := t.ln.Accept()
+		if err != nil {
+			return
+		}
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			t.handleInbound(nc)
+		}()
+	}
+}
+
+// handleInbound performs the server side of the handshake: the dialer's
+// first frame announces its advertised address.
+func (t *Transport) handleInbound(nc net.Conn) {
+	hello, err := wire.ReadFrame(nc)
+	if err != nil || hello.Kind != wire.KindAnnounce {
+		nc.Close()
+		return
+	}
+	remote := string(hello.Body)
+	c := newConn(t, nc, remote)
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		nc.Close()
+		return
+	}
+	// Keep at most one cached conn per peer; an inbound conn replaces
+	// nothing if we already dialed them (both work; latest wins for sends).
+	if _, ok := t.conns[remote]; !ok {
+		t.conns[remote] = c
+	}
+	t.mu.Unlock()
+	c.readLoop()
+	t.dropConn(remote, c)
+}
+
+func (t *Transport) dropConn(remote string, c *conn) {
+	t.mu.Lock()
+	if t.conns[remote] == c {
+		delete(t.conns, remote)
+	}
+	t.mu.Unlock()
+}
+
+// getConn returns a live connection to the peer, dialing if necessary.
+func (t *Transport) getConn(ctx context.Context, to string) (*conn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if c, ok := t.conns[to]; ok {
+		t.mu.Unlock()
+		return c, nil
+	}
+	t.mu.Unlock()
+
+	var d net.Dialer
+	nc, err := d.DialContext(ctx, "tcp", to)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrDial, err)
+	}
+	// Handshake: announce our advertised address.
+	if err := wire.WriteFrame(nc, wire.Frame{Kind: wire.KindAnnounce, Body: []byte(t.addr)}); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	c := newConn(t, nc, to)
+
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		nc.Close()
+		return nil, ErrClosed
+	}
+	if existing, ok := t.conns[to]; ok {
+		// Lost the race; use the existing one.
+		t.mu.Unlock()
+		nc.Close()
+		return existing, nil
+	}
+	t.conns[to] = c
+	t.mu.Unlock()
+
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		c.readLoop()
+		t.dropConn(to, c)
+	}()
+	return c, nil
+}
+
+// Send transmits a one-way frame.
+func (t *Transport) Send(ctx context.Context, to string, f wire.Frame) error {
+	c, err := t.getConn(ctx, to)
+	if err != nil {
+		return err
+	}
+	return c.write(f)
+}
+
+// Call performs a request/response exchange, retrying once on a stale
+// cached connection.
+func (t *Transport) Call(ctx context.Context, to string, f wire.Frame) (wire.Frame, error) {
+	for attempt := 0; ; attempt++ {
+		c, err := t.getConn(ctx, to)
+		if err != nil {
+			return wire.Frame{}, err
+		}
+		resp, err := c.call(ctx, f)
+		if err == nil {
+			return resp, nil
+		}
+		// A write on a connection the peer already closed surfaces here;
+		// retry once with a fresh dial.
+		if attempt == 0 && errors.Is(err, errConnDead) {
+			continue
+		}
+		return wire.Frame{}, err
+	}
+}
+
+// ---------------------------------------------------------------------------
+
+var errConnDead = errors.New("transport: connection dead")
+
+type conn struct {
+	t      *Transport
+	nc     net.Conn
+	remote string
+
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	pending map[uint64]chan wire.Frame
+	nextID  uint64
+	dead    error
+}
+
+func newConn(t *Transport, nc net.Conn, remote string) *conn {
+	return &conn{t: t, nc: nc, remote: remote, pending: make(map[uint64]chan wire.Frame)}
+}
+
+func (c *conn) write(f wire.Frame) error {
+	c.mu.Lock()
+	if c.dead != nil {
+		err := c.dead
+		c.mu.Unlock()
+		return err
+	}
+	c.mu.Unlock()
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if err := wire.WriteFrame(c.nc, f); err != nil {
+		c.close(fmt.Errorf("%w: %v", errConnDead, err))
+		return errConnDead
+	}
+	return nil
+}
+
+func (c *conn) call(ctx context.Context, f wire.Frame) (wire.Frame, error) {
+	ch := make(chan wire.Frame, 1)
+	c.mu.Lock()
+	if c.dead != nil {
+		err := c.dead
+		c.mu.Unlock()
+		return wire.Frame{}, err
+	}
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	f.Kind = wire.KindRequest
+	f.Corr = id
+	if err := c.write(f); err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return wire.Frame{}, err
+	}
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return wire.Frame{}, errConnDead
+		}
+		return resp, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return wire.Frame{}, ctx.Err()
+	}
+}
+
+func (c *conn) close(reason error) {
+	c.mu.Lock()
+	if c.dead != nil {
+		c.mu.Unlock()
+		return
+	}
+	c.dead = reason
+	pending := c.pending
+	c.pending = make(map[uint64]chan wire.Frame)
+	c.mu.Unlock()
+	c.nc.Close()
+	for _, ch := range pending {
+		close(ch)
+	}
+}
+
+// readLoop dispatches inbound frames until the connection dies.
+func (c *conn) readLoop() {
+	for {
+		f, err := wire.ReadFrame(c.nc)
+		if err != nil {
+			c.close(fmt.Errorf("%w: %v", errConnDead, err))
+			return
+		}
+		switch f.Kind {
+		case wire.KindResponse:
+			c.mu.Lock()
+			ch, ok := c.pending[f.Corr]
+			if ok {
+				delete(c.pending, f.Corr)
+			}
+			c.mu.Unlock()
+			if ok {
+				ch <- f
+			}
+		case wire.KindRequest:
+			// Run the handler off the read loop so slow services do not
+			// block unrelated traffic on the shared connection.
+			go func(req wire.Frame) {
+				h := c.t.handler.Load().(Handler)
+				resp := h(c.remote, req)
+				if resp == nil {
+					resp = &wire.Frame{}
+				}
+				resp.Kind = wire.KindResponse
+				resp.Corr = req.Corr
+				_ = c.write(*resp)
+			}(f)
+		default:
+			go func(req wire.Frame) {
+				h := c.t.handler.Load().(Handler)
+				h(c.remote, req)
+			}(f)
+		}
+	}
+}
+
+// NumConns reports the number of live cached connections — the measure of
+// session concentration (§2.1): a front end multiplexing many clients
+// holds one connection per backend, not per client.
+func (t *Transport) NumConns() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.conns)
+}

@@ -1,0 +1,271 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wls/internal/wire"
+)
+
+func newT(t *testing.T) *Transport {
+	t.Helper()
+	tr, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tr.Close() })
+	return tr
+}
+
+func TestCallEcho(t *testing.T) {
+	a, b := newT(t), newT(t)
+	b.SetHandler(func(from string, f wire.Frame) *wire.Frame {
+		return &wire.Frame{Body: append([]byte("echo:"), f.Body...)}
+	})
+	resp, err := a.Call(context.Background(), b.Addr(), wire.Frame{Body: []byte("hi")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Body) != "echo:hi" {
+		t.Fatalf("resp = %q", resp.Body)
+	}
+}
+
+func TestHandlerSeesAdvertisedAddress(t *testing.T) {
+	a, b := newT(t), newT(t)
+	fromCh := make(chan string, 1)
+	b.SetHandler(func(from string, f wire.Frame) *wire.Frame {
+		fromCh <- from
+		return &wire.Frame{}
+	})
+	if _, err := a.Call(context.Background(), b.Addr(), wire.Frame{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := <-fromCh; got != a.Addr() {
+		t.Fatalf("from = %q, want %q", got, a.Addr())
+	}
+}
+
+func TestOneWaySend(t *testing.T) {
+	a, b := newT(t), newT(t)
+	got := make(chan wire.Frame, 1)
+	b.SetHandler(func(from string, f wire.Frame) *wire.Frame {
+		got <- f
+		return nil
+	})
+	if err := a.Send(context.Background(), b.Addr(), wire.Frame{Kind: wire.KindOneWay, Corr: 5, Body: []byte("msg")}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case f := <-got:
+		if f.Corr != 5 || string(f.Body) != "msg" {
+			t.Fatalf("frame = %+v", f)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("one-way not delivered")
+	}
+}
+
+func TestConcurrentCallsMultiplexed(t *testing.T) {
+	a, b := newT(t), newT(t)
+	b.SetHandler(func(from string, f wire.Frame) *wire.Frame {
+		time.Sleep(time.Millisecond)
+		return &wire.Frame{Body: f.Body}
+	})
+	var wg sync.WaitGroup
+	errs := make(chan error, 50)
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := []byte(fmt.Sprintf("req-%d", i))
+			resp, err := a.Call(context.Background(), b.Addr(), wire.Frame{Body: body})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if string(resp.Body) != string(body) {
+				errs <- fmt.Errorf("cross-wired response: got %q want %q", resp.Body, body)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestBidirectionalOverSingleConnection(t *testing.T) {
+	a, b := newT(t), newT(t)
+	a.SetHandler(func(from string, f wire.Frame) *wire.Frame {
+		return &wire.Frame{Body: []byte("from-a")}
+	})
+	b.SetHandler(func(from string, f wire.Frame) *wire.Frame {
+		return &wire.Frame{Body: []byte("from-b")}
+	})
+	// a dials b...
+	if resp, err := a.Call(context.Background(), b.Addr(), wire.Frame{}); err != nil || string(resp.Body) != "from-b" {
+		t.Fatalf("a->b: %v %q", err, resp.Body)
+	}
+	// ...and b can call back over the same connection (no listener needed
+	// on a's side for this path).
+	if resp, err := b.Call(context.Background(), a.Addr(), wire.Frame{}); err != nil || string(resp.Body) != "from-a" {
+		t.Fatalf("b->a: %v %q", err, resp.Body)
+	}
+}
+
+func TestCallContextTimeout(t *testing.T) {
+	a, b := newT(t), newT(t)
+	b.SetHandler(func(from string, f wire.Frame) *wire.Frame {
+		time.Sleep(time.Second)
+		return &wire.Frame{}
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := a.Call(ctx, b.Addr(), wire.Frame{}); err != context.DeadlineExceeded {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+}
+
+func TestCallToDeadPeerFails(t *testing.T) {
+	a := newT(t)
+	dead, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := dead.Addr()
+	dead.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	defer cancel()
+	if _, err := a.Call(ctx, addr, wire.Frame{}); err == nil {
+		t.Fatal("call to dead peer should fail")
+	}
+}
+
+func TestPeerCrashMidCallFails(t *testing.T) {
+	a, b := newT(t), newT(t)
+	started := make(chan struct{})
+	b.SetHandler(func(from string, f wire.Frame) *wire.Frame {
+		close(started)
+		time.Sleep(2 * time.Second)
+		return &wire.Frame{}
+	})
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := a.Call(context.Background(), b.Addr(), wire.Frame{})
+		errCh <- err
+	}()
+	<-started
+	b.Close()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("call should fail when peer crashes")
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("call hung after peer crash")
+	}
+}
+
+func TestReconnectAfterPeerRestart(t *testing.T) {
+	a, b := newT(t), newT(t)
+	b.SetHandler(func(string, wire.Frame) *wire.Frame { return &wire.Frame{Body: []byte("v1")} })
+	if _, err := a.Call(context.Background(), b.Addr(), wire.Frame{}); err != nil {
+		t.Fatal(err)
+	}
+	addr := b.Addr()
+	b.Close()
+	// Restart a new transport on the same address.
+	var b2 *Transport
+	var err error
+	for i := 0; i < 20; i++ {
+		b2, err = Listen(addr)
+		if err == nil {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	defer b2.Close()
+	b2.SetHandler(func(string, wire.Frame) *wire.Frame { return &wire.Frame{Body: []byte("v2")} })
+	// First call may hit the stale cached conn; Call retries internally.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	resp, err := a.Call(ctx, addr, wire.Frame{})
+	if err != nil {
+		t.Fatalf("call after restart: %v", err)
+	}
+	if string(resp.Body) != "v2" {
+		t.Fatalf("resp = %q, want v2", resp.Body)
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	a := newT(t)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Call(context.Background(), "127.0.0.1:1", wire.Frame{}); err != ErrClosed {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+}
+
+func TestManyClientsConcentrate(t *testing.T) {
+	// Session concentration (§2.1): many logical clients share one
+	// transport; the backend sees a bounded number of connections.
+	backend := newT(t)
+	var inboundHandled atomic.Int64
+	backend.SetHandler(func(string, wire.Frame) *wire.Frame {
+		inboundHandled.Add(1)
+		return &wire.Frame{}
+	})
+	front := newT(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := front.Call(context.Background(), backend.Addr(), wire.Frame{}); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if inboundHandled.Load() != 100 {
+		t.Fatalf("handled %d, want 100", inboundHandled.Load())
+	}
+}
+
+func BenchmarkCallRoundTrip(b *testing.B) {
+	tr1, err := Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tr1.Close()
+	tr2, err := Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tr2.Close()
+	tr2.SetHandler(func(string, wire.Frame) *wire.Frame { return &wire.Frame{} })
+	ctx := context.Background()
+	body := make([]byte, 128)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := tr1.Call(ctx, tr2.Addr(), wire.Frame{Body: body}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,426 @@
+// Package tx implements the distributed transaction infrastructure that the
+// paper describes application servers extending "outward from backend
+// databases": local transactions, two-phase commit across XA-style
+// resources, a persistent coordinator log with recovery, and interposed
+// (subordinate) branches on other servers reached over RMI.
+//
+// Design points taken from the paper:
+//
+//   - §3.1: the transaction layer records which servers a transaction has
+//     touched so the RMI load balancer can "limit the spread of the
+//     transaction" (see Tx.Servers and rmi.WithAffinity).
+//   - §5.1: when all enlisted resources live in the same store, commit
+//     degenerates to one phase — the benchmark E22 measures exactly the
+//     2PC tax that co-locating message state with conversational state
+//     eliminates.
+//   - §2.3: gateways provide "a locus for interposed transactions"; the
+//     Branch/remote-resource machinery plays that role between servers.
+package tx
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"wls/internal/metrics"
+	"wls/internal/vclock"
+)
+
+// Resource is an XA-style transaction participant.
+type Resource interface {
+	// Prepare must durably stage the transaction's effects and vote. A nil
+	// return is a yes vote; any error is a no vote.
+	Prepare(txID string) error
+	// Commit makes the staged effects visible. Commit must succeed
+	// eventually once Prepare voted yes; the coordinator retries it during
+	// recovery.
+	Commit(txID string) error
+	// Rollback discards staged effects.
+	Rollback(txID string) error
+}
+
+// State is a transaction's lifecycle position.
+type State int
+
+// Transaction states.
+const (
+	StateActive State = iota
+	StatePreparing
+	StateCommitted
+	StateAborted
+)
+
+func (s State) String() string {
+	switch s {
+	case StateActive:
+		return "active"
+	case StatePreparing:
+		return "preparing"
+	case StateCommitted:
+		return "committed"
+	case StateAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Errors.
+var (
+	// ErrAborted is returned by Commit when the transaction rolled back.
+	ErrAborted = errors.New("tx: transaction aborted")
+	// ErrNotActive is returned when operating on a finished transaction.
+	ErrNotActive = errors.New("tx: transaction not active")
+	// ErrTimeout marks transactions rolled back by their deadline.
+	ErrTimeout = errors.New("tx: transaction timed out")
+)
+
+// Manager coordinates transactions for one server.
+type Manager struct {
+	server string
+	clock  vclock.Clock
+	log    Log
+	reg    *metrics.Registry
+
+	mu       sync.Mutex
+	nextID   uint64
+	active   map[string]*Tx
+	branches map[string]*Branch
+}
+
+// NewManager creates a manager for the named server. log may be nil, in
+// which case an in-memory log is used (recovery then only works within the
+// process lifetime).
+func NewManager(server string, clock vclock.Clock, log Log, reg *metrics.Registry) *Manager {
+	if log == nil {
+		log = NewMemLog()
+	}
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	return &Manager{
+		server: server,
+		clock:  clock,
+		log:    log,
+		reg:    reg,
+		active: make(map[string]*Tx),
+	}
+}
+
+// Begin starts a transaction coordinated by this server. A non-zero
+// timeout schedules automatic rollback.
+func (m *Manager) Begin(timeout time.Duration) *Tx {
+	m.mu.Lock()
+	m.nextID++
+	id := fmt.Sprintf("%s-tx-%d", m.server, m.nextID)
+	t := &Tx{
+		id:      id,
+		mgr:     m,
+		servers: map[string]bool{m.server: true},
+	}
+	m.active[id] = t
+	m.mu.Unlock()
+
+	if timeout > 0 {
+		t.timer = m.clock.AfterFunc(timeout, func() {
+			t.mu.Lock()
+			active := t.state == StateActive
+			t.mu.Unlock()
+			if active {
+				t.timedOut.Store(true)
+				_ = t.Rollback()
+			}
+		})
+	}
+	return t
+}
+
+// Lookup returns the in-flight transaction with the given id.
+func (m *Manager) Lookup(id string) (*Tx, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t, ok := m.active[id]
+	return t, ok
+}
+
+func (m *Manager) finish(t *Tx) {
+	m.mu.Lock()
+	delete(m.active, t.id)
+	m.mu.Unlock()
+}
+
+// Metrics returns the manager's metric registry.
+func (m *Manager) Metrics() *metrics.Registry { return m.reg }
+
+// Tx is one transaction, coordinated by the server that began it.
+type Tx struct {
+	id  string
+	mgr *Manager
+
+	mu        sync.Mutex
+	state     State
+	resources []enlisted
+	servers   map[string]bool
+	before    []func() error
+	after     []func(committed bool)
+	timer     vclock.Timer
+	timedOut  atomicBool
+}
+
+type enlisted struct {
+	name string
+	r    Resource
+}
+
+// atomicBool avoids importing sync/atomic for one flag with CAS semantics.
+type atomicBool struct {
+	mu sync.Mutex
+	v  bool
+}
+
+func (b *atomicBool) Store(v bool) { b.mu.Lock(); b.v = v; b.mu.Unlock() }
+func (b *atomicBool) Load() bool   { b.mu.Lock(); defer b.mu.Unlock(); return b.v }
+
+// ID returns the transaction identifier.
+func (t *Tx) ID() string { return t.id }
+
+// State returns the current state.
+func (t *Tx) State() State {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.state
+}
+
+// Enlist adds a resource under a unique name. Enlisting the same name
+// twice is a no-op, so a resource touched repeatedly joins once.
+func (t *Tx) Enlist(name string, r Resource) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state != StateActive {
+		return ErrNotActive
+	}
+	for _, e := range t.resources {
+		if e.name == name {
+			return nil
+		}
+	}
+	t.resources = append(t.resources, enlisted{name, r})
+	return nil
+}
+
+// TouchServer records that the transaction did work on the named server,
+// feeding the RMI affinity policy.
+func (t *Tx) TouchServer(name string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.servers[name] = true
+}
+
+// Servers lists the servers this transaction has touched.
+func (t *Tx) Servers() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, 0, len(t.servers))
+	for s := range t.servers {
+		out = append(out, s)
+	}
+	return out
+}
+
+// BeforeCompletion registers a callback run before the prepare phase (the
+// JTA Synchronization.beforeCompletion hook); an error aborts the commit.
+// The EJB container uses this to flush dirty entity-bean state, and
+// stateful-session replication uses it to ship its delta at the
+// transaction boundary (§3.2).
+func (t *Tx) BeforeCompletion(fn func() error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.before = append(t.before, fn)
+}
+
+// AfterCompletion registers a callback run once the outcome is decided.
+// The EJB container uses it to broadcast cache-flush signals after commits
+// that contained updates (§3.3).
+func (t *Tx) AfterCompletion(fn func(committed bool)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.after = append(t.after, fn)
+}
+
+// Commit drives the transaction to completion: beforeCompletion hooks,
+// prepare (skipped for a single resource — the one-phase optimization),
+// a durable commit record, then commit on every resource.
+func (t *Tx) Commit() error {
+	t.mu.Lock()
+	if t.state != StateActive {
+		st := t.state
+		t.mu.Unlock()
+		if st == StateCommitted {
+			return nil
+		}
+		if t.timedOut.Load() {
+			return ErrTimeout
+		}
+		return ErrAborted
+	}
+	before := append([]func() error{}, t.before...)
+	t.mu.Unlock()
+
+	if t.timer != nil {
+		t.timer.Stop()
+	}
+
+	// JTA ordering: beforeCompletion runs while the transaction is still
+	// active, so hooks (e.g. the EJB container flushing dirty entity
+	// state) may enlist additional resources.
+	for _, fn := range before {
+		if err := fn(); err != nil {
+			t.mu.Lock()
+			resources := append([]enlisted{}, t.resources...)
+			t.state = StatePreparing
+			t.mu.Unlock()
+			t.abort(resources, false)
+			return fmt.Errorf("%w: beforeCompletion: %v", ErrAborted, err)
+		}
+	}
+
+	t.mu.Lock()
+	if t.state != StateActive { // a hook rolled the transaction back
+		t.mu.Unlock()
+		return ErrAborted
+	}
+	t.state = StatePreparing
+	resources := append([]enlisted{}, t.resources...)
+	t.mu.Unlock()
+
+	m := t.mgr
+	if len(resources) > 1 {
+		// Phase 1: prepare.
+		m.reg.Counter("tx.2pc").Inc()
+		for i, e := range resources {
+			if err := e.r.Prepare(t.id); err != nil {
+				// Roll back everything, including already-prepared ones.
+				_ = i
+				t.abort(resources, true)
+				return fmt.Errorf("%w: %s voted no: %v", ErrAborted, e.name, err)
+			}
+		}
+		// Decision point: durably record the commit.
+		if err := m.log.Append(Record{TxID: t.id, Kind: RecordCommit}); err != nil {
+			t.abort(resources, true)
+			return fmt.Errorf("%w: commit record: %v", ErrAborted, err)
+		}
+	} else {
+		// One-phase optimization: a single resource decides the outcome
+		// itself, so a commit failure here is an abort, not an in-doubt
+		// state — no decision was ever logged.
+		m.reg.Counter("tx.1pc").Inc()
+		if len(resources) == 1 {
+			if err := resources[0].r.Commit(t.id); err != nil {
+				t.abort(resources, false)
+				return fmt.Errorf("%w: %v", ErrAborted, err)
+			}
+			t.mu.Lock()
+			t.state = StateCommitted
+			after := append([]func(bool){}, t.after...)
+			t.mu.Unlock()
+			m.finish(t)
+			m.reg.Counter("tx.committed").Inc()
+			for _, fn := range after {
+				fn(true)
+			}
+			return nil
+		}
+	}
+
+	// Phase 2: commit every resource. After the decision is logged,
+	// failures here are retried by recovery, not reported as aborts.
+	var firstErr error
+	for _, e := range resources {
+		if err := e.r.Commit(t.id); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	// The done record may only be written once every resource committed;
+	// otherwise the transaction must stay in doubt so Recover re-drives it.
+	if len(resources) > 1 && firstErr == nil {
+		_ = m.log.Append(Record{TxID: t.id, Kind: RecordDone})
+	}
+
+	t.mu.Lock()
+	t.state = StateCommitted
+	after := append([]func(bool){}, t.after...)
+	t.mu.Unlock()
+	m.finish(t)
+	m.reg.Counter("tx.committed").Inc()
+	for _, fn := range after {
+		fn(true)
+	}
+	if firstErr != nil {
+		return fmt.Errorf("tx: committed with in-doubt resource (recovery will retry): %v", firstErr)
+	}
+	return nil
+}
+
+// Rollback aborts the transaction.
+func (t *Tx) Rollback() error {
+	t.mu.Lock()
+	if t.state != StateActive {
+		t.mu.Unlock()
+		return ErrNotActive
+	}
+	t.state = StatePreparing
+	resources := append([]enlisted{}, t.resources...)
+	t.mu.Unlock()
+	if t.timer != nil {
+		t.timer.Stop()
+	}
+	t.abort(resources, false)
+	return nil
+}
+
+func (t *Tx) abort(resources []enlisted, prepared bool) {
+	for _, e := range resources {
+		_ = e.r.Rollback(t.id)
+	}
+	t.mu.Lock()
+	t.state = StateAborted
+	after := append([]func(bool){}, t.after...)
+	t.mu.Unlock()
+	t.mgr.finish(t)
+	t.mgr.reg.Counter("tx.aborted").Inc()
+	for _, fn := range after {
+		fn(false)
+	}
+}
+
+// Recover replays the coordinator log: transactions with a commit record
+// but no done record are re-committed against the resources supplied by
+// name. It returns the ids it re-committed.
+func (m *Manager) Recover(resources map[string]Resource) ([]string, error) {
+	recs, err := m.log.Records()
+	if err != nil {
+		return nil, err
+	}
+	inDoubt := map[string]bool{}
+	for _, r := range recs {
+		switch r.Kind {
+		case RecordCommit:
+			inDoubt[r.TxID] = true
+		case RecordDone:
+			delete(inDoubt, r.TxID)
+		}
+	}
+	var done []string
+	for id := range inDoubt {
+		for _, r := range resources {
+			_ = r.Commit(id) // commit must be idempotent for recovery
+		}
+		if err := m.log.Append(Record{TxID: id, Kind: RecordDone}); err != nil {
+			return done, err
+		}
+		done = append(done, id)
+	}
+	return done, nil
+}

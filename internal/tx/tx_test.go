@@ -1,0 +1,434 @@
+package tx
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"wls/internal/vclock"
+)
+
+// fakeResource records the 2PC calls it receives and can be programmed to
+// vote no or fail commits.
+type fakeResource struct {
+	mu        sync.Mutex
+	prepared  []string
+	committed []string
+	rolled    []string
+	voteNo    bool
+	failOnce  bool
+}
+
+func (r *fakeResource) Prepare(id string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.voteNo {
+		return errors.New("vote no")
+	}
+	r.prepared = append(r.prepared, id)
+	return nil
+}
+
+func (r *fakeResource) Commit(id string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.failOnce {
+		r.failOnce = false
+		return errors.New("transient commit failure")
+	}
+	for _, c := range r.committed {
+		if c == id {
+			return nil // idempotent
+		}
+	}
+	r.committed = append(r.committed, id)
+	return nil
+}
+
+func (r *fakeResource) Rollback(id string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.rolled = append(r.rolled, id)
+	return nil
+}
+
+func (r *fakeResource) counts() (p, c, rb int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.prepared), len(r.committed), len(r.rolled)
+}
+
+func newMgr() *Manager {
+	return NewManager("s1", vclock.NewVirtualAtZero(), nil, nil)
+}
+
+func TestCommitSingleResourceSkipsPrepare(t *testing.T) {
+	m := newMgr()
+	r := &fakeResource{}
+	tx := m.Begin(0)
+	if err := tx.Enlist("db", r); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	p, c, _ := r.counts()
+	if p != 0 {
+		t.Fatalf("single-resource commit ran prepare (%d); want 1PC", p)
+	}
+	if c != 1 {
+		t.Fatalf("committed %d, want 1", c)
+	}
+	if m.Metrics().Counter("tx.1pc").Value() != 1 || m.Metrics().Counter("tx.2pc").Value() != 0 {
+		t.Fatal("1PC metric not recorded")
+	}
+}
+
+func TestCommitTwoResourcesRuns2PC(t *testing.T) {
+	m := newMgr()
+	r1, r2 := &fakeResource{}, &fakeResource{}
+	tx := m.Begin(0)
+	tx.Enlist("db", r1)
+	tx.Enlist("jms", r2)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range []*fakeResource{r1, r2} {
+		p, c, _ := r.counts()
+		if p != 1 || c != 1 {
+			t.Fatalf("resource %d: prepared=%d committed=%d", i, p, c)
+		}
+	}
+	if m.Metrics().Counter("tx.2pc").Value() != 1 {
+		t.Fatal("2PC metric not recorded")
+	}
+}
+
+func TestVoteNoAbortsAll(t *testing.T) {
+	m := newMgr()
+	r1 := &fakeResource{}
+	r2 := &fakeResource{voteNo: true}
+	tx := m.Begin(0)
+	tx.Enlist("a", r1)
+	tx.Enlist("b", r2)
+	err := tx.Commit()
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("want ErrAborted, got %v", err)
+	}
+	_, c1, rb1 := r1.counts()
+	if c1 != 0 || rb1 != 1 {
+		t.Fatalf("r1 committed=%d rolled=%d, want 0/1", c1, rb1)
+	}
+	if tx.State() != StateAborted {
+		t.Fatalf("state = %v", tx.State())
+	}
+}
+
+func TestRollback(t *testing.T) {
+	m := newMgr()
+	r := &fakeResource{}
+	tx := m.Begin(0)
+	tx.Enlist("db", r)
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	_, c, rb := r.counts()
+	if c != 0 || rb != 1 {
+		t.Fatalf("committed=%d rolled=%d", c, rb)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrAborted) {
+		t.Fatalf("commit after rollback: %v", err)
+	}
+}
+
+func TestEnlistDeduplicates(t *testing.T) {
+	m := newMgr()
+	r := &fakeResource{}
+	tx := m.Begin(0)
+	tx.Enlist("db", r)
+	tx.Enlist("db", r)
+	tx.Enlist("db2", &fakeResource{})
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	p, c, _ := r.counts()
+	if p != 1 || c != 1 {
+		t.Fatalf("dedup failed: prepared=%d committed=%d", p, c)
+	}
+}
+
+func TestEnlistAfterCompletionFails(t *testing.T) {
+	m := newMgr()
+	tx := m.Begin(0)
+	tx.Commit()
+	if err := tx.Enlist("late", &fakeResource{}); !errors.Is(err, ErrNotActive) {
+		t.Fatalf("want ErrNotActive, got %v", err)
+	}
+}
+
+func TestTimeoutRollsBack(t *testing.T) {
+	clk := vclock.NewVirtualAtZero()
+	m := NewManager("s1", clk, nil, nil)
+	r := &fakeResource{}
+	tx := m.Begin(time.Second)
+	tx.Enlist("db", r)
+	clk.Advance(2 * time.Second)
+	if tx.State() != StateAborted {
+		t.Fatalf("state = %v, want aborted", tx.State())
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+	_, _, rb := r.counts()
+	if rb != 1 {
+		t.Fatalf("rolled = %d", rb)
+	}
+}
+
+func TestCommitCancelsTimeout(t *testing.T) {
+	clk := vclock.NewVirtualAtZero()
+	m := NewManager("s1", clk, nil, nil)
+	tx := m.Begin(time.Second)
+	tx.Enlist("db", &fakeResource{})
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(5 * time.Second) // timer must not fire / corrupt state
+	if tx.State() != StateCommitted {
+		t.Fatalf("state = %v", tx.State())
+	}
+}
+
+func TestBeforeCompletionErrorAborts(t *testing.T) {
+	m := newMgr()
+	r := &fakeResource{}
+	tx := m.Begin(0)
+	tx.Enlist("db", r)
+	tx.BeforeCompletion(func() error { return errors.New("dirty flush failed") })
+	if err := tx.Commit(); !errors.Is(err, ErrAborted) {
+		t.Fatalf("want ErrAborted, got %v", err)
+	}
+	p, _, rb := r.counts()
+	if p != 0 || rb != 1 {
+		t.Fatalf("prepared=%d rolled=%d", p, rb)
+	}
+}
+
+func TestAfterCompletionObservesOutcome(t *testing.T) {
+	m := newMgr()
+	var outcomes []bool
+	tx := m.Begin(0)
+	tx.Enlist("db", &fakeResource{})
+	tx.AfterCompletion(func(ok bool) { outcomes = append(outcomes, ok) })
+	tx.Commit()
+
+	tx2 := m.Begin(0)
+	tx2.Enlist("db", &fakeResource{})
+	tx2.AfterCompletion(func(ok bool) { outcomes = append(outcomes, ok) })
+	tx2.Rollback()
+
+	if len(outcomes) != 2 || !outcomes[0] || outcomes[1] {
+		t.Fatalf("outcomes = %v, want [true false]", outcomes)
+	}
+}
+
+func TestTouchServersAndAffinity(t *testing.T) {
+	m := newMgr()
+	tx := m.Begin(0)
+	tx.TouchServer("s2")
+	tx.TouchServer("s2")
+	tx.TouchServer("s3")
+	got := tx.Servers()
+	if len(got) != 3 { // s1 (coordinator) + s2 + s3
+		t.Fatalf("servers = %v", got)
+	}
+}
+
+func TestLookupAndFinish(t *testing.T) {
+	m := newMgr()
+	tx := m.Begin(0)
+	if _, ok := m.Lookup(tx.ID()); !ok {
+		t.Fatal("active tx not found")
+	}
+	tx.Enlist("db", &fakeResource{})
+	tx.Commit()
+	if _, ok := m.Lookup(tx.ID()); ok {
+		t.Fatal("finished tx still listed")
+	}
+}
+
+func TestCommitIdempotent(t *testing.T) {
+	m := newMgr()
+	r := &fakeResource{}
+	tx := m.Begin(0)
+	tx.Enlist("db", r)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("second commit: %v", err)
+	}
+	_, c, _ := r.counts()
+	if c != 1 {
+		t.Fatalf("committed %d times", c)
+	}
+}
+
+// TestAtomicityProperty: for any mix of yes/no voters, either every
+// resource commits or every resource rolls back.
+func TestAtomicityProperty(t *testing.T) {
+	f := func(votes []bool) bool {
+		if len(votes) == 0 {
+			return true
+		}
+		m := newMgr()
+		tx := m.Begin(0)
+		resources := make([]*fakeResource, len(votes))
+		for i, yes := range votes {
+			resources[i] = &fakeResource{voteNo: !yes}
+			tx.Enlist(fmt.Sprintf("r%d", i), resources[i])
+		}
+		err := tx.Commit()
+		committed := err == nil
+		for _, r := range resources {
+			_, c, _ := r.counts()
+			if committed && c != 1 {
+				return false
+			}
+			if !committed && c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Log & recovery -------------------------------------------------------
+
+func TestMemLogRoundTrip(t *testing.T) {
+	l := NewMemLog()
+	l.Append(Record{TxID: "a", Kind: RecordCommit})
+	l.Append(Record{TxID: "a", Kind: RecordDone})
+	recs, err := l.Records()
+	if err != nil || len(recs) != 2 {
+		t.Fatalf("recs=%v err=%v", recs, err)
+	}
+}
+
+func TestFileLogRoundTripAndTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tlog")
+	l, err := OpenFileLog(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append(Record{TxID: "tx-1", Kind: RecordCommit})
+	l.Append(Record{TxID: "tx-1", Kind: RecordDone})
+	l.Append(Record{TxID: "tx-2", Kind: RecordCommit})
+	recs, err := l.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || recs[2].TxID != "tx-2" || recs[2].Kind != RecordCommit {
+		t.Fatalf("recs = %+v", recs)
+	}
+	// Appending after Records (which seeks) must still work.
+	if err := l.Append(Record{TxID: "tx-3", Kind: RecordCommit}); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ = l.Records()
+	if len(recs) != 4 {
+		t.Fatalf("after reseek append: %d records", len(recs))
+	}
+	l.Close()
+
+	// Simulate a torn tail: truncate the file mid-record.
+	l2, err := OpenFileLog(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	recs2, err := l2.Records()
+	if err != nil || len(recs2) != 4 {
+		t.Fatalf("reopen: recs=%d err=%v", len(recs2), err)
+	}
+}
+
+func TestRecoveryRecommitsInDoubt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tlog")
+	log1, err := OpenFileLog(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := vclock.NewVirtualAtZero()
+	m1 := NewManager("s1", clk, log1, nil)
+
+	// r2 fails its first commit: the tx ends with a commit record but a
+	// resource in doubt.
+	r1 := &fakeResource{}
+	r2 := &fakeResource{failOnce: true}
+	tx := m1.Begin(0)
+	tx.Enlist("a", r1)
+	tx.Enlist("b", r2)
+	if err := tx.Commit(); err == nil {
+		t.Fatal("expected in-doubt warning error")
+	}
+	txID := tx.ID()
+	log1.Close()
+
+	// "Restart": a new manager on the same log recovers.
+	log2, err := OpenFileLog(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log2.Close()
+	m2 := NewManager("s1", clk, log2, nil)
+	recovered, err := m2.Recover(map[string]Resource{"a": r1, "b": r2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 1 || recovered[0] != txID {
+		t.Fatalf("recovered = %v, want [%s]", recovered, txID)
+	}
+	_, c2, _ := r2.counts()
+	if c2 != 1 {
+		t.Fatalf("r2 committed = %d after recovery, want 1", c2)
+	}
+	// A second recovery finds nothing in doubt.
+	recovered, err = m2.Recover(map[string]Resource{"a": r1, "b": r2})
+	if err != nil || len(recovered) != 0 {
+		t.Fatalf("second recovery: %v %v", recovered, err)
+	}
+}
+
+func TestConcurrentTransactions(t *testing.T) {
+	m := newMgr()
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tx := m.Begin(0)
+			tx.Enlist("a", &fakeResource{})
+			tx.Enlist("b", &fakeResource{})
+			if err := tx.Commit(); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := m.Metrics().Counter("tx.committed").Value(); got != 32 {
+		t.Fatalf("committed = %d", got)
+	}
+}

@@ -1,0 +1,201 @@
+package vclock
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestVirtualNowAdvance(t *testing.T) {
+	v := NewVirtualAtZero()
+	start := v.Now()
+	v.Advance(3 * time.Second)
+	if got := v.Since(start); got != 3*time.Second {
+		t.Fatalf("Since = %v, want 3s", got)
+	}
+}
+
+func TestVirtualAfterFuncFiresInOrder(t *testing.T) {
+	v := NewVirtualAtZero()
+	var order []int
+	v.AfterFunc(30*time.Millisecond, func() { order = append(order, 3) })
+	v.AfterFunc(10*time.Millisecond, func() { order = append(order, 1) })
+	v.AfterFunc(20*time.Millisecond, func() { order = append(order, 2) })
+	v.Advance(25 * time.Millisecond)
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order = %v, want [1 2]", order)
+	}
+	v.Advance(10 * time.Millisecond)
+	if len(order) != 3 || order[2] != 3 {
+		t.Fatalf("order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestVirtualEqualDeadlinesFIFO(t *testing.T) {
+	v := NewVirtualAtZero()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		v.AfterFunc(time.Second, func() { order = append(order, i) })
+	}
+	v.Advance(time.Second)
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestVirtualTimerStop(t *testing.T) {
+	v := NewVirtualAtZero()
+	fired := false
+	tm := v.AfterFunc(time.Second, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("Stop should report true before firing")
+	}
+	v.Advance(2 * time.Second)
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop should report false")
+	}
+}
+
+func TestVirtualStopAfterFire(t *testing.T) {
+	v := NewVirtualAtZero()
+	tm := v.AfterFunc(time.Second, func() {})
+	v.Advance(time.Second)
+	if tm.Stop() {
+		t.Fatal("Stop after fire should report false")
+	}
+}
+
+func TestVirtualCallbackSchedulesFollowUp(t *testing.T) {
+	v := NewVirtualAtZero()
+	var fires int
+	var schedule func()
+	schedule = func() {
+		v.AfterFunc(10*time.Millisecond, func() {
+			fires++
+			if fires < 5 {
+				schedule()
+			}
+		})
+	}
+	schedule()
+	v.Advance(100 * time.Millisecond)
+	if fires != 5 {
+		t.Fatalf("fires = %d, want 5 (follow-up timers inside window must fire)", fires)
+	}
+}
+
+func TestVirtualClockTimeDuringCallback(t *testing.T) {
+	v := NewVirtualAtZero()
+	start := v.Now()
+	var at time.Duration
+	v.AfterFunc(7*time.Millisecond, func() { at = v.Now().Sub(start) })
+	v.Advance(50 * time.Millisecond)
+	if at != 7*time.Millisecond {
+		t.Fatalf("callback observed t=%v, want 7ms", at)
+	}
+	if v.Since(start) != 50*time.Millisecond {
+		t.Fatalf("after Advance, Since = %v, want 50ms", v.Since(start))
+	}
+}
+
+func TestVirtualAfterChannel(t *testing.T) {
+	v := NewVirtualAtZero()
+	ch := v.After(time.Second)
+	select {
+	case <-ch:
+		t.Fatal("After channel fired early")
+	default:
+	}
+	v.Advance(time.Second)
+	select {
+	case <-ch:
+	default:
+		t.Fatal("After channel did not fire")
+	}
+}
+
+func TestVirtualSleepUnblocks(t *testing.T) {
+	v := NewVirtualAtZero()
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		wg.Done()
+		v.Sleep(time.Second)
+		close(done)
+	}()
+	wg.Wait()
+	// Give the sleeper a moment to register its timer.
+	for i := 0; i < 100 && v.PendingTimers() == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	v.Advance(time.Second)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Sleep did not unblock after Advance")
+	}
+}
+
+func TestVirtualNegativeDelayFiresImmediately(t *testing.T) {
+	v := NewVirtualAtZero()
+	fired := false
+	v.AfterFunc(-time.Second, func() { fired = true })
+	v.Advance(0)
+	if !fired {
+		t.Fatal("negative-delay timer should fire on next Advance")
+	}
+}
+
+func TestVirtualConcurrentAdvanceSafe(t *testing.T) {
+	v := NewVirtualAtZero()
+	var fires atomic.Int64
+	for i := 0; i < 100; i++ {
+		v.AfterFunc(time.Duration(i)*time.Millisecond, func() { fires.Add(1) })
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v.Advance(30 * time.Millisecond)
+		}()
+	}
+	wg.Wait()
+	if fires.Load() != 100 {
+		t.Fatalf("fires = %d, want 100", fires.Load())
+	}
+}
+
+func TestRealClockBasics(t *testing.T) {
+	c := System
+	t0 := c.Now()
+	c.Sleep(time.Millisecond)
+	if c.Since(t0) <= 0 {
+		t.Fatal("real clock did not move")
+	}
+	tm := c.AfterFunc(time.Hour, func() { t.Error("should not fire") })
+	if !tm.Stop() {
+		t.Fatal("Stop on pending real timer should be true")
+	}
+}
+
+func TestPendingTimers(t *testing.T) {
+	v := NewVirtualAtZero()
+	a := v.AfterFunc(time.Second, func() {})
+	v.AfterFunc(2*time.Second, func() {})
+	if got := v.PendingTimers(); got != 2 {
+		t.Fatalf("PendingTimers = %d, want 2", got)
+	}
+	a.Stop()
+	if got := v.PendingTimers(); got != 1 {
+		t.Fatalf("PendingTimers after stop = %d, want 1", got)
+	}
+}

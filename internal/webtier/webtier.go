@@ -1,0 +1,257 @@
+// Package webtier implements the presentation tier of §2.1–§2.2 and the
+// two routing configurations of Figures 2 and 3:
+//
+//   - ProxyPlugin — "application server code that resides in the
+//     presentation tier, as either a full client-handling process, such as
+//     a Web Server, or a plug-in for such a process": it inspects the
+//     session cookie and routes to the primary, failing over to the
+//     secondary (which promotes itself and rewrites the cookie) — Fig 2.
+//   - ExternalLB — a load-balancing appliance: affinity is set up on the
+//     first request; on failure affinity switches "to some arbitrary
+//     member of the cluster", and the engine there fetches the state from
+//     the secondary — Fig 3.
+//   - DNSClients — the co-listed-DNS-name alternative, where "the client
+//     makes the choice" and sticks with the first server it resolves.
+//
+// The tier also provides session concentration (§2.1): any number of
+// client connections multiplex over the proxy's one node.
+package webtier
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"wls/internal/cluster"
+	"wls/internal/metrics"
+	"wls/internal/rmi"
+	"wls/internal/servlet"
+)
+
+// View supplies the servlet-engine servers (the rmi.View interface).
+type View = rmi.View
+
+// ErrNoBackends means no servlet engine is reachable.
+var ErrNoBackends = errors.New("webtier: no reachable servlet engine")
+
+// route invokes the servlet engine on a specific member.
+func callEngine(ctx context.Context, node rmi.Node, addr, path, cookie string, body []byte) (servlet.Response, error) {
+	stub := rmi.NewStub(servlet.ServiceName, node, rmi.StaticView(addr))
+	res, err := stub.Invoke(ctx, "request", servlet.EncodeRequest(path, cookie, body))
+	if err != nil {
+		return servlet.Response{}, err
+	}
+	return servlet.DecodeResponse(res.Body)
+}
+
+// ---------------------------------------------------------------------------
+// Fig 2: routing in the web server / proxy plug-in
+
+// ProxyPlugin routes on the session cookie.
+type ProxyPlugin struct {
+	node rmi.Node
+	view View
+	rr   atomic.Uint64
+	reg  *metrics.Registry
+}
+
+// NewProxyPlugin creates a plug-in front end using the given node (its own
+// endpoint in the presentation tier) and cluster view.
+func NewProxyPlugin(node rmi.Node, view View, reg *metrics.Registry) *ProxyPlugin {
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	return &ProxyPlugin{node: node, view: view, reg: reg}
+}
+
+func (p *ProxyPlugin) backends() []cluster.MemberInfo {
+	return p.view.Candidates(servlet.ServiceName)
+}
+
+func (p *ProxyPlugin) addrOf(server string) (string, bool) {
+	for _, m := range p.backends() {
+		if m.Name == server {
+			return m.Addr, true
+		}
+	}
+	return "", false
+}
+
+// Route forwards one request: cookie-primary first, then cookie-secondary,
+// then round robin over live engines (session creation).
+func (p *ProxyPlugin) Route(ctx context.Context, path, cookie string, body []byte) (servlet.Response, error) {
+	c, err := servlet.DecodeCookie(cookie)
+	if err != nil {
+		return servlet.Response{}, err
+	}
+	// Cookie-directed routing.
+	for _, target := range []string{c.Primary, c.Secondary} {
+		if target == "" {
+			continue
+		}
+		addr, ok := p.addrOf(target)
+		if !ok {
+			continue // not in the current view (failed): try next
+		}
+		resp, err := callEngine(ctx, p.node, addr, path, cookie, body)
+		if err == nil {
+			p.reg.Counter("webtier.routed").Inc()
+			return resp, nil
+		}
+		p.reg.Counter("webtier.failovers").Inc()
+	}
+	// No cookie, or both replicas unreachable: load balance.
+	backs := p.backends()
+	if len(backs) == 0 {
+		return servlet.Response{}, ErrNoBackends
+	}
+	start := int(p.rr.Add(1)-1) % len(backs)
+	var lastErr error
+	for i := 0; i < len(backs); i++ {
+		b := backs[(start+i)%len(backs)]
+		resp, err := callEngine(ctx, p.node, b.Addr, path, cookie, body)
+		if err == nil {
+			p.reg.Counter("webtier.routed").Inc()
+			return resp, nil
+		}
+		lastErr = err
+	}
+	return servlet.Response{}, errors.Join(ErrNoBackends, lastErr)
+}
+
+// ---------------------------------------------------------------------------
+// Fig 3: external load-balancing appliance
+
+// ExternalLB models an IP appliance: it knows client identities (source
+// addresses) and sticky affinity, but never parses cookies.
+type ExternalLB struct {
+	node rmi.Node
+	view View
+	rr   atomic.Uint64
+	reg  *metrics.Registry
+
+	mu       sync.Mutex
+	affinity map[string]string // clientID → server name
+}
+
+// NewExternalLB creates an appliance front end.
+func NewExternalLB(node rmi.Node, view View, reg *metrics.Registry) *ExternalLB {
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	return &ExternalLB{node: node, view: view, reg: reg, affinity: make(map[string]string)}
+}
+
+func (lb *ExternalLB) backends() []cluster.MemberInfo {
+	return lb.view.Candidates(servlet.ServiceName)
+}
+
+// Route forwards a request for clientID, maintaining affinity. On target
+// failure, affinity switches to an arbitrary live member; the engine there
+// recovers the session from the secondary named in the cookie.
+func (lb *ExternalLB) Route(ctx context.Context, clientID, path, cookie string, body []byte) (servlet.Response, error) {
+	backs := lb.backends()
+	if len(backs) == 0 {
+		return servlet.Response{}, ErrNoBackends
+	}
+
+	lb.mu.Lock()
+	target, hasAffinity := lb.affinity[clientID]
+	lb.mu.Unlock()
+
+	tryServer := func(name string) (servlet.Response, bool) {
+		for _, b := range backs {
+			if b.Name == name {
+				resp, err := callEngine(ctx, lb.node, b.Addr, path, cookie, body)
+				if err == nil {
+					lb.mu.Lock()
+					lb.affinity[clientID] = name
+					lb.mu.Unlock()
+					lb.reg.Counter("webtier.routed").Inc()
+					return resp, true
+				}
+			}
+		}
+		return servlet.Response{}, false
+	}
+
+	if hasAffinity {
+		if resp, ok := tryServer(target); ok {
+			return resp, nil
+		}
+		lb.reg.Counter("webtier.failovers").Inc()
+	}
+	// Pick an arbitrary member (round robin) and stick to it.
+	start := int(lb.rr.Add(1)-1) % len(backs)
+	for i := 0; i < len(backs); i++ {
+		b := backs[(start+i)%len(backs)]
+		if resp, ok := tryServer(b.Name); ok {
+			return resp, nil
+		}
+	}
+	return servlet.Response{}, ErrNoBackends
+}
+
+// AffinityOf reports the sticky server for a client ("" if none).
+func (lb *ExternalLB) AffinityOf(clientID string) string {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	return lb.affinity[clientID]
+}
+
+// ---------------------------------------------------------------------------
+// DNS co-listing
+
+// DNSClients models publishing the front-end servers "under a single DNS
+// name and allow[ing] the client to make the choice": each client resolves
+// once, sticks with that server, and only re-resolves on failure — the
+// "coarse control" the paper contrasts with appliances.
+type DNSClients struct {
+	node rmi.Node
+	view View
+	rr   atomic.Uint64
+
+	mu     sync.Mutex
+	chosen map[string]string
+}
+
+// NewDNSClients creates the DNS-based client-side router.
+func NewDNSClients(node rmi.Node, view View) *DNSClients {
+	return &DNSClients{node: node, view: view, chosen: make(map[string]string)}
+}
+
+// Route issues a request from clientID with client-side server choice.
+func (d *DNSClients) Route(ctx context.Context, clientID, path, cookie string, body []byte) (servlet.Response, error) {
+	backs := d.view.Candidates(servlet.ServiceName)
+	if len(backs) == 0 {
+		return servlet.Response{}, ErrNoBackends
+	}
+	d.mu.Lock()
+	name := d.chosen[clientID]
+	d.mu.Unlock()
+
+	addr := ""
+	for _, b := range backs {
+		if b.Name == name {
+			addr = b.Addr
+		}
+	}
+	if addr == "" {
+		// (Re-)resolve: round robin across the co-listed records.
+		b := backs[int(d.rr.Add(1)-1)%len(backs)]
+		name, addr = b.Name, b.Addr
+	}
+	resp, err := callEngine(ctx, d.node, addr, path, cookie, body)
+	if err != nil {
+		// Client notices the dead server and re-resolves on the next call.
+		d.mu.Lock()
+		delete(d.chosen, clientID)
+		d.mu.Unlock()
+		return servlet.Response{}, err
+	}
+	d.mu.Lock()
+	d.chosen[clientID] = name
+	d.mu.Unlock()
+	return resp, nil
+}

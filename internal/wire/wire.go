@@ -1,0 +1,340 @@
+// Package wire implements the binary framing used by every server-to-server
+// and tightly-coupled-client protocol in the system. It plays the role of
+// WebLogic's proprietary T3 protocol (§2.2 of the paper): a single TCP
+// connection carries many concurrent requests, each frame carrying a
+// correlation identifier so responses can be matched to callers, which is
+// what makes "session concentration" (§2.1) possible — many client sockets
+// multiplexed over few back-end connections.
+//
+// Frames are length-prefixed:
+//
+//	uint32  payload length (big endian, excludes the prefix itself)
+//	byte    frame kind
+//	uint64  correlation id
+//	...     kind-specific body encoded with Encoder
+//
+// The package also provides Encoder/Decoder, a compact append-style binary
+// encoding (uvarint lengths, no reflection) used for all message bodies.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Kind identifies the role of a frame within a connection.
+type Kind byte
+
+// Frame kinds. Request/Response implement RPC; OneWay carries asynchronous
+// messages (JMS, SAF, callbacks); Heartbeat keeps connections and failure
+// detectors alive; Announce carries cluster service advertisements when the
+// gossip bus runs over TCP.
+const (
+	KindRequest Kind = iota + 1
+	KindResponse
+	KindOneWay
+	KindHeartbeat
+	KindAnnounce
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindRequest:
+		return "request"
+	case KindResponse:
+		return "response"
+	case KindOneWay:
+		return "oneway"
+	case KindHeartbeat:
+		return "heartbeat"
+	case KindAnnounce:
+		return "announce"
+	default:
+		return fmt.Sprintf("kind(%d)", byte(k))
+	}
+}
+
+// Handler processes an inbound frame on a node. For KindRequest frames the
+// returned frame (if non-nil) is sent back as the response; for other kinds
+// the return value is ignored. Both the simulated fabric (internal/netsim)
+// and the TCP transport (internal/transport) deliver frames to a Handler, so
+// protocol code above them is transport-agnostic.
+type Handler func(from string, f Frame) *Frame
+
+// MaxFrameSize bounds a single frame; larger frames indicate corruption or
+// an unreasonable payload and are rejected before allocation.
+const MaxFrameSize = 64 << 20 // 64 MiB
+
+// ErrFrameTooLarge is returned when a frame header announces a payload
+// exceeding MaxFrameSize.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+
+// Frame is a decoded wire frame.
+type Frame struct {
+	Kind Kind
+	// Corr correlates a Response to its Request. OneWay frames may use it
+	// as a deduplication identifier.
+	Corr uint64
+	// Body is the kind-specific payload.
+	Body []byte
+}
+
+// frameHeaderLen is kind byte + correlation id.
+const frameHeaderLen = 1 + 8
+
+// WriteFrame writes f to w as a single length-prefixed frame.
+func WriteFrame(w io.Writer, f Frame) error {
+	n := frameHeaderLen + len(f.Body)
+	if n > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	buf := make([]byte, 4+n)
+	binary.BigEndian.PutUint32(buf, uint32(n))
+	buf[4] = byte(f.Kind)
+	binary.BigEndian.PutUint64(buf[5:], f.Corr)
+	copy(buf[13:], f.Body)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame reads the next frame from r.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return Frame{}, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > MaxFrameSize {
+		return Frame{}, ErrFrameTooLarge
+	}
+	if n < frameHeaderLen {
+		return Frame{}, fmt.Errorf("wire: short frame (%d bytes)", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return Frame{}, err
+	}
+	return Frame{
+		Kind: Kind(buf[0]),
+		Corr: binary.BigEndian.Uint64(buf[1:9]),
+		Body: buf[9:],
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Encoder / Decoder
+
+// Encoder builds a message body by appending fields. The zero value is ready
+// to use.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an encoder with capacity pre-allocated for sizeHint
+// bytes.
+func NewEncoder(sizeHint int) *Encoder {
+	return &Encoder{buf: make([]byte, 0, sizeHint)}
+}
+
+// Bytes returns the encoded body. The returned slice aliases the encoder's
+// buffer; callers must not modify it while continuing to encode.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of encoded bytes so far.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Reset clears the encoder for reuse, keeping its buffer.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// Uint64 appends v as a uvarint.
+func (e *Encoder) Uint64(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+
+// Int64 appends v as a zig-zag varint.
+func (e *Encoder) Int64(v int64) { e.buf = binary.AppendVarint(e.buf, v) }
+
+// Uint32 appends v as a uvarint.
+func (e *Encoder) Uint32(v uint32) { e.Uint64(uint64(v)) }
+
+// Int appends v as a zig-zag varint.
+func (e *Encoder) Int(v int) { e.Int64(int64(v)) }
+
+// Byte appends a raw byte.
+func (e *Encoder) Byte(b byte) { e.buf = append(e.buf, b) }
+
+// Bool appends a boolean as one byte.
+func (e *Encoder) Bool(b bool) {
+	if b {
+		e.Byte(1)
+	} else {
+		e.Byte(0)
+	}
+}
+
+// Float64 appends v as 8 big-endian bytes of its IEEE-754 representation.
+func (e *Encoder) Float64(v float64) {
+	e.buf = binary.BigEndian.AppendUint64(e.buf, math.Float64bits(v))
+}
+
+// String appends a length-prefixed string.
+func (e *Encoder) String(s string) {
+	e.Uint64(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Bytes2 appends a length-prefixed byte slice.
+func (e *Encoder) Bytes2(b []byte) {
+	e.Uint64(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// StringSlice appends a length-prefixed slice of strings.
+func (e *Encoder) StringSlice(ss []string) {
+	e.Uint64(uint64(len(ss)))
+	for _, s := range ss {
+		e.String(s)
+	}
+}
+
+// Decoder reads fields appended by Encoder.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder wraps b for decoding. The decoder records the first error and
+// returns zero values thereafter; check Err once at the end.
+func NewDecoder(b []byte) *Decoder { return &Decoder{buf: b} }
+
+// Err returns the first decoding error encountered, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+var errShortBuffer = errors.New("wire: short buffer")
+
+func (d *Decoder) fail() {
+	if d.err == nil {
+		d.err = errShortBuffer
+	}
+}
+
+// Uint64 reads a uvarint.
+func (d *Decoder) Uint64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Int64 reads a zig-zag varint.
+func (d *Decoder) Int64() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Uint32 reads a uvarint and narrows it.
+func (d *Decoder) Uint32() uint32 { return uint32(d.Uint64()) }
+
+// Int reads a zig-zag varint and narrows it.
+func (d *Decoder) Int() int { return int(d.Int64()) }
+
+// Byte reads one raw byte.
+func (d *Decoder) Byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.buf) {
+		d.fail()
+		return 0
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b
+}
+
+// Bool reads one byte as a boolean.
+func (d *Decoder) Bool() bool { return d.Byte() != 0 }
+
+// Float64 reads 8 bytes as an IEEE-754 float.
+func (d *Decoder) Float64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := math.Float64frombits(binary.BigEndian.Uint64(d.buf[d.off:]))
+	d.off += 8
+	return v
+}
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string {
+	n := d.Uint64()
+	if d.err != nil {
+		return ""
+	}
+	if uint64(d.Remaining()) < n {
+		d.fail()
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
+
+// Bytes reads a length-prefixed byte slice. The result is a copy.
+func (d *Decoder) Bytes() []byte {
+	n := d.Uint64()
+	if d.err != nil {
+		return nil
+	}
+	if uint64(d.Remaining()) < n {
+		d.fail()
+		return nil
+	}
+	b := make([]byte, n)
+	copy(b, d.buf[d.off:d.off+int(n)])
+	d.off += int(n)
+	return b
+}
+
+// StringSlice reads a length-prefixed slice of strings.
+func (d *Decoder) StringSlice() []string {
+	n := d.Uint64()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(d.Remaining()) { // each string needs at least 1 length byte
+		d.fail()
+		return nil
+	}
+	out := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, d.String())
+		if d.err != nil {
+			return nil
+		}
+	}
+	return out
+}

@@ -1,0 +1,295 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := Frame{Kind: KindRequest, Corr: 42, Body: []byte("hello")}
+	if err := WriteFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Kind != in.Kind || out.Corr != in.Corr || !bytes.Equal(out.Body, in.Body) {
+		t.Fatalf("round trip mismatch: %+v != %+v", out, in)
+	}
+}
+
+func TestFrameEmptyBody(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Frame{Kind: KindHeartbeat, Corr: 7}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Kind != KindHeartbeat || f.Corr != 7 || len(f.Body) != 0 {
+		t.Fatalf("got %+v", f)
+	}
+}
+
+func TestFrameSequence(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 10; i++ {
+		if err := WriteFrame(&buf, Frame{Kind: KindOneWay, Corr: uint64(i), Body: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		f, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Corr != uint64(i) || f.Body[0] != byte(i) {
+			t.Fatalf("frame %d: got %+v", i, f)
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestReadFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Frame{Kind: KindRequest, Corr: 1, Body: []byte("payload")}); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 1; cut < len(full); cut++ {
+		_, err := ReadFrame(bytes.NewReader(full[:cut]))
+		if err == nil {
+			t.Fatalf("truncated at %d bytes: want error", cut)
+		}
+	}
+}
+
+func TestReadFrameTooLarge(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrameSize+1)
+	_, err := ReadFrame(bytes.NewReader(hdr[:]))
+	if err != ErrFrameTooLarge {
+		t.Fatalf("want ErrFrameTooLarge, got %v", err)
+	}
+}
+
+func TestWriteFrameTooLarge(t *testing.T) {
+	err := WriteFrame(io.Discard, Frame{Kind: KindRequest, Body: make([]byte, MaxFrameSize)})
+	if err != ErrFrameTooLarge {
+		t.Fatalf("want ErrFrameTooLarge, got %v", err)
+	}
+}
+
+func TestReadFrameShortHeader(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 3) // less than kind+corr
+	buf := append(hdr[:], 1, 2, 3)
+	if _, err := ReadFrame(bytes.NewReader(buf)); err == nil {
+		t.Fatal("want error for short frame")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for _, tc := range []struct {
+		k    Kind
+		want string
+	}{
+		{KindRequest, "request"}, {KindResponse, "response"},
+		{KindOneWay, "oneway"}, {KindHeartbeat, "heartbeat"},
+		{KindAnnounce, "announce"}, {Kind(99), "kind(99)"},
+	} {
+		if got := tc.k.String(); got != tc.want {
+			t.Errorf("%d.String() = %q, want %q", tc.k, got, tc.want)
+		}
+	}
+}
+
+func TestEncoderDecoderAllTypes(t *testing.T) {
+	e := NewEncoder(64)
+	e.Uint64(12345)
+	e.Int64(-9876)
+	e.Uint32(77)
+	e.Int(-3)
+	e.Byte(0xAB)
+	e.Bool(true)
+	e.Bool(false)
+	e.Float64(3.14159)
+	e.String("weblogic")
+	e.Bytes2([]byte{1, 2, 3})
+	e.StringSlice([]string{"a", "bb", ""})
+
+	d := NewDecoder(e.Bytes())
+	if got := d.Uint64(); got != 12345 {
+		t.Fatalf("Uint64 = %d", got)
+	}
+	if got := d.Int64(); got != -9876 {
+		t.Fatalf("Int64 = %d", got)
+	}
+	if got := d.Uint32(); got != 77 {
+		t.Fatalf("Uint32 = %d", got)
+	}
+	if got := d.Int(); got != -3 {
+		t.Fatalf("Int = %d", got)
+	}
+	if got := d.Byte(); got != 0xAB {
+		t.Fatalf("Byte = %x", got)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Fatal("Bool mismatch")
+	}
+	if got := d.Float64(); got != 3.14159 {
+		t.Fatalf("Float64 = %v", got)
+	}
+	if got := d.String(); got != "weblogic" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := d.Bytes(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("Bytes = %v", got)
+	}
+	if got := d.StringSlice(); !reflect.DeepEqual(got, []string{"a", "bb", ""}) {
+		t.Fatalf("StringSlice = %v", got)
+	}
+	if d.Err() != nil {
+		t.Fatalf("Err = %v", d.Err())
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("Remaining = %d", d.Remaining())
+	}
+}
+
+func TestDecoderShortBufferSticky(t *testing.T) {
+	d := NewDecoder([]byte{})
+	_ = d.Uint64()
+	if d.Err() == nil {
+		t.Fatal("want error on empty buffer")
+	}
+	// All subsequent reads return zero values without panicking.
+	if d.String() != "" || d.Bytes() != nil || d.Int64() != 0 || d.Bool() || d.Float64() != 0 {
+		t.Fatal("sticky error should yield zero values")
+	}
+}
+
+func TestDecoderTruncatedString(t *testing.T) {
+	e := NewEncoder(8)
+	e.Uint64(100) // claims 100 bytes follow
+	d := NewDecoder(e.Bytes())
+	if s := d.String(); s != "" || d.Err() == nil {
+		t.Fatalf("want error, got %q err=%v", s, d.Err())
+	}
+}
+
+func TestDecoderCorruptStringSliceCount(t *testing.T) {
+	e := NewEncoder(8)
+	e.Uint64(1 << 40) // absurd element count
+	d := NewDecoder(e.Bytes())
+	if ss := d.StringSlice(); ss != nil || d.Err() == nil {
+		t.Fatal("want error on absurd count (no huge allocation)")
+	}
+}
+
+func TestEncoderReset(t *testing.T) {
+	e := NewEncoder(8)
+	e.String("abc")
+	if e.Len() == 0 {
+		t.Fatal("encoder should have bytes")
+	}
+	e.Reset()
+	if e.Len() != 0 {
+		t.Fatal("Reset should empty encoder")
+	}
+	e.Uint64(5)
+	d := NewDecoder(e.Bytes())
+	if d.Uint64() != 5 || d.Err() != nil {
+		t.Fatal("encoder unusable after Reset")
+	}
+}
+
+func TestEncodingPropertyRoundTrip(t *testing.T) {
+	f := func(u uint64, i int64, s string, b []byte, ss []string, fl float64) bool {
+		if math.IsNaN(fl) {
+			fl = 0
+		}
+		e := NewEncoder(32)
+		e.Uint64(u)
+		e.Int64(i)
+		e.String(s)
+		e.Bytes2(b)
+		e.StringSlice(ss)
+		e.Float64(fl)
+		d := NewDecoder(e.Bytes())
+		gu, gi, gs, gb, gss, gfl := d.Uint64(), d.Int64(), d.String(), d.Bytes(), d.StringSlice(), d.Float64()
+		if d.Err() != nil {
+			return false
+		}
+		if gb == nil {
+			gb = []byte{}
+		}
+		if b == nil {
+			b = []byte{}
+		}
+		if gss == nil {
+			gss = []string{}
+		}
+		if ss == nil {
+			ss = []string{}
+		}
+		return gu == u && gi == i && gs == s && bytes.Equal(gb, b) &&
+			reflect.DeepEqual(gss, ss) && gfl == fl
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFramePropertyRoundTrip(t *testing.T) {
+	f := func(kind byte, corr uint64, body []byte) bool {
+		var buf bytes.Buffer
+		in := Frame{Kind: Kind(kind), Corr: corr, Body: body}
+		if err := WriteFrame(&buf, in); err != nil {
+			return false
+		}
+		out, err := ReadFrame(&buf)
+		if err != nil {
+			return false
+		}
+		if body == nil {
+			body = []byte{}
+		}
+		return out.Kind == in.Kind && out.Corr == corr && bytes.Equal(out.Body, body)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkWriteFrame(b *testing.B) {
+	body := make([]byte, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = WriteFrame(io.Discard, Frame{Kind: KindRequest, Corr: uint64(i), Body: body})
+	}
+}
+
+func BenchmarkEncodeDecode(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEncoder(64)
+		e.String("service.method")
+		e.Uint64(uint64(i))
+		e.Bytes2([]byte("payload-payload-payload"))
+		d := NewDecoder(e.Bytes())
+		_ = d.String()
+		_ = d.Uint64()
+		_ = d.Bytes()
+	}
+}

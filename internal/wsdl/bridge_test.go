@@ -1,0 +1,74 @@
+package wsdl_test
+
+import (
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"wls/internal/simtest"
+	"wls/internal/soap"
+	"wls/internal/wsdl"
+)
+
+// TestSOAPBridgeDrivesConversations runs the loosely-coupled path: SOAP
+// envelopes over real HTTP into the same conversation runtime.
+func TestSOAPBridgeDrivesConversations(t *testing.T) {
+	f := simtest.New(simtest.Options{Servers: 1})
+	defer f.Stop()
+	port := wsdl.NewPort(f.Servers[0].Registry, nil)
+	port.Offer(&wsdl.ServiceDef{
+		Name: "Counter",
+		Operations: map[string]wsdl.Operation{
+			"inc": {Kind: wsdl.RequestResponse, Handler: func(c *wsdl.Conversation, p []byte) ([]byte, error) {
+				n, _ := strconv.Atoi(c.Get("n"))
+				c.Set("n", strconv.Itoa(n+1))
+				return []byte(strconv.Itoa(n + 1)), nil
+			}},
+		},
+	})
+	srv := httptest.NewServer(soap.Endpoint(port.SOAPHandler()))
+	defer srv.Close()
+
+	convID, err := soap.Post(nil, srv.URL, "start", "", "Counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if convID == "" {
+		t.Fatal("no conversation id")
+	}
+	for want := 1; want <= 3; want++ {
+		out, err := soap.Post(nil, srv.URL, "inc", convID, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != strconv.Itoa(want) {
+			t.Fatalf("inc -> %q, want %d", out, want)
+		}
+	}
+	// Two independent SOAP clients get independent conversations.
+	convID2, _ := soap.Post(nil, srv.URL, "start", "", "Counter")
+	out, _ := soap.Post(nil, srv.URL, "inc", convID2, "")
+	if out != "1" {
+		t.Fatalf("second conversation contaminated: %q", out)
+	}
+	// Finish tears down.
+	if _, err := soap.Post(nil, srv.URL, "finish", convID, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := soap.Post(nil, srv.URL, "inc", convID, ""); err == nil ||
+		!strings.Contains(err.Error(), "no such conversation") {
+		t.Fatalf("finished conversation still live: %v", err)
+	}
+}
+
+func TestSOAPBridgeUnknownServiceFaults(t *testing.T) {
+	f := simtest.New(simtest.Options{Servers: 1})
+	defer f.Stop()
+	port := wsdl.NewPort(f.Servers[0].Registry, nil)
+	srv := httptest.NewServer(soap.Endpoint(port.SOAPHandler()))
+	defer srv.Close()
+	if _, err := soap.Post(nil, srv.URL, "start", "", "Ghost"); err == nil {
+		t.Fatal("want fault for unknown service")
+	}
+}

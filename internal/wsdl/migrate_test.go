@@ -1,0 +1,98 @@
+package wsdl_test
+
+import (
+	"context"
+	"strconv"
+	"testing"
+
+	"wls/internal/simtest"
+	"wls/internal/wsdl"
+)
+
+// migration fixture: the service is offered on servers 2 and 3; the client
+// lives on server 1.
+func migrationFixture(t *testing.T) (*simtest.Fixture, []*wsdl.Port) {
+	t.Helper()
+	f := simtest.New(simtest.Options{Servers: 3})
+	t.Cleanup(f.Stop)
+	var ps []*wsdl.Port
+	for _, s := range f.Servers {
+		ps = append(ps, wsdl.NewPort(s.Registry, nil))
+	}
+	counter := func() *wsdl.ServiceDef {
+		return &wsdl.ServiceDef{
+			Name: "Counter",
+			Operations: map[string]wsdl.Operation{
+				"inc": {Kind: wsdl.RequestResponse, Handler: func(c *wsdl.Conversation, p []byte) ([]byte, error) {
+					n, _ := strconv.Atoi(c.Get("n"))
+					c.Set("n", strconv.Itoa(n+1))
+					return []byte(strconv.Itoa(n + 1)), nil
+				}},
+			},
+		}
+	}
+	ps[1].Offer(counter())
+	ps[2].Offer(counter())
+	f.Settle(2)
+	return f, ps
+}
+
+func TestMigrateConversationKeepsState(t *testing.T) {
+	_, ps := migrationFixture(t)
+	ctx := context.Background()
+	conv, err := ps[0].StartConversation(ctx, ps[1].Addr(), "Counter", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv.Call(ctx, "inc", nil)
+	conv.Call(ctx, "inc", nil)
+
+	// Migrate the server side from server-2 to server-3 over RMI.
+	if err := ps[1].Migrate(ctx, conv.ID, ps[2].Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if ps[1].Conversations() != 0 {
+		t.Fatal("source still holds the conversation")
+	}
+	if ps[2].Conversations() != 1 {
+		t.Fatal("destination did not import")
+	}
+	// The client re-binds and the conversation continues where it was.
+	conv.Rebind(ps[2].Addr())
+	out, err := conv.Call(ctx, "inc", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "3" {
+		t.Fatalf("state lost in migration: %q", out)
+	}
+}
+
+func TestMigrateToPortWithoutServiceFails(t *testing.T) {
+	_, ps := migrationFixture(t)
+	ctx := context.Background()
+	conv, _ := ps[0].StartConversation(ctx, ps[1].Addr(), "Counter", nil)
+	// server-1's port does not offer Counter.
+	if err := ps[1].Migrate(ctx, conv.ID, ps[0].Addr()); err == nil {
+		t.Fatal("migration to a port without the service must fail")
+	}
+	// And the source must still own the conversation (no state lost).
+	if ps[1].Conversations() != 1 {
+		t.Fatal("failed migration dropped the conversation")
+	}
+}
+
+func TestExportUnknownConversation(t *testing.T) {
+	_, ps := migrationFixture(t)
+	if _, err := ps[1].Export("nope"); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestClientSideConversationsDoNotMigrate(t *testing.T) {
+	_, ps := migrationFixture(t)
+	conv, _ := ps[0].StartConversation(context.Background(), ps[1].Addr(), "Counter", nil)
+	if _, err := ps[0].Export(conv.ID); err == nil {
+		t.Fatal("client-side conversation export must fail")
+	}
+}

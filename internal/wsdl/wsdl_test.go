@@ -1,0 +1,350 @@
+package wsdl_test
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"wls/internal/filestore"
+	"wls/internal/simtest"
+	"wls/internal/wsdl"
+)
+
+// ports builds one WS port per fixture server.
+func ports(t *testing.T, n int) (*simtest.Fixture, []*wsdl.Port) {
+	t.Helper()
+	f := simtest.New(simtest.Options{Servers: n})
+	t.Cleanup(f.Stop)
+	var ps []*wsdl.Port
+	for _, s := range f.Servers {
+		ps = append(ps, wsdl.NewPort(s.Registry, nil))
+	}
+	f.Settle(2)
+	return f, ps
+}
+
+// quoteService is a stateful request-response service.
+func quoteService() *wsdl.ServiceDef {
+	return &wsdl.ServiceDef{
+		Name: "QuoteService",
+		Operations: map[string]wsdl.Operation{
+			"requestQuote": {Kind: wsdl.RequestResponse, Handler: func(c *wsdl.Conversation, payload []byte) ([]byte, error) {
+				n, _ := strconv.Atoi(c.Get("quotes"))
+				c.Set("quotes", strconv.Itoa(n+1))
+				return []byte(fmt.Sprintf("quote-%d for %s", n+1, payload)), nil
+			}},
+			"note": {Kind: wsdl.OneWay, Handler: nil}, // queued in the inbox
+		},
+		Callbacks: map[string]wsdl.OpKind{
+			"priceChanged": wsdl.Notification,
+			"confirm":      wsdl.SolicitResponse,
+		},
+	}
+}
+
+func TestConversationRequestResponse(t *testing.T) {
+	_, ps := ports(t, 2)
+	ps[1].Offer(quoteService())
+	ctx := context.Background()
+
+	conv, err := ps[0].StartConversation(ctx, ps[1].Addr(), "QuoteService", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := conv.Call(ctx, "requestQuote", []byte("IBM"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "quote-1 for IBM" {
+		t.Fatalf("out = %q", out)
+	}
+	// Conversation state persists between operations on the server side.
+	out2, _ := conv.Call(ctx, "requestQuote", []byte("BEA"))
+	if string(out2) != "quote-2 for BEA" {
+		t.Fatalf("out2 = %q", out2)
+	}
+}
+
+func TestConversationsAreIsolatedFromEachOther(t *testing.T) {
+	_, ps := ports(t, 2)
+	ps[1].Offer(quoteService())
+	ctx := context.Background()
+	c1, _ := ps[0].StartConversation(ctx, ps[1].Addr(), "QuoteService", nil)
+	c2, _ := ps[0].StartConversation(ctx, ps[1].Addr(), "QuoteService", nil)
+	c1.Call(ctx, "requestQuote", []byte("A"))
+	c1.Call(ctx, "requestQuote", []byte("B"))
+	out, _ := c2.Call(ctx, "requestQuote", []byte("C"))
+	if string(out) != "quote-1 for C" {
+		t.Fatalf("conversation state leaked: %q", out)
+	}
+}
+
+func TestUnknownOperationRejected(t *testing.T) {
+	_, ps := ports(t, 2)
+	ps[1].Offer(quoteService())
+	conv, _ := ps[0].StartConversation(context.Background(), ps[1].Addr(), "QuoteService", nil)
+	if _, err := conv.Call(context.Background(), "hack", nil); err == nil ||
+		!strings.Contains(err.Error(), "operation not in service definition") {
+		t.Fatalf("want WSDL rejection, got %v", err)
+	}
+}
+
+func TestUnknownServiceRejected(t *testing.T) {
+	_, ps := ports(t, 2)
+	if _, err := ps[0].StartConversation(context.Background(), ps[1].Addr(), "Ghost", nil); err == nil {
+		t.Fatal("want error for unknown service")
+	}
+}
+
+func TestOneWayQueuesInMemoryWithConversation(t *testing.T) {
+	_, ps := ports(t, 2)
+	svc := quoteService()
+	var serverConv *wsdl.Conversation
+	svc.OnStart = func(c *wsdl.Conversation) { serverConv = c }
+	ps[1].Offer(svc)
+	ctx := context.Background()
+	conv, _ := ps[0].StartConversation(ctx, ps[1].Addr(), "QuoteService", nil)
+	for i := 0; i < 3; i++ {
+		if err := conv.Send(ctx, "note", []byte(fmt.Sprintf("n%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	msgs := serverConv.Inbox("note")
+	if len(msgs) != 3 || string(msgs[0]) != "n0" {
+		t.Fatalf("inbox = %v", msgs)
+	}
+	if len(serverConv.Inbox("note")) != 0 {
+		t.Fatal("inbox not drained")
+	}
+}
+
+func TestCallbacksReachTheClientByLocationEmbedding(t *testing.T) {
+	_, ps := ports(t, 2)
+	svc := quoteService()
+	var serverConv *wsdl.Conversation
+	svc.OnStart = func(c *wsdl.Conversation) { serverConv = c }
+	ps[1].Offer(svc)
+	ctx := context.Background()
+
+	notified := make(chan string, 1)
+	callbacks := map[string]wsdl.Handler{
+		"priceChanged": func(c *wsdl.Conversation, payload []byte) ([]byte, error) {
+			notified <- string(payload)
+			return nil, nil
+		},
+		"confirm": func(c *wsdl.Conversation, payload []byte) ([]byte, error) {
+			return []byte("yes to " + string(payload)), nil
+		},
+	}
+	conv, err := ps[0].StartConversation(ctx, ps[1].Addr(), "QuoteService", callbacks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The conversation ID embeds the client's address.
+	loc, ok := wsdl.LocationOf(conv.ID)
+	if !ok || loc != ps[0].Addr() {
+		t.Fatalf("location embedding broken: %q", conv.ID)
+	}
+	// Notification (server → client, one-way).
+	if err := serverConv.Send(ctx, "priceChanged", []byte("IBM@85")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-notified:
+		if got != "IBM@85" {
+			t.Fatalf("notification = %q", got)
+		}
+	default:
+		t.Fatal("notification not delivered")
+	}
+	// Solicit-response (server → client with correlated reply).
+	out, err := serverConv.Solicit(ctx, "confirm", []byte("order-1"))
+	if err != nil || string(out) != "yes to order-1" {
+		t.Fatalf("solicit: %q err=%v", out, err)
+	}
+}
+
+func TestUndeclaredCallbackRejectedAtSender(t *testing.T) {
+	_, ps := ports(t, 2)
+	svc := quoteService()
+	var serverConv *wsdl.Conversation
+	svc.OnStart = func(c *wsdl.Conversation) { serverConv = c }
+	ps[1].Offer(svc)
+	ps[0].StartConversation(context.Background(), ps[1].Addr(), "QuoteService", nil)
+	if err := serverConv.Send(context.Background(), "newServiceOnClient", nil); err == nil {
+		t.Fatal("server must not invoke operations outside its declared callbacks")
+	}
+}
+
+// TestE19SubordinateCallbackIsolation is Figure 4: A converses with B; B
+// opens subordinate conversations with two C-type services. Callbacks from
+// C must arrive at B's client-side objects — never as call-ins on A's
+// conversation — and the two subordinates must be unambiguous.
+func TestE19SubordinateCallbackIsolation(t *testing.T) {
+	f, ps := ports(t, 4)
+	_ = f
+	ctx := context.Background()
+	a, b, c1, c2 := ps[0], ps[1], ps[2], ps[3]
+
+	// C's service calls back "done" on ITS client (which will be B).
+	makeC := func(tag string) *wsdl.ServiceDef {
+		return &wsdl.ServiceDef{
+			Name: "CService",
+			Operations: map[string]wsdl.Operation{
+				"work": {Kind: wsdl.RequestResponse, Handler: func(c *wsdl.Conversation, payload []byte) ([]byte, error) {
+					// Asynchronous completion callback to the client.
+					if err := c.Send(ctx, "done", []byte(tag)); err != nil {
+						return nil, err
+					}
+					return []byte("ack-" + tag), nil
+				}},
+			},
+			Callbacks: map[string]wsdl.OpKind{"done": wsdl.Notification},
+		}
+	}
+	c1.Offer(makeC("C1"))
+	c2.Offer(makeC("C2"))
+
+	var fromC []string
+	var aCallbackHit bool
+
+	// B's service: its "intoB" operation opens subordinate conversations
+	// with C1 and C2 — separate dependent objects, one per subordinate.
+	b.Offer(&wsdl.ServiceDef{
+		Name: "BService",
+		Operations: map[string]wsdl.Operation{
+			"intoB": {Kind: wsdl.RequestResponse, Handler: func(conv *wsdl.Conversation, payload []byte) ([]byte, error) {
+				var results []string
+				for _, cAddr := range []string{c1.Addr(), c2.Addr()} {
+					sub, err := b.StartConversation(ctx, cAddr, "CService", map[string]wsdl.Handler{
+						"done": func(sc *wsdl.Conversation, p []byte) ([]byte, error) {
+							fromC = append(fromC, string(p))
+							return nil, nil
+						},
+					})
+					if err != nil {
+						return nil, err
+					}
+					out, err := sub.Call(ctx, "work", payload)
+					if err != nil {
+						return nil, err
+					}
+					results = append(results, string(out))
+				}
+				return []byte(strings.Join(results, ",")), nil
+			}},
+		},
+		Callbacks: map[string]wsdl.OpKind{"fromB": wsdl.Notification},
+	})
+
+	// A converses with B; A's callback handler must never receive C's
+	// "done" callbacks.
+	aConv, err := a.StartConversation(ctx, b.Addr(), "BService", map[string]wsdl.Handler{
+		"fromB": func(c *wsdl.Conversation, p []byte) ([]byte, error) {
+			aCallbackHit = true
+			return nil, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := aConv.Call(ctx, "intoB", []byte("job"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "ack-C1,ack-C2" {
+		t.Fatalf("out = %q", out)
+	}
+	if len(fromC) != 2 || fromC[0] != "C1" || fromC[1] != "C2" {
+		t.Fatalf("subordinate callbacks = %v (ambiguous or lost)", fromC)
+	}
+	if aCallbackHit {
+		t.Fatal("C's callback leaked into A's conversation (Fig 4 violation)")
+	}
+}
+
+func TestFinishTearsDownBothSides(t *testing.T) {
+	_, ps := ports(t, 2)
+	ps[1].Offer(quoteService())
+	ctx := context.Background()
+	conv, _ := ps[0].StartConversation(ctx, ps[1].Addr(), "QuoteService", nil)
+	if ps[1].Conversations() != 1 {
+		t.Fatal("server side missing")
+	}
+	if err := conv.Finish(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if ps[0].Conversations() != 0 || ps[1].Conversations() != 0 {
+		t.Fatalf("leak: client=%d server=%d", ps[0].Conversations(), ps[1].Conversations())
+	}
+	if _, err := conv.Call(ctx, "requestQuote", nil); err == nil {
+		t.Fatal("finished conversation still callable")
+	}
+}
+
+func TestDurableConversationSurvivesRestart(t *testing.T) {
+	f := simtest.New(simtest.Options{Servers: 2})
+	defer f.Stop()
+	path := filepath.Join(t.TempDir(), "conv.log")
+	fs, err := filestore.Open(path, filestore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverPort := wsdl.NewPort(f.Servers[1].Registry, fs)
+	svc := quoteService()
+	svc.Durable = true
+	serverPort.Offer(svc)
+	clientPort := wsdl.NewPort(f.Servers[0].Registry, nil)
+	f.Settle(2)
+
+	ctx := context.Background()
+	conv, err := clientPort.StartConversation(ctx, serverPort.Addr(), "QuoteService", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv.Call(ctx, "requestQuote", []byte("A"))
+	conv.Call(ctx, "requestQuote", []byte("B"))
+	fs.Close()
+
+	// "Restart" the server: new port over the reopened filestore.
+	srv := f.Restart("server-2")
+	fs2, err := filestore.Open(path, filestore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs2.Close()
+	port2 := wsdl.NewPort(srv.Registry, fs2)
+	port2.Offer(svc)
+	if n := port2.Recover(); n != 1 {
+		t.Fatalf("recovered %d conversations, want 1", n)
+	}
+	f.Settle(2)
+	// The long-running conversation continues where it left off.
+	out, err := conv.Call(ctx, "requestQuote", []byte("C"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "quote-3 for C" {
+		t.Fatalf("state lost: %q", out)
+	}
+}
+
+func TestInMemoryConversationLostWithServer(t *testing.T) {
+	f, ps := ports(t, 2)
+	ps[1].Offer(quoteService()) // not durable
+	ctx := context.Background()
+	conv, _ := ps[0].StartConversation(ctx, ps[1].Addr(), "QuoteService", nil)
+	conv.Call(ctx, "requestQuote", []byte("A"))
+
+	srv := f.Restart("server-2")
+	port2 := wsdl.NewPort(srv.Registry, nil)
+	port2.Offer(quoteService())
+	f.Settle(2)
+
+	if _, err := conv.Call(ctx, "requestQuote", []byte("B")); err == nil {
+		t.Fatal("in-memory conversation must be lost with the server")
+	}
+}

@@ -1,0 +1,424 @@
+// Package wls is a Go reproduction of the distributed computing
+// architecture of BEA WebLogic Server as described in Dean Jacobs,
+// "Distributed Computing with BEA WebLogic Server", CIDR 2003.
+//
+// The package is the public façade over the substrates in internal/: it
+// boots a cluster of application servers — either on an in-process
+// simulated network with a virtual clock (deterministic, used by the tests,
+// benchmarks and examples) or on real TCP sockets — and exposes each
+// server's containers:
+//
+//   - EJB: stateless/stateful/entity beans (§3.1–3.3)
+//   - Web: the servlet engine with replicated sessions and JSP caching
+//   - JMS: queues, transactional messaging, store-and-forward
+//   - WS: WSDL-style conversations with callbacks (§4)
+//   - Tx: the distributed transaction manager
+//   - Files: the middle-tier persistence layer (§5.1)
+//
+// plus the cluster-level machinery: lease-based singletons, the
+// presentation-tier routers of Figures 2–3, external tightly-coupled
+// clients, and warehouse-style ETL (§5.2).
+package wls
+
+import (
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"wls/internal/cluster"
+	"wls/internal/core"
+	"wls/internal/ejb"
+	"wls/internal/filestore"
+	"wls/internal/gossip"
+	"wls/internal/jms"
+	"wls/internal/lease"
+	"wls/internal/metrics"
+	"wls/internal/naming"
+	"wls/internal/netsim"
+	"wls/internal/rmi"
+	"wls/internal/servlet"
+	"wls/internal/singleton"
+	"wls/internal/store"
+	"wls/internal/tx"
+	"wls/internal/vclock"
+	"wls/internal/webtier"
+	"wls/internal/wsdl"
+)
+
+// Options configures a cluster.
+type Options struct {
+	// Servers is the cluster size (default 3).
+	Servers int
+	// ClusterName defaults to "cluster".
+	ClusterName string
+	// RealClock uses the wall clock instead of a virtual one. Virtual is
+	// the default: deterministic, and time only advances via Advance.
+	RealClock bool
+	// DataDir, when set, gives every server a middle-tier filestore under
+	// it (enabling durable JMS, durable conversations, tx logs, local
+	// config replicas).
+	DataDir string
+	// Sessions selects the servlet session-state option.
+	Sessions servlet.SessionMode
+	// ServersPerMachine controls machine placement (default 1).
+	ServersPerMachine int
+	// ReplicationGroups/PreferredSecondaryGroups configure §3.2 placement.
+	ReplicationGroups        []string
+	PreferredSecondaryGroups []string
+	// WithAdmin adds a dedicated admin server hosting the lease manager
+	// (required for singleton services).
+	WithAdmin bool
+	// LeaseTTL is the singleton grace period (default 1s).
+	LeaseTTL time.Duration
+	// Seed drives all simulation randomness.
+	Seed int64
+}
+
+// Cluster is a running group of application servers plus the shared
+// persistence tier.
+type Cluster struct {
+	opts Options
+	fix  *fixture
+
+	// DB is the shared backend database (the persistence tier).
+	DB *store.Store
+	// Servers are the managed servers (excluding the admin server).
+	Servers []*Server
+	// Admin is the admin server (nil unless WithAdmin).
+	Admin *Server
+	// Leases is the lease manager (nil unless WithAdmin).
+	Leases *lease.Manager
+}
+
+// Server is one application server.
+type Server struct {
+	Name string
+
+	cluster  *Cluster
+	endpoint *netsim.Endpoint
+	member   *cluster2Member
+	registry *rmi.Registry
+	reg      *metrics.Registry
+
+	// Tx is the server's transaction manager.
+	Tx *tx.Manager
+	// EJB is the server's EJB container.
+	EJB *ejb.Container
+	// Web is the server's servlet engine.
+	Web *servlet.Engine
+	// JMS is the server's message broker.
+	JMS *jms.Broker
+	// WS is the server's Web Services port.
+	WS *wsdl.Port
+	// Files is the server's middle-tier filestore (nil without DataDir).
+	Files *filestore.FileStore
+	// Naming is the server's view of the cluster JNDI namespace.
+	Naming *naming.Context
+	// Health is the server's health monitor and lifecycle (§3.4), exposed
+	// cluster-wide as the wls.health service.
+	Health *core.HealthMonitor
+}
+
+// cluster2Member aliases to keep struct fields tidy.
+type cluster2Member = cluster.Member
+
+// fixture is the simulation plumbing (mirrors internal/simtest, duplicated
+// here so the public package does not expose test helpers).
+type fixture struct {
+	clock  vclock.Clock
+	vclk   *vclock.Virtual
+	net    *netsim.Network
+	bus    *gossip.InMemory
+	cfg    cluster.Config
+	admins []string
+}
+
+// New boots a cluster.
+func New(opts Options) (*Cluster, error) {
+	if opts.Servers == 0 {
+		opts.Servers = 3
+	}
+	if opts.ClusterName == "" {
+		opts.ClusterName = "cluster"
+	}
+	if opts.ServersPerMachine == 0 {
+		opts.ServersPerMachine = 1
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.LeaseTTL == 0 {
+		opts.LeaseTTL = time.Second
+	}
+
+	var clk vclock.Clock
+	var vclk *vclock.Virtual
+	if opts.RealClock {
+		clk = vclock.System
+	} else {
+		vclk = vclock.NewVirtualAtZero()
+		clk = vclk
+	}
+	fix := &fixture{
+		clock: clk,
+		vclk:  vclk,
+		net:   netsim.New(clk, opts.Seed),
+		bus:   gossip.NewInMemory(clk, opts.Seed),
+		cfg: cluster.Config{
+			Name:              opts.ClusterName,
+			HeartbeatInterval: 100 * time.Millisecond,
+			FailureTimeout:    350 * time.Millisecond,
+		},
+	}
+	c := &Cluster{
+		opts: opts,
+		fix:  fix,
+		DB:   store.New("backend", clk),
+	}
+
+	total := opts.Servers
+	if opts.WithAdmin {
+		total++
+	}
+	for i := 0; i < total; i++ {
+		isAdmin := opts.WithAdmin && i == opts.Servers
+		name := fmt.Sprintf("server-%d", i+1)
+		if isAdmin {
+			name = "admin"
+		}
+		s, err := c.newServer(i, name, isAdmin)
+		if err != nil {
+			c.Stop()
+			return nil, err
+		}
+		if isAdmin {
+			c.Admin = s
+			fix.admins = []string{s.endpoint.Addr()}
+		} else {
+			c.Servers = append(c.Servers, s)
+		}
+	}
+
+	if opts.WithAdmin {
+		leaseTable := store.New("leasedb", clk)
+		c.Leases = lease.NewManager(clk, lease.AlwaysLeader(), leaseTable, opts.LeaseTTL)
+		c.Admin.registry.Register(c.Leases.RMIService())
+		c.Leases.Start()
+	}
+	c.Settle(3)
+	return c, nil
+}
+
+func (c *Cluster) newServer(i int, name string, isAdmin bool) (*Server, error) {
+	fix := c.fix
+	addr := fmt.Sprintf("10.0.0.%d:7001", i+1)
+	machine := fmt.Sprintf("machine-%d", i/c.opts.ServersPerMachine+1)
+	group := ""
+	if len(c.opts.ReplicationGroups) > 0 {
+		group = c.opts.ReplicationGroups[i%len(c.opts.ReplicationGroups)]
+	}
+	ep := fix.net.Endpoint(addr)
+	reg := metrics.NewRegistry()
+	member := cluster.NewMember(fix.cfg, fix.clock, fix.bus, cluster.MemberInfo{
+		Name:                     name,
+		Addr:                     addr,
+		Machine:                  machine,
+		ReplicationGroup:         group,
+		PreferredSecondaryGroups: c.opts.PreferredSecondaryGroups,
+	})
+	registry := rmi.NewRegistry(ep, member, reg)
+	member.Start()
+
+	s := &Server{
+		Name:     name,
+		cluster:  c,
+		endpoint: ep,
+		member:   member,
+		registry: registry,
+		reg:      reg,
+		Tx:       tx.NewManager(name, fix.clock, nil, reg),
+		Naming:   naming.New(c.opts.ClusterName, name, fix.bus),
+	}
+	if c.opts.DataDir != "" {
+		fs, err := filestore.Open(filepath.Join(c.opts.DataDir, name+".store"), filestore.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("wls: filestore for %s: %w", name, err)
+		}
+		s.Files = fs
+	}
+	s.EJB = ejb.NewContainer(registry, s.Tx, c.DB, fix.bus)
+	s.Web = servlet.NewEngine(registry, servlet.Config{Sessions: c.opts.Sessions, DB: c.DB})
+	s.JMS = jms.NewBroker(name, fix.clock, s.Files, reg)
+	s.WS = wsdl.NewPort(registry, s.Files)
+	s.Health = core.NewHealthMonitor()
+	s.Health.SetLifecycle(core.LifecycleRunning)
+	registry.Register(s.JMS.RMIService())
+	registry.Register(s.Tx.Service())
+	registry.Register(s.Health.Service())
+	return s, nil
+}
+
+// --- Server accessors -------------------------------------------------------
+
+// Addr returns the server's transport address.
+func (s *Server) Addr() string { return s.endpoint.Addr() }
+
+// Member returns the server's cluster membership.
+func (s *Server) Member() *cluster.Member { return s.member }
+
+// Registry returns the server's RMI registry.
+func (s *Server) Registry() *rmi.Registry { return s.registry }
+
+// Node returns the server's transport node.
+func (s *Server) Node() rmi.Node { return s.endpoint }
+
+// Metrics returns the server's metric registry.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// Stub creates an internal-client stub for a clustered service.
+func (s *Server) Stub(service string, opts ...rmi.StubOption) *rmi.Stub {
+	return rmi.NewStub(service, s.endpoint, rmi.MemberView{Member: s.member}, opts...)
+}
+
+// SingletonHost creates this server's candidacy for a continuous singleton
+// service (requires Options.WithAdmin).
+func (s *Server) SingletonHost(cfg singleton.Config, impl singleton.Activatable) *singleton.Host {
+	return singleton.NewHost(cfg, s.member, s.registry, impl, s.cluster.fix.admins...)
+}
+
+// OnDemand creates this server's on-demand singleton family (requires
+// Options.WithAdmin).
+func (s *Server) OnDemand(family string, factory func(key string) singleton.Activatable) *singleton.OnDemand {
+	return singleton.NewOnDemand(family, s.Name, s.cluster.fix.clock, s.endpoint, factory, s.cluster.fix.admins...)
+}
+
+// --- Cluster operations --------------------------------------------------------
+
+// Clock returns the cluster clock.
+func (c *Cluster) Clock() vclock.Clock { return c.fix.clock }
+
+// VirtualClock returns the virtual clock (nil with RealClock).
+func (c *Cluster) VirtualClock() *vclock.Virtual { return c.fix.vclk }
+
+// Bus returns the announcement bus.
+func (c *Cluster) Bus() *gossip.InMemory { return c.fix.bus }
+
+// Net returns the simulated network fabric for failure injection.
+func (c *Cluster) Net() *netsim.Network { return c.fix.net }
+
+// Server returns the named server (including "admin"), or nil.
+func (c *Cluster) Server(name string) *Server {
+	if c.Admin != nil && c.Admin.Name == name {
+		return c.Admin
+	}
+	for _, s := range c.Servers {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// Settle advances through n heartbeat rounds so membership converges.
+// Under the virtual clock each round also yields briefly in real time so
+// background goroutines (lease renewals, SAF drains) keep pace with the
+// advancing clock.
+func (c *Cluster) Settle(n int) {
+	for i := 0; i < n; i++ {
+		if c.fix.vclk != nil {
+			c.fix.vclk.Advance(c.fix.cfg.HeartbeatInterval)
+			time.Sleep(2 * time.Millisecond)
+		} else {
+			time.Sleep(c.fix.cfg.HeartbeatInterval)
+		}
+	}
+}
+
+// Advance moves the virtual clock (no-op with RealClock).
+func (c *Cluster) Advance(d time.Duration) {
+	if c.fix.vclk != nil {
+		c.fix.vclk.Advance(d)
+	} else {
+		time.Sleep(d)
+	}
+}
+
+// Crash kills a server: membership stops, its endpoint closes.
+func (c *Cluster) Crash(name string) {
+	s := c.Server(name)
+	if s == nil {
+		return
+	}
+	s.member.Stop()
+	s.endpoint.Close()
+}
+
+// Restart brings a crashed server back with fresh containers (applications
+// must be redeployed, as on a real reboot).
+func (c *Cluster) Restart(name string) *Server {
+	s := c.Server(name)
+	if s == nil {
+		return nil
+	}
+	ep := c.fix.net.Restart(s.endpoint.Addr())
+	s.endpoint = ep
+	s.reg = metrics.NewRegistry()
+	s.registry = rmi.NewRegistry(ep, s.member, s.reg)
+	s.Tx = tx.NewManager(s.Name, c.fix.clock, nil, s.reg)
+	s.EJB = ejb.NewContainer(s.registry, s.Tx, c.DB, c.fix.bus)
+	s.Web = servlet.NewEngine(s.registry, servlet.Config{Sessions: c.opts.Sessions, DB: c.DB})
+	s.JMS = jms.NewBroker(s.Name, c.fix.clock, s.Files, s.reg)
+	s.WS = wsdl.NewPort(s.registry, s.Files)
+	s.Health = core.NewHealthMonitor()
+	s.Health.SetLifecycle(core.LifecycleRunning)
+	s.registry.Register(s.JMS.RMIService())
+	s.registry.Register(s.Tx.Service())
+	s.registry.Register(s.Health.Service())
+	s.member.Start()
+	return s
+}
+
+// ProxyPlugin builds a Fig 2 presentation-tier router with its own
+// endpoint on the fabric.
+func (c *Cluster) ProxyPlugin(addr string) *webtier.ProxyPlugin {
+	node := c.fix.net.Endpoint(addr)
+	return webtier.NewProxyPlugin(node, rmi.MemberView{Member: c.Servers[0].member}, nil)
+}
+
+// ExternalLB builds a Fig 3 appliance router.
+func (c *Cluster) ExternalLB(addr string) *webtier.ExternalLB {
+	node := c.fix.net.Endpoint(addr)
+	return webtier.NewExternalLB(node, rmi.MemberView{Member: c.Servers[0].member}, nil)
+}
+
+// ExternalClient creates a tightly-coupled external client (§2.2) with its
+// own endpoint, bootstrapped from the first server.
+func (c *Cluster) ExternalClient(addr string, refresh time.Duration) *rmi.ExternalClient {
+	node := c.fix.net.Endpoint(addr)
+	return rmi.NewExternalClient(node, c.fix.clock, refresh, c.Servers[0].endpoint.Addr())
+}
+
+// LeaseManagerAddrs returns the lease-manager addresses for singleton
+// hosting (empty without WithAdmin).
+func (c *Cluster) LeaseManagerAddrs() []string {
+	return append([]string(nil), c.fix.admins...)
+}
+
+// Stop shuts the cluster down.
+func (c *Cluster) Stop() {
+	if c.Leases != nil {
+		c.Leases.Stop()
+	}
+	all := append([]*Server{}, c.Servers...)
+	if c.Admin != nil {
+		all = append(all, c.Admin)
+	}
+	for _, s := range all {
+		s.member.Stop()
+		s.endpoint.Close()
+		s.Naming.Close()
+		if s.Files != nil {
+			s.Files.Close()
+		}
+	}
+}

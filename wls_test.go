@@ -1,0 +1,181 @@
+package wls_test
+
+import (
+	"context"
+	"strconv"
+	"testing"
+	"time"
+
+	"wls"
+	"wls/internal/ejb"
+	"wls/internal/jms"
+	"wls/internal/rmi"
+	"wls/internal/servlet"
+	"wls/internal/singleton"
+)
+
+func TestClusterBootAndStatelessBean(t *testing.T) {
+	c, err := wls.New(wls.Options{Servers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	for _, s := range c.Servers {
+		name := s.Name
+		s.EJB.DeployStateless(ejb.StatelessSpec{
+			Name: "Hello",
+			Methods: map[string]ejb.StatelessMethod{
+				"hi": func(ctx context.Context, inst any, call *rmi.Call) ([]byte, error) {
+					return []byte("hello from " + name), nil
+				},
+			},
+		})
+	}
+	c.Settle(2)
+
+	stub := c.Servers[0].Stub("Hello", rmi.WithPolicy(rmi.NewRoundRobin()))
+	seen := map[string]bool{}
+	for i := 0; i < 9; i++ {
+		res, err := stub.Invoke(context.Background(), "hi", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[res.ServedBy] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("spread = %d servers", len(seen))
+	}
+}
+
+func TestClusterEntityBeanOverSharedDB(t *testing.T) {
+	c, err := wls.New(wls.Options{Servers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	c.DB.Put("accounts", "a1", map[string]string{"balance": "100"})
+
+	var homes []*ejb.EntityHome
+	for _, s := range c.Servers {
+		homes = append(homes, s.EJB.DeployEntity(ejb.EntitySpec{
+			Name: "Account", Table: "accounts", Mode: ejb.EntityFlushOnUpdate, TTL: time.Hour,
+		}))
+	}
+	txn := c.Servers[0].Tx.Begin(0)
+	e, err := homes[0].Find(txn, "a1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Set("balance", "90")
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := homes[1].FindReadOnly("a1")
+	if err != nil || f["balance"] != "90" {
+		t.Fatalf("cross-server read: %v %v", f, err)
+	}
+}
+
+func TestClusterWebTierEndToEnd(t *testing.T) {
+	c, err := wls.New(wls.Options{Servers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	for _, s := range c.Servers {
+		s.Web.Handle("/n", func(r *servlet.Request) servlet.Response {
+			n, _ := strconv.Atoi(r.Session.Get("n"))
+			n++
+			r.Session.Set("n", strconv.Itoa(n))
+			return servlet.Response{Body: []byte(strconv.Itoa(n))}
+		})
+	}
+	c.Settle(2)
+	proxy := c.ProxyPlugin("web:80")
+	resp, err := proxy.Route(context.Background(), "/n", "", nil)
+	if err != nil || string(resp.Body) != "1" {
+		t.Fatalf("first: %q err=%v", resp.Body, err)
+	}
+	resp2, err := proxy.Route(context.Background(), "/n", resp.Cookie, nil)
+	if err != nil || string(resp2.Body) != "2" {
+		t.Fatalf("second: %q err=%v", resp2.Body, err)
+	}
+}
+
+func TestClusterSingletonViaAdmin(t *testing.T) {
+	c, err := wls.New(wls.Options{Servers: 2, WithAdmin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	h := c.Servers[0].SingletonHost(singleton.Config{Service: "q", Preferred: []string{"server-1"}},
+		singleton.FuncService{})
+	h.Start()
+	defer h.Stop()
+	c.Settle(4)
+	if !h.Active() {
+		t.Fatal("singleton did not activate")
+	}
+}
+
+func TestClusterCrashRestart(t *testing.T) {
+	c, err := wls.New(wls.Options{Servers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	c.Crash("server-2")
+	c.Settle(6)
+	if len(c.Servers[0].Member().Alive()) != 1 {
+		t.Fatal("crash not observed")
+	}
+	c.Restart("server-2")
+	c.Settle(4)
+	if len(c.Servers[0].Member().Alive()) != 2 {
+		t.Fatal("restart not observed")
+	}
+}
+
+func TestClusterJMSDefaultInMemory(t *testing.T) {
+	c, err := wls.New(wls.Options{Servers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	q := c.Servers[0].JMS.Queue("orders")
+	q.Send(jms.Message{Body: []byte("x")})
+	m, err := q.Receive()
+	if err != nil || string(m.Body) != "x" {
+		t.Fatalf("receive: %v %q", err, m.Body)
+	}
+}
+
+func TestClusterDurableWithDataDir(t *testing.T) {
+	dir := t.TempDir()
+	c, err := wls.New(wls.Options{Servers: 1, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	if c.Servers[0].Files == nil {
+		t.Fatal("no filestore with DataDir")
+	}
+	q := c.Servers[0].JMS.Queue("orders")
+	if _, err := q.Send(jms.Message{Body: []byte("durable")}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNamingAcrossServers(t *testing.T) {
+	c, err := wls.New(wls.Options{Servers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	c.Servers[0].Naming.Bind("ejb/OrderHome", []byte("server-1"))
+	v, ok := c.Servers[1].Naming.Lookup("ejb/OrderHome")
+	if !ok || string(v) != "server-1" {
+		t.Fatalf("lookup: %q ok=%v", v, ok)
+	}
+}
