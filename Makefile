@@ -1,0 +1,31 @@
+# Tier-1 verification is `make build test` (the driver's gate); `make all`
+# additionally runs the race sweep and the static-analysis suite.
+
+GO ?= go
+
+.PHONY: all build test race lint bench
+
+all: build test race lint
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race sweep is part of tier-1 verification for concurrency changes:
+# the cluster, lease, singleton, and store packages are lock-heavy and the
+# virtual clock fires timers from Advance, so interleavings shift easily.
+race:
+	$(GO) test -race ./...
+
+# lint = the Go toolchain's vet plus this repo's own analyzers (walltime,
+# lockheld, errdrop, afterloop — see DESIGN.md "Determinism & lint rules").
+# internal/lint/repo_test.go runs the same analyzers under `make test`, so
+# CI fails on violations even without this target.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/wlslint ./...
+
+bench:
+	$(GO) run ./cmd/wlsbench -all

@@ -101,7 +101,9 @@ func main() {
 	txn := cluster.Servers[2].Tx.Begin(0)
 	e, _ := homes[2].Find(txn, "anvil")
 	e.Set("price", "30")
-	txn.Commit()
+	if err := txn.Commit(); err != nil {
+		log.Fatal(err)
+	}
 	say("  server-3 committed price=30 → bean-level flush signal broadcast")
 	for i := range cluster.Servers {
 		f, _ := homes[i].FindReadOnly("anvil")
@@ -127,7 +129,7 @@ func main() {
 					return idx
 				}
 			}
-			time.Sleep(20 * time.Millisecond)
+			cluster.Clock().Sleep(20 * time.Millisecond)
 		}
 		return -1
 	}
@@ -137,7 +139,7 @@ func main() {
 	cluster.Crash(cluster.Servers[owner].Name)
 	hosts[owner].Stop()
 	say("  crashed the owner; waiting for the lease to expire and migrate...")
-	time.Sleep(700 * time.Millisecond)
+	cluster.Clock().Sleep(700 * time.Millisecond)
 	newOwner := waitOwner()
 	if newOwner < 0 {
 		log.Fatal("no owner after migration")

@@ -1,0 +1,129 @@
+// Command wlslint runs the repository's static-analysis suite
+// (internal/lint) over module packages:
+//
+//	go run ./cmd/wlslint ./...              # whole module
+//	go run ./cmd/wlslint ./internal/bench   # one package
+//	go run ./cmd/wlslint -list              # describe the analyzers
+//
+// It prints one line per diagnostic (file:line:col: message [analyzer])
+// and exits 1 when any are found. See DESIGN.md "Determinism & lint
+// rules" for what the rules enforce and how to suppress a finding.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"wls/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: wlslint [-list] [packages]\n\npackages are ./-relative patterns; ./... (the default) means the whole module\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.Default()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fatal(err)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	selected := pkgs[:0]
+	for _, pkg := range pkgs {
+		if matchesAny(loader, cwd, pkg, patterns) {
+			selected = append(selected, pkg)
+		}
+	}
+
+	diags := lint.Run(selected, analyzers)
+	for _, d := range diags {
+		pos := d.Pos
+		if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			pos.Filename = rel
+		}
+		fmt.Printf("%s:%d:%d: %s [%s]\n", pos.Filename, pos.Line, pos.Column, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "wlslint: %d diagnostic(s) in %d package(s)\n", len(diags), len(selected))
+		os.Exit(1)
+	}
+}
+
+// matchesAny reports whether pkg matches one of the ./-relative patterns.
+// A trailing /... matches the prefix recursively, mirroring the go tool.
+func matchesAny(loader *lint.Loader, cwd string, pkg *lint.Package, patterns []string) bool {
+	for _, pat := range patterns {
+		var base string
+		switch {
+		case pat == "all" || pat == loader.Module+"/...":
+			return true
+		case strings.HasPrefix(pat, loader.Module):
+			// Import-path pattern.
+			if trimmed, ok := strings.CutSuffix(pat, "/..."); ok {
+				if pkg.Path == trimmed || strings.HasPrefix(pkg.Path, trimmed+"/") {
+					return true
+				}
+			} else if pkg.Path == pat {
+				return true
+			}
+			continue
+		default:
+			// Directory pattern, relative to the current directory.
+			base = pat
+		}
+		recursive := false
+		if trimmed, ok := strings.CutSuffix(base, "/..."); ok {
+			recursive = true
+			base = trimmed
+			if base == "." || base == "" {
+				base = "."
+			}
+		}
+		abs := base
+		if !filepath.IsAbs(abs) {
+			abs = filepath.Join(cwd, base)
+		}
+		abs = filepath.Clean(abs)
+		if pkg.Dir == abs {
+			return true
+		}
+		if recursive && strings.HasPrefix(pkg.Dir, abs+string(filepath.Separator)) {
+			return true
+		}
+	}
+	return false
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wlslint:", err)
+	os.Exit(1)
+}

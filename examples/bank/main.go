@@ -66,8 +66,10 @@ func main() {
 	txn2 := s1.Tx.Begin(0)
 	alice2, _ := homes[0].Find(txn2, "alice")
 	alice2.Set("balance", "0")
-	audit.SendTx(txn2, jms.Message{Body: []byte("should never appear")})
-	txn2.Rollback()
+	if _, err := audit.SendTx(txn2, jms.Message{Body: []byte("should never appear")}); err != nil {
+		log.Fatal(err)
+	}
+	_ = txn2.Rollback() // the abort is the point: nothing must survive it
 	a, _ = cluster.DB.Get("accounts", "alice")
 	fmt.Printf("  alice=%s, audit queue length=%d\n", a.Fields["balance"], audit.Len())
 
@@ -77,13 +79,17 @@ func main() {
 	txn3 := s1.Tx.Begin(0)
 	sessLocal := cluster.DB.Session(txn3.ID())
 	sessLocal.Update("accounts", "alice", map[string]string{"balance": "70"})
-	txn3.Enlist("db", sessLocal)
+	if err := txn3.Enlist("db", sessLocal); err != nil {
+		log.Fatal(err)
+	}
 	// server-2's branch stages work under the same global txID.
 	s2 := cluster.Servers[1]
 	remoteLedger := s2.JMS.Queue("settlements")
 	branch := s2.Tx.Branch(txn3.ID())
 	branch.Enlist("settlement-q", queueResource{q: remoteLedger, body: "settled: alice 5"})
-	txn3.Enlist("branch@server-2", tx.NewRemoteBranch(s1.Node(), s2.Addr()))
+	if err := txn3.Enlist("branch@server-2", tx.NewRemoteBranch(s1.Node(), s2.Addr())); err != nil {
+		log.Fatal(err)
+	}
 	txn3.TouchServer(s2.Name)
 	if err := txn3.Commit(); err != nil {
 		log.Fatal(err)
@@ -108,7 +114,7 @@ func main() {
 					txn := s1.Tx.Begin(0)
 					e, err := homes[0].Find(txn, "hot")
 					if err != nil {
-						txn.Rollback()
+						_ = txn.Rollback() // conflict: retry the transfer
 						continue
 					}
 					var n int

@@ -88,7 +88,7 @@ func main() {
 		booked.Load(), soldOut.Load(), row.Fields["seats"])
 
 	// The ETL catches the copy up.
-	time.Sleep(120 * time.Millisecond)
+	vclock.System.Sleep(120 * time.Millisecond)
 	doc, _ = middleTier.Get("flights_xml", "WL001")
 	fmt.Printf("\n== after the next ETL cycle, the copy reflects the bookings ==\n  %s\n", doc.Fields["doc"])
 	fmt.Printf("  ETL lag now: %d changes\n", etl.Lag())

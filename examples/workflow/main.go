@@ -110,16 +110,19 @@ func main() {
 	cluster.Net().SetPartitioned(buyer.Addr(), supplier.Addr(), true)
 	fmt.Println("  WAN link down; buyer keeps producing:")
 	for i := 1; i <= 5; i++ {
-		outbox.Send(jms.Message{Body: []byte(fmt.Sprintf("backorder-%d", i))})
+		if _, err := outbox.Send(jms.Message{Body: []byte(fmt.Sprintf("backorder-%d", i))}); err != nil {
+			log.Fatal(err)
+		}
 	}
-	time.Sleep(100 * time.Millisecond)
+	cluster.Clock().Sleep(100 * time.Millisecond)
 	fmt.Printf("    buffered locally: %d, delivered remotely: %d\n",
 		outbox.Len(), supplier.JMS.Queue("orders-inbox").Len())
 
 	cluster.Net().SetPartitioned(buyer.Addr(), supplier.Addr(), false)
-	deadline := time.Now().Add(5 * time.Second)
-	for supplier.JMS.Queue("orders-inbox").Len() < 5 && time.Now().Before(deadline) {
-		time.Sleep(20 * time.Millisecond)
+	clk := cluster.Clock()
+	deadline := clk.Now().Add(5 * time.Second)
+	for supplier.JMS.Queue("orders-inbox").Len() < 5 && clk.Now().Before(deadline) {
+		clk.Sleep(20 * time.Millisecond)
 	}
 	fmt.Printf("  link healed; delivered remotely: %d (exactly once, in order)\n",
 		supplier.JMS.Queue("orders-inbox").Len())

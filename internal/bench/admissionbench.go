@@ -38,12 +38,12 @@ func runE25() *Table {
 		var wg sync.WaitGroup
 		denied := 0
 		for i := 0; i < offered; i++ {
-			submitted := time.Now()
+			submitted := wall.Now()
 			wg.Add(1)
 			err := q.Submit(func() {
 				defer wg.Done()
-				time.Sleep(svcTime)
-				hist.RecordDuration(time.Since(submitted))
+				wall.Sleep(svcTime)
+				hist.RecordDuration(wall.Since(submitted))
 			})
 			if err != nil {
 				wg.Done()
@@ -52,7 +52,7 @@ func runE25() *Table {
 				}
 			}
 			// Open loop: ~5000/s offered vs 800/s fixed-pool capacity.
-			time.Sleep(200 * time.Microsecond)
+			wall.Sleep(200 * time.Microsecond)
 		}
 		wg.Wait()
 		t.AddRow(c.name, offered, hist.Count(), denied,

@@ -17,6 +17,13 @@ import (
 	"wls/internal/vclock"
 )
 
+// wall is the clock experiments measure with. Benchmarks report real
+// elapsed time, so this is the system wall clock — but routed through
+// vclock.Clock, which keeps the package on the one sanctioned time
+// abstraction (the walltime lint rule certifies it) and lets a simulation
+// swap in a virtual clock.
+var wall vclock.Clock = vclock.System
+
 // Table is one experiment's output.
 type Table struct {
 	// ID is the experiment id (e.g. "E02").

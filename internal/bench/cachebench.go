@@ -80,17 +80,17 @@ func runE10() *Table {
 						version.Store(int64(i))
 					}
 				} else {
-					txn.Rollback()
+					_ = txn.Rollback() // writer retries next tick
 				}
-				time.Sleep(time.Millisecond)
+				wall.Sleep(time.Millisecond)
 			}
 		}()
 
 		// Read for a fixed window so the 1ms writer interleaves with the
 		// read stream (a fixed read count would finish in microseconds).
 		reads, stale := 0, 0
-		start := time.Now()
-		for time.Since(start) < 250*time.Millisecond {
+		start := wall.Now()
+		for wall.Since(start) < 250*time.Millisecond {
 			before := version.Load()
 			f, err := homes[0].FindReadOnly("hot")
 			if err != nil {
@@ -102,9 +102,9 @@ func runE10() *Table {
 			if got < before {
 				stale++
 			}
-			time.Sleep(20 * time.Microsecond)
+			wall.Sleep(20 * time.Microsecond)
 		}
-		elapsed := time.Since(start)
+		elapsed := wall.Since(start)
 		close(stop)
 		wg.Wait()
 
@@ -200,16 +200,16 @@ func runE12() *Table {
 					return
 				default:
 				}
-				t0 := time.Now()
+				t0 := wall.Now()
 				db.Get("t", "hot")
-				if time.Since(t0) > 5*time.Millisecond {
+				if wall.Since(t0) > 5*time.Millisecond {
 					readerBlocked.Add(1)
 				}
-				time.Sleep(200 * time.Microsecond)
+				wall.Sleep(200 * time.Microsecond)
 			}
 		}()
 
-		start := time.Now()
+		start := wall.Now()
 		workload.Clients(writers, perWriter, func(w, i int) {
 			txID := fmt.Sprintf("%s-%d-%d", scheme, w, i)
 			for attempt := 0; attempt < 100; attempt++ {
@@ -220,12 +220,12 @@ func runE12() *Table {
 					row, _, err := sess.GetForUpdate("t", "hot")
 					if err != nil {
 						lockTimeouts.Add(1)
-						sess.Rollback(id)
+						_ = sess.Rollback(id) // lock timeout is the measured outcome
 						continue
 					}
 					var n int
 					fmt.Sscan(row.Fields["n"], &n)
-					time.Sleep(100 * time.Microsecond) // think time inside the lock
+					wall.Sleep(100 * time.Microsecond) // think time inside the lock
 					sess.Update("t", "hot", map[string]string{"n": fmt.Sprint(n + 1)})
 					if sess.Commit(id) == nil {
 						commits.Add(1)
@@ -236,7 +236,7 @@ func runE12() *Table {
 				row, _ := db.Get("t", "hot")
 				var n int
 				fmt.Sscan(row.Fields["n"], &n)
-				time.Sleep(100 * time.Microsecond) // think time, no locks held
+				wall.Sleep(100 * time.Microsecond) // think time, no locks held
 				sess.UpdateVersioned("t", "hot", row.Version, map[string]string{"n": fmt.Sprint(n + 1)})
 				if err := sess.Commit(id); err == nil {
 					commits.Add(1)
@@ -246,7 +246,7 @@ func runE12() *Table {
 				}
 			}
 		})
-		elapsed := time.Since(start)
+		elapsed := wall.Since(start)
 		close(stopReaders)
 		rwg.Wait()
 		t.AddRow(scheme, writers,

@@ -75,16 +75,16 @@ func runE01() *Table {
 		clientEp := c.Net().Endpoint("client:1")
 		stub := rmi.NewStub("tier-1", clientEp, rmi.StaticView(c.Servers[0].Addr()))
 		var hist metrics.Histogram
-		start := time.Now()
+		start := wall.Now()
 		const reqs = 300
 		workload.Clients(4, reqs/4, func(_, _ int) {
-			t0 := time.Now()
+			t0 := wall.Now()
 			if _, err := stub.Invoke(context.Background(), "handle", nil); err != nil {
 				panic(err)
 			}
-			hist.RecordDuration(time.Since(t0))
+			hist.RecordDuration(wall.Since(t0))
 		})
-		elapsed := time.Since(start)
+		elapsed := wall.Since(start)
 		t.AddRow(tiers,
 			time.Duration(hist.Mean()).Round(10*time.Microsecond),
 			time.Duration(hist.P99()).Round(10*time.Microsecond),
@@ -117,7 +117,7 @@ func runE02() *Table {
 				Name: "Work",
 				Methods: map[string]rmi.MethodSpec{
 					"do": {Idempotent: true, Handler: func(ctx context.Context, call *rmi.Call) ([]byte, error) {
-						time.Sleep(d)
+						wall.Sleep(d)
 						return nil, nil
 					}},
 				},
@@ -127,16 +127,16 @@ func runE02() *Table {
 		clientEp := c.Net().Endpoint(fmt.Sprintf("client-%s-%s:1", label, policyName))
 		stub := rmi.NewStub("Work", clientEp, rmi.MemberView{Member: c.Servers[0].Member()}, rmi.WithPolicy(policy))
 		var hist metrics.Histogram
-		start := time.Now()
+		start := wall.Now()
 		const reqs = 400
 		workload.Clients(8, reqs/8, func(_, _ int) {
-			t0 := time.Now()
+			t0 := wall.Now()
 			if _, err := stub.Invoke(context.Background(), "do", nil); err != nil {
 				panic(err)
 			}
-			hist.RecordDuration(time.Since(t0))
+			hist.RecordDuration(wall.Since(t0))
 		})
-		elapsed := time.Since(start)
+		elapsed := wall.Since(start)
 		t.AddRow(label, policyName,
 			fmt.Sprintf("%.0f", float64(reqs)/elapsed.Seconds()),
 			time.Duration(hist.P99()).Round(10*time.Microsecond))
@@ -178,7 +178,8 @@ func runE03() *Table {
 				Methods: map[string]rmi.MethodSpec{
 					"inc": {Idempotent: true, Handler: func(ctx context.Context, call *rmi.Call) ([]byte, error) {
 						mu.Lock()
-						time.Sleep(200 * time.Microsecond)
+						//wls:nolint lockheld -- the held mutex models the partition's serialization; the sleep is its service time
+						wall.Sleep(200 * time.Microsecond)
 						mu.Unlock()
 						return nil, nil
 					}},
@@ -193,7 +194,7 @@ func runE03() *Table {
 		}
 		keys := workload.NewUniform(7, 64)
 		stub := rmi.NewStub("Counter", clientEp, rmi.StaticView(addrs...))
-		start := time.Now()
+		start := wall.Now()
 		const reqs = 240
 		workload.Clients(8, reqs/8, func(_, _ int) {
 			key := keys.Next()
@@ -207,7 +208,7 @@ func runE03() *Table {
 				panic(err)
 			}
 		})
-		rate := float64(reqs) / time.Since(start).Seconds()
+		rate := float64(reqs) / wall.Since(start).Seconds()
 		if servers == 1 {
 			baseline = rate
 		}
@@ -270,7 +271,7 @@ func runE04() *Table {
 					remote++
 				}
 			}
-			txn.Rollback()
+			_ = txn.Rollback() // read-only probe transaction
 			totalServers += len(touched)
 		}
 		t.AddRow(mode, fmt.Sprintf("%.2f", float64(totalServers)/txs), remote)
@@ -366,15 +367,15 @@ func runE26() *Table {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			cl.Call(context.Background(), backend.Addr(), wire.Frame{})
+			_, _ = cl.Call(context.Background(), backend.Addr(), wire.Frame{}) // load probe; only the connection count matters
 		}()
 	}
 	wg.Wait()
 	t.AddRow("direct", clients, backend.NumConns())
 	for _, cl := range ts {
-		cl.Close()
+		_ = cl.Close()
 	}
-	backend.Close()
+	_ = backend.Close()
 
 	// Concentrated: clients talk to a front end; the front end holds one
 	// backend connection.
@@ -404,15 +405,15 @@ func runE26() *Table {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			cl.Call(context.Background(), front.Addr(), wire.Frame{})
+			_, _ = cl.Call(context.Background(), front.Addr(), wire.Frame{}) // load probe; only the connection count matters
 		}()
 	}
 	wg.Wait()
 	t.AddRow("concentrated", clients, backend2.NumConns())
 	for _, cl := range ts2 {
-		cl.Close()
+		_ = cl.Close()
 	}
-	front.Close()
-	backend2.Close()
+	_ = front.Close()
+	_ = backend2.Close()
 	return t
 }

@@ -46,27 +46,31 @@ func runE22() *Table {
 		mgr := tx.NewManager("s1", vclock.System, nil, nil)
 		// Preload the inbound messages.
 		for i := 0; i < steps; i++ {
-			fs.Put("jms.queue.in", fmt.Sprintf("m%06d", i), []byte("work"))
+			if err := fs.Put("jms.queue.in", fmt.Sprintf("m%06d", i), []byte("work")); err != nil {
+				panic(err)
+			}
 		}
 		syncs0 := fs.Metrics().Counter("filestore.syncs").Value()
-		start := time.Now()
+		start := wall.Now()
 		for i := 0; i < steps; i++ {
 			txn := mgr.Begin(0)
 			sess := fs.Session()
 			sess.Delete("jms.queue.in", fmt.Sprintf("m%06d", i)) // consume
 			sess.Put("conversations", "wf-1", []byte(fmt.Sprintf("step-%d", i)))
-			txn.Enlist("filestore", sess)
+			if err := txn.Enlist("filestore", sess); err != nil {
+				panic(err)
+			}
 			if err := txn.Commit(); err != nil {
 				panic(err)
 			}
 		}
-		elapsed := time.Since(start)
+		elapsed := wall.Since(start)
 		syncs := fs.Metrics().Counter("filestore.syncs").Value() - syncs0
 		t.AddRow("co-located (one filestore)",
 			fmt.Sprintf("%.0f", float64(steps)/elapsed.Seconds()),
 			fmt.Sprintf("%.1f", float64(syncs)/steps),
 			0, mgr.Metrics().Counter("tx.2pc").Value())
-		fs.Close()
+		_ = fs.Close()
 	}
 
 	// Separate: message store (filestore) + database (store) + durable
@@ -83,31 +87,37 @@ func runE22() *Table {
 		db := store.New("db", vclock.System)
 		mgr := tx.NewManager("s1", vclock.System, tlog, nil)
 		for i := 0; i < steps; i++ {
-			fs.Put("jms.queue.in", fmt.Sprintf("m%06d", i), []byte("work"))
+			if err := fs.Put("jms.queue.in", fmt.Sprintf("m%06d", i), []byte("work")); err != nil {
+				panic(err)
+			}
 		}
 		syncs0 := fs.Metrics().Counter("filestore.syncs").Value()
-		start := time.Now()
+		start := wall.Now()
 		for i := 0; i < steps; i++ {
 			txn := mgr.Begin(0)
 			msgs := fs.Session()
 			msgs.Delete("jms.queue.in", fmt.Sprintf("m%06d", i))
-			txn.Enlist("message-store", msgs)
+			if err := txn.Enlist("message-store", msgs); err != nil {
+				panic(err)
+			}
 			dbs := db.Session(txn.ID())
 			dbs.Update("conversations", "wf-1", map[string]string{"step": fmt.Sprint(i)})
-			txn.Enlist("database", dbs)
+			if err := txn.Enlist("database", dbs); err != nil {
+				panic(err)
+			}
 			if err := txn.Commit(); err != nil {
 				panic(err)
 			}
 		}
-		elapsed := time.Since(start)
+		elapsed := wall.Since(start)
 		syncs := fs.Metrics().Counter("filestore.syncs").Value() - syncs0
 		recs, _ := tlog.Records()
 		t.AddRow("separate (messages + DB)",
 			fmt.Sprintf("%.0f", float64(steps)/elapsed.Seconds()),
 			fmt.Sprintf("%.1f", float64(syncs)/steps),
 			len(recs), mgr.Metrics().Counter("tx.2pc").Value())
-		tlog.Close()
-		fs.Close()
+		_ = tlog.Close()
+		_ = fs.Close()
 	}
 	return t
 }
@@ -140,14 +150,14 @@ func runE23() *Table {
 	c.Settle(2)
 
 	// Admin path.
-	start := time.Now()
+	start := wall.Now()
 	for i := 0; i < servers; i++ {
 		if _, err := core.BootFromAdmin(context.Background(), c.Servers[1].Node(),
 			c.Servers[0].Addr(), fmt.Sprintf("managed-%d", i)); err != nil {
 			panic(err)
 		}
 	}
-	t.AddRow("admin-server fetch", servers, time.Since(start).Round(time.Millisecond), true)
+	t.AddRow("admin-server fetch", servers, wall.Since(start).Round(time.Millisecond), true)
 
 	// Local path: replicate once, then boot from disk.
 	fs, err := filestore.Open(filepath.Join(dir, "cfg.log"), filestore.Options{})
@@ -159,12 +169,12 @@ func runE23() *Table {
 		cfg, _ := d.ConfigOf(fmt.Sprintf("managed-%d", i))
 		core.SaveLocalConfig(fs, fmt.Sprintf("managed-%d", i), cfg)
 	}
-	start = time.Now()
+	start = wall.Now()
 	for i := 0; i < servers; i++ {
 		if _, err := core.BootFromLocal(fs, fmt.Sprintf("managed-%d", i)); err != nil {
 			panic(err)
 		}
 	}
-	t.AddRow("local replica", servers, time.Since(start).Round(time.Millisecond), false)
+	t.AddRow("local replica", servers, wall.Since(start).Round(time.Millisecond), false)
 	return t
 }

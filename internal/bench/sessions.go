@@ -87,12 +87,12 @@ func runE06() *Table {
 	cookie := resp.Cookie
 	const warm = 50
 	for i := 2; i <= warm; i++ {
-		t0 := time.Now()
+		t0 := wall.Now()
 		resp, err = proxy.Route(ctx, "/cart", cookie, nil)
 		if err != nil {
 			panic(err)
 		}
-		steady.RecordDuration(time.Since(t0))
+		steady.RecordDuration(wall.Since(t0))
 		cookie = resp.Cookie
 	}
 	t.AddRow("steady", warm, "yes", time.Duration(steady.Mean()).Round(time.Microsecond))
@@ -100,9 +100,9 @@ func runE06() *Table {
 	// Failover: crash the primary, next request promotes the secondary.
 	ck, _ := servlet.DecodeCookie(cookie)
 	c.Crash(ck.Primary)
-	t0 := time.Now()
+	t0 := wall.Now()
 	resp, err = proxy.Route(ctx, "/cart", cookie, nil)
-	failoverLatency := time.Since(t0)
+	failoverLatency := wall.Since(t0)
 	if err != nil {
 		panic(err)
 	}
@@ -113,12 +113,12 @@ func runE06() *Table {
 	cookie = resp.Cookie
 	var after metrics.Histogram
 	for i := 0; i < 20; i++ {
-		t1 := time.Now()
+		t1 := wall.Now()
 		resp, err = proxy.Route(ctx, "/cart", cookie, nil)
 		if err != nil {
 			panic(err)
 		}
-		after.RecordDuration(time.Since(t1))
+		after.RecordDuration(wall.Since(t1))
 		cookie = resp.Cookie
 	}
 	t.AddRow("post-failover", 20, "yes", time.Duration(after.Mean()).Round(time.Microsecond))
@@ -215,13 +215,13 @@ func runE08() *Table {
 			panic(err)
 		}
 		const calls = 200
-		start := time.Now()
+		start := wall.Now()
 		for i := 0; i < calls; i++ {
 			if _, err := h.Invoke(context.Background(), "add", []byte("x")); err != nil {
 				panic(err)
 			}
 		}
-		elapsed := time.Since(start)
+		elapsed := wall.Since(start)
 		var replicaMsgs int64
 		for _, s := range c.Servers {
 			replicaMsgs += s.Metrics().Counter("ejb.stateful.replica_updates").Value()

@@ -58,7 +58,7 @@ func runE16() *Table {
 		var downtime time.Duration = -1
 		for i := 0; i < 400; i++ {
 			clk.Advance(25 * time.Millisecond)
-			time.Sleep(500 * time.Microsecond)
+			wall.Sleep(500 * time.Microsecond)
 			if hosts[0].Active() && hosts[1].Active() {
 				double = true
 			}
@@ -140,7 +140,7 @@ func runE18() *Table {
 		clk := vclock.NewVirtualAtZero()
 		tbl := store.New("leasedb", clk)
 		mgr := lease.NewManager(clk, lease.AlwaysLeader(), tbl, time.Hour)
-		start := time.Now()
+		start := wall.Now()
 		acquires := 0
 		for i := 0; i < keyCount; i++ {
 			if _, err := mgr.Acquire(fmt.Sprintf("od/profiles/user-%d", i), "server-1", lease.Pull); err != nil {
@@ -148,7 +148,7 @@ func runE18() *Table {
 			}
 			acquires++
 		}
-		t.AddRow("per-key singletons", keyCount, acquires, tbl.Count(lease.Table), time.Since(start).Round(time.Millisecond))
+		t.AddRow("per-key singletons", keyCount, acquires, tbl.Count(lease.Table), wall.Since(start).Round(time.Millisecond))
 	}
 	// Aggregated homes.
 	{
@@ -157,7 +157,7 @@ func runE18() *Table {
 		mgr := lease.NewManager(clk, lease.AlwaysLeader(), tbl, time.Hour)
 		pset := singleton.PartitionSet{Service: "profiles-home", N: 4,
 			Candidates: []string{"server-1", "server-2"}}
-		start := time.Now()
+		start := wall.Now()
 		acquires := 0
 		for i := 0; i < pset.N; i++ {
 			if _, err := mgr.Acquire(pset.PartitionService(i), "server-1", lease.Pull); err != nil {
@@ -174,7 +174,7 @@ func runE18() *Table {
 			key := fmt.Sprintf("user-%d", i)
 			homes[pset.PartitionOf(key)][key] = true
 		}
-		t.AddRow("4 aggregated homes", keyCount, acquires, tbl.Count(lease.Table), time.Since(start).Round(time.Millisecond))
+		t.AddRow("4 aggregated homes", keyCount, acquires, tbl.Count(lease.Table), wall.Since(start).Round(time.Millisecond))
 	}
 	return t
 }

@@ -69,14 +69,16 @@ func runE24() *Table {
 		// The local OLTP loop whose latency we protect.
 		var hist metrics.Histogram
 		for i := 0; i < 60; i++ {
-			t0 := time.Now()
+			t0 := wall.Now()
 			key := fmt.Sprintf("f%03d", i%rows)
 			row, _ := op.Get("flights", key)
 			sess := op.Session(fmt.Sprintf("oltp-%d", i))
 			sess.UpdateVersioned("flights", key, row.Version, row.Fields)
-			sess.Commit("")
-			hist.RecordDuration(time.Since(t0))
-			time.Sleep(200 * time.Microsecond)
+			if err := sess.Commit(""); err != nil {
+				panic(err)
+			}
+			hist.RecordDuration(wall.Since(t0))
+			wall.Sleep(200 * time.Microsecond)
 		}
 		close(stop)
 		wg.Wait()

@@ -76,22 +76,22 @@ func runE19() *Table {
 			panic(err)
 		}
 		const ops = 500
-		start := time.Now()
+		start := wall.Now()
 		for i := 0; i < ops; i++ {
 			if _, err := conv.Call(context.Background(), "step", nil); err != nil {
 				panic(err)
 			}
 		}
-		opsRate := float64(ops) / time.Since(start).Seconds()
+		opsRate := float64(ops) / wall.Since(start).Seconds()
 
 		const cbs = 200
-		start = time.Now()
+		start = wall.Now()
 		for i := 0; i < cbs; i++ {
 			if _, err := conv.Call(context.Background(), "pingback", []byte("x")); err != nil {
 				panic(err)
 			}
 		}
-		cbRate := float64(cbs) / time.Since(start).Seconds()
+		cbRate := float64(cbs) / wall.Since(start).Seconds()
 
 		mode := "in-memory"
 		if durable {
@@ -143,14 +143,16 @@ func runE20() *Table {
 					lost++
 				}
 			default:
-				local.JMS.Queue("saf-buffer").Send(m)
+				if _, err := local.JMS.Queue("saf-buffer").Send(m); err != nil {
+					lost++
+				}
 			}
-			time.Sleep(2 * time.Millisecond)
+			wall.Sleep(2 * time.Millisecond)
 		}
 		// Allow the forwarder to drain after the heal.
-		deadline := time.Now().Add(5 * time.Second)
-		for style == "store-and-forward" && delivered() < produced && time.Now().Before(deadline) {
-			time.Sleep(10 * time.Millisecond)
+		deadline := wall.Now().Add(5 * time.Second)
+		for style == "store-and-forward" && delivered() < produced && wall.Now().Before(deadline) {
+			wall.Sleep(10 * time.Millisecond)
 		}
 		exactlyOnce := true
 		if d := delivered(); d > produced-lost {

@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AfterLoop reports time.After / Clock.After calls inside for loops. Each
+// call allocates a timer that is only reclaimed when it fires, so a
+// heartbeat or retry loop that re-arms with After leaks timers for the
+// full timeout duration every iteration; hoist one channel out of the
+// loop or use AfterFunc.
+func AfterLoop() *Analyzer {
+	a := &Analyzer{
+		Name: "afterloop",
+		Doc:  "flags time.After/Clock.After inside for loops (timer churn / leak)",
+	}
+	a.Run = func(pass *Pass) {
+		info := pass.Pkg.Info
+		var visit func(n ast.Node, inLoop bool)
+		children := func(n ast.Node, inLoop bool) {
+			ast.Inspect(n, func(c ast.Node) bool {
+				if c == n {
+					return true
+				}
+				if c != nil {
+					visit(c, inLoop)
+				}
+				return false
+			})
+		}
+		visit = func(n ast.Node, inLoop bool) {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				// A literal's body runs on its own schedule, not once
+				// per enclosing iteration.
+				children(n, false)
+				return
+			case *ast.ForStmt, *ast.RangeStmt:
+				children(n, true)
+				return
+			case *ast.CallExpr:
+				if inLoop && isTimerAfterCall(info, n) {
+					pass.Reportf(n.Pos(),
+						"%s.After inside a loop allocates a timer per iteration; hoist the channel out of the loop or use AfterFunc",
+						receiverLabel(n))
+				}
+			}
+			children(n, inLoop)
+		}
+		for _, f := range pass.Pkg.Files {
+			visit(f, false)
+		}
+	}
+	return a
+}
+
+// isTimerAfterCall reports whether call is an After invocation producing a
+// timer channel (<-chan time.Time). The result-type check distinguishes
+// time.After / vclock.Clock.After from time.Time.After, which returns
+// bool.
+func isTimerAfterCall(info *types.Info, call *ast.CallExpr) bool {
+	var name string
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	case *ast.Ident:
+		name = fun.Name
+	default:
+		return false
+	}
+	if name != "After" {
+		return false
+	}
+	tv, ok := info.Types[call]
+	if !ok {
+		return false
+	}
+	ch, ok := tv.Type.(*types.Chan)
+	if !ok || ch.Dir() == types.SendOnly {
+		return false
+	}
+	named, ok := ch.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "Time" && pkgPathOf(named.Obj()) == "time"
+}
+
+// receiverLabel renders the receiver part of an After call for the
+// diagnostic ("time", "clock", ...).
+func receiverLabel(call *ast.CallExpr) string {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+			return id.Name
+		}
+		return "clock"
+	}
+	return "time"
+}

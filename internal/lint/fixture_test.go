@@ -1,0 +1,183 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// sharedLoader hands every test in this package one loader so the stdlib
+// is only type-checked from source once.
+var sharedLoader = sync.OnceValues(func() (*Loader, error) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		return nil, err
+	}
+	return NewLoader(root)
+})
+
+var wantString = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// expectation is one `// want "substring"` annotation in a fixture.
+type expectation struct {
+	file    string
+	line    int
+	substr  string
+	matched bool
+}
+
+// TestAnalyzerFixtures runs each analyzer over its fixture package under
+// testdata/<name>/ and checks the diagnostics against the `// want`
+// annotations: every want must be produced, every diagnostic must be
+// wanted.
+func TestAnalyzerFixtures(t *testing.T) {
+	loader, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range Default() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			dir := filepath.Join(loader.Root, "internal", "lint", "testdata", a.Name)
+			pkg, err := loader.LoadDir(dir, "wls/internal/lint/testdata/"+a.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diags := Run([]*Package{pkg}, []*Analyzer{a})
+
+			var wants []*expectation
+			for _, f := range pkg.Files {
+				for _, cg := range f.Comments {
+					for _, c := range cg.List {
+						text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+						rest, ok := strings.CutPrefix(text, "want ")
+						if !ok {
+							continue
+						}
+						pos := pkg.Fset.Position(c.Pos())
+						quoted := wantString.FindAllString(rest, -1)
+						if len(quoted) == 0 {
+							t.Errorf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+							continue
+						}
+						for _, q := range quoted {
+							s, err := strconv.Unquote(q)
+							if err != nil {
+								t.Fatalf("%s:%d: %v", pos.Filename, pos.Line, err)
+							}
+							wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, substr: s})
+						}
+					}
+				}
+			}
+
+			for _, d := range diags {
+				covered := false
+				for _, w := range wants {
+					if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && strings.Contains(d.Message, w.substr) {
+						w.matched = true
+						covered = true
+						break
+					}
+				}
+				if !covered {
+					t.Errorf("unexpected diagnostic: %s", d)
+				}
+			}
+			for _, w := range wants {
+				if !w.matched {
+					t.Errorf("%s:%d: expected diagnostic containing %q, got none", w.file, w.line, w.substr)
+				}
+			}
+		})
+	}
+}
+
+// TestMalformedDirectives checks that broken //wls: directives are
+// themselves reported instead of silently ignored.
+func TestMalformedDirectives(t *testing.T) {
+	loader, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	src := `package p
+
+import "time"
+
+func reasonless() {
+	//wls:wallclock
+	_ = time.Now()
+}
+
+func unknownAnalyzer() {
+	//wls:nolint bogus -- not a rule
+	_ = time.Now()
+}
+
+func reasonlessNolint() {
+	//wls:nolint lockheld
+	_ = time.Now()
+}
+
+func unknownKind() {
+	//wls:frobnicate yes
+	_ = time.Now()
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(dir, "malformed-directives")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run([]*Package{pkg}, Default())
+
+	wantSubstrings := []string{
+		"//wls:wallclock directive requires a reason",
+		`//wls:nolint names unknown analyzer "bogus"`,
+		"//wls:nolint directive requires analyzer names and a reason",
+		`unknown //wls: directive "frobnicate"`,
+		// The reasonless wallclock directive must NOT suppress; the
+		// unknown-analyzer nolint suppresses nothing relevant either.
+		"direct time.Now",
+	}
+	joined := make([]string, len(diags))
+	for i, d := range diags {
+		joined[i] = d.String()
+	}
+	all := strings.Join(joined, "\n")
+	for _, want := range wantSubstrings {
+		if !strings.Contains(all, want) {
+			t.Errorf("diagnostics missing %q; got:\n%s", want, all)
+		}
+	}
+	// All four time.Now calls sit beside malformed (hence inert)
+	// directives, so all four walltime diagnostics must survive.
+	walltimeCount := 0
+	for _, d := range diags {
+		if d.Analyzer == "walltime" {
+			walltimeCount++
+		}
+	}
+	if walltimeCount != 4 {
+		t.Errorf("want 4 surviving walltime diagnostics, got %d:\n%s", walltimeCount, all)
+	}
+}
+
+// TestDiagnosticString pins the CLI output format.
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Analyzer: "walltime", Message: "direct time.Now"}
+	d.Pos.Filename = "a/b.go"
+	d.Pos.Line, d.Pos.Column = 12, 3
+	want := "a/b.go:12:3: direct time.Now [walltime]"
+	if got := fmt.Sprint(d); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

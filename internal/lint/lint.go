@@ -1,0 +1,283 @@
+// Package lint is a stdlib-only static-analysis suite (go/parser, go/ast,
+// go/token, go/types — no x/tools) that enforces the determinism and
+// concurrency invariants the reproduction depends on:
+//
+//   - walltime:  cluster logic must run on vclock.Clock, never directly on
+//     the time package, or the deterministic failure simulations in
+//     EXPERIMENTS.md silently stop being deterministic.
+//   - lockheld:  a mutex held across a blocking operation (channel send or
+//     receive, select, Clock.Sleep, transport call) is a deadlock hazard
+//     in the cluster/lease/singleton protocols.
+//   - errdrop:   errors from the wire codec, the transport, the store, and
+//     transaction-log writes carry recovery obligations; discarding one on
+//     the floor breaks the crash-recovery story.
+//   - afterloop: time.After / Clock.After inside a for loop allocates a
+//     timer per iteration that is only reclaimed when it fires — a leak in
+//     long-running heartbeat and retry loops.
+//
+// Diagnostics can be suppressed line-by-line with directives:
+//
+//	//wls:wallclock <reason>           – suppress walltime (reason required)
+//	//wls:nolint <a>[,<b>] -- <reason> – suppress the named analyzers
+//
+// A directive suppresses matching diagnostics on its own line and, when it
+// stands alone on a line, on the line directly below it.
+//
+// The suite is self-enforcing: internal/lint/repo_test.go runs every
+// analyzer over the whole module, so `go test ./...` fails on new
+// violations. The cmd/wlslint driver exposes the same checks on the
+// command line.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one lint rule.
+type Analyzer struct {
+	// Name is the rule's short identifier, used in output and in
+	// //wls:nolint directives.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Fset     *token.FileSet
+	Pkg      *Package
+	analyzer *Analyzer
+	sink     *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.sink = append(*p.sink, Diagnostic{
+		Analyzer: p.analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Default is the analyzer set cmd/wlslint and repo_test.go run.
+func Default() []*Analyzer {
+	return []*Analyzer{Walltime(), LockHeld(), ErrDrop(), AfterLoop()}
+}
+
+// Run applies each analyzer to each package and returns the surviving
+// diagnostics (directive-suppressed ones removed), sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Fset: pkg.Fset, Pkg: pkg, analyzer: a, sink: &diags}
+			a.Run(pass)
+		}
+	}
+	diags = applyDirectives(pkgs, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		if diags[i].Analyzer != diags[j].Analyzer {
+			return diags[i].Analyzer < diags[j].Analyzer
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	return diags
+}
+
+// directive is one parsed //wls: comment.
+type directive struct {
+	kind      string // "wallclock" or "nolint"
+	analyzers map[string]bool
+	reason    string
+	pos       token.Position
+	// lines the directive covers: its own line, plus the next line when
+	// the comment stands alone.
+	lines [2]int
+}
+
+// parseDirectives extracts //wls: directives from a file. Malformed
+// directives (no reason, unknown kind) are reported as diagnostics so the
+// escape hatch itself stays auditable.
+func parseDirectives(fset *token.FileSet, f *ast.File, known map[string]bool, report func(Diagnostic)) []directive {
+	var out []directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//wls:")
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			kind, rest, _ := strings.Cut(strings.TrimSpace(text), " ")
+			rest = strings.TrimSpace(rest)
+			d := directive{kind: kind, reason: rest, pos: pos, lines: [2]int{pos.Line, pos.Line + 1}}
+			switch kind {
+			case "wallclock":
+				d.analyzers = map[string]bool{"walltime": true}
+				if d.reason == "" {
+					report(Diagnostic{Analyzer: "directive", Pos: pos,
+						Message: "//wls:wallclock directive requires a reason (//wls:wallclock <why this must be real wall time>)"})
+					continue
+				}
+			case "nolint":
+				names, reason, hasReason := strings.Cut(rest, "--")
+				d.reason = strings.TrimSpace(reason)
+				d.analyzers = map[string]bool{}
+				for _, n := range strings.Split(names, ",") {
+					n = strings.TrimSpace(n)
+					if n == "" {
+						continue
+					}
+					if !known[n] {
+						report(Diagnostic{Analyzer: "directive", Pos: pos,
+							Message: fmt.Sprintf("//wls:nolint names unknown analyzer %q", n)})
+					}
+					d.analyzers[n] = true
+				}
+				if len(d.analyzers) == 0 || !hasReason || d.reason == "" {
+					report(Diagnostic{Analyzer: "directive", Pos: pos,
+						Message: "//wls:nolint directive requires analyzer names and a reason (//wls:nolint <name>[,<name>] -- <why>)"})
+					continue
+				}
+			default:
+				report(Diagnostic{Analyzer: "directive", Pos: pos,
+					Message: fmt.Sprintf("unknown //wls: directive %q (want wallclock or nolint)", kind)})
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// applyDirectives removes diagnostics covered by a //wls: directive and
+// appends diagnostics for malformed directives.
+func applyDirectives(pkgs []*Package, diags []Diagnostic) []Diagnostic {
+	known := map[string]bool{}
+	for _, a := range Default() {
+		known[a.Name] = true
+	}
+	// filename -> line -> analyzers suppressed there
+	supp := map[string]map[int]map[string]bool{}
+	var extra []Diagnostic
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			ds := parseDirectives(pkg.Fset, f, known, func(d Diagnostic) { extra = append(extra, d) })
+			for _, d := range ds {
+				byLine := supp[d.pos.Filename]
+				if byLine == nil {
+					byLine = map[int]map[string]bool{}
+					supp[d.pos.Filename] = byLine
+				}
+				for _, line := range d.lines {
+					set := byLine[line]
+					if set == nil {
+						set = map[string]bool{}
+						byLine[line] = set
+					}
+					for name := range d.analyzers {
+						set[name] = true
+					}
+				}
+			}
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if set := supp[d.Pos.Filename][d.Pos.Line]; set != nil && set[d.Analyzer] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return append(kept, extra...)
+}
+
+// ---------------------------------------------------------------------------
+// Shared type-query helpers used by several analyzers.
+
+// pkgPathOf returns the import path of the package an object belongs to,
+// or "" for builtins.
+func pkgPathOf(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+// calleeObject resolves the function or method object a call expression
+// invokes, looking through parentheses. Returns nil for calls through
+// function-typed variables, built-ins, and type conversions.
+func calleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if obj, ok := info.Uses[fun]; ok {
+			if _, isFn := obj.(*types.Func); isFn {
+				return obj
+			}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			return sel.Obj() // method or field selection
+		}
+		// Qualified identifier: pkg.Func
+		if obj, ok := info.Uses[fun.Sel]; ok {
+			if _, isFn := obj.(*types.Func); isFn {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// resultsOf returns the result tuple of a call, or nil.
+func resultsOf(info *types.Info, call *ast.CallExpr) *types.Tuple {
+	tv, ok := info.Types[call]
+	if !ok {
+		return nil
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		return t
+	default:
+		if tv.Type == nil || tv.IsVoid() {
+			return nil
+		}
+		return types.NewTuple(types.NewVar(token.NoPos, nil, "", tv.Type))
+	}
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

@@ -1,0 +1,296 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockHeld reports blocking operations — channel sends and receives,
+// selects without a default, Clock.Sleep/time.Sleep, transport sends,
+// WaitGroup.Wait — performed while a sync.Mutex/RWMutex is held. Holding
+// a lock across a blocking point is the classic cluster deadlock: the
+// goroutine that would unblock the operation needs the same lock.
+//
+// The analysis is a source-order approximation, not a CFG: Lock/Unlock
+// pairs are tracked in the order they appear in the function body, a
+// deferred Unlock keeps the lock held to the end of the function, and
+// function literals are analyzed independently (their bodies run on their
+// own goroutine/schedule). Use //wls:nolint lockheld -- <reason> for
+// deliberate exceptions.
+func LockHeld() *Analyzer {
+	a := &Analyzer{
+		Name: "lockheld",
+		Doc:  "flags blocking operations while a sync mutex is held (deadlock hazard)",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				fd, ok := n.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					return true
+				}
+				analyzeLockBody(pass, fd.Body)
+				return false
+			})
+		}
+	}
+	return a
+}
+
+// analyzeLockBody runs the source-order lock walk on one function body,
+// then recurses into any function literals it contains with fresh state.
+func analyzeLockBody(pass *Pass, body *ast.BlockStmt) {
+	s := &lockWalk{pass: pass, held: map[string]token.Pos{}}
+	s.stmts(body.List)
+	for _, lit := range s.lits {
+		analyzeLockBody(pass, lit.Body)
+	}
+}
+
+type lockWalk struct {
+	pass *Pass
+	held map[string]token.Pos // mutex expr (rendered) -> Lock() position
+	lits []*ast.FuncLit       // literals to analyze independently
+}
+
+func (s *lockWalk) stmts(list []ast.Stmt) {
+	for _, st := range list {
+		s.stmt(st)
+	}
+}
+
+func (s *lockWalk) stmt(st ast.Stmt) {
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if mutex, op, ok := s.mutexOp(call); ok {
+				switch op {
+				case "Lock", "RLock", "TryLock", "TryRLock":
+					s.held[mutex] = call.Pos()
+				case "Unlock", "RUnlock":
+					delete(s.held, mutex)
+				}
+				return
+			}
+		}
+		s.expr(st.X)
+	case *ast.DeferStmt:
+		// A deferred Unlock runs at return, so the lock stays held for
+		// the rest of the body — exactly what the walk's "never
+		// released" state models. Deferred blocking calls run after the
+		// body, outside this walk's scope.
+		for _, arg := range st.Call.Args {
+			s.expr(arg)
+		}
+		if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			s.lits = append(s.lits, lit)
+		}
+	case *ast.GoStmt:
+		for _, arg := range st.Call.Args {
+			s.expr(arg)
+		}
+		if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			s.lits = append(s.lits, lit)
+		}
+	case *ast.SendStmt:
+		s.blockingOp(st.Pos(), "channel send")
+		s.expr(st.Chan)
+		s.expr(st.Value)
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			s.expr(e)
+		}
+		for _, e := range st.Lhs {
+			s.expr(e)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						s.expr(e)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			s.expr(e)
+		}
+	case *ast.IncDecStmt:
+		s.expr(st.X)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			s.stmt(st.Init)
+		}
+		s.expr(st.Cond)
+		s.stmts(st.Body.List)
+		if st.Else != nil {
+			s.stmt(st.Else)
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			s.stmt(st.Init)
+		}
+		if st.Cond != nil {
+			s.expr(st.Cond)
+		}
+		s.stmts(st.Body.List)
+		if st.Post != nil {
+			s.stmt(st.Post)
+		}
+	case *ast.RangeStmt:
+		s.expr(st.X)
+		s.stmts(st.Body.List)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			s.stmt(st.Init)
+		}
+		if st.Tag != nil {
+			s.expr(st.Tag)
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					s.expr(e)
+				}
+				s.stmts(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			s.stmt(st.Init)
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				s.stmts(cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			s.blockingOp(st.Pos(), "select")
+		}
+		// Case bodies execute after the (possibly flagged) wait; the
+		// comm statements themselves are part of the select and not
+		// re-flagged.
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				s.stmts(cc.Body)
+			}
+		}
+	case *ast.BlockStmt:
+		s.stmts(st.List)
+	case *ast.LabeledStmt:
+		s.stmt(st.Stmt)
+	}
+}
+
+// expr scans an expression for blocking operations, skipping function
+// literals (collected for independent analysis).
+func (s *lockWalk) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			s.lits = append(s.lits, n)
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				s.blockingOp(n.Pos(), "channel receive")
+			}
+		case *ast.CallExpr:
+			if label, ok := s.blockingCall(n); ok {
+				s.blockingOp(n.Pos(), label)
+			}
+		}
+		return true
+	})
+}
+
+// mutexOp reports whether call is a sync.Mutex/RWMutex lock-state method
+// call, returning the rendered mutex expression and the method name.
+func (s *lockWalk) mutexOp(call *ast.CallExpr) (mutex, op string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "TryLock", "TryRLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	obj := calleeObject(s.pass.Pkg.Info, call)
+	if pkgPathOf(obj) != "sync" {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}
+
+// blockingCall reports whether call is a known blocking operation.
+func (s *lockWalk) blockingCall(call *ast.CallExpr) (string, bool) {
+	obj := calleeObject(s.pass.Pkg.Info, call)
+	if obj == nil {
+		return "", false
+	}
+	switch pkgPathOf(obj) {
+	case "time":
+		if obj.Name() == "Sleep" {
+			return "time.Sleep", true
+		}
+	case "wls/internal/vclock":
+		if obj.Name() == "Sleep" {
+			return "Clock.Sleep", true
+		}
+	case "wls/internal/transport":
+		if obj.Name() == "Send" || obj.Name() == "Call" {
+			return "transport." + obj.Name(), true
+		}
+	case "sync":
+		// WaitGroup.Wait blocks; Cond.Wait is *supposed* to hold the
+		// lock, so it is exempt.
+		if obj.Name() == "Wait" && receiverNamed(obj) == "WaitGroup" {
+			return "WaitGroup.Wait", true
+		}
+	}
+	return "", false
+}
+
+// receiverNamed returns the name of a method's receiver type ("" for
+// non-methods), looking through pointers.
+func receiverNamed(obj types.Object) string {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// blockingOp records a diagnostic for every lock currently held.
+func (s *lockWalk) blockingOp(pos token.Pos, what string) {
+	for mutex, lockPos := range s.held {
+		lp := s.pass.Fset.Position(lockPos)
+		s.pass.Reportf(pos,
+			"%s while %s is locked (Lock at line %d) risks deadlock; release the lock before blocking",
+			what, mutex, lp.Line)
+	}
+}

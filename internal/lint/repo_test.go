@@ -1,0 +1,35 @@
+package lint
+
+import "testing"
+
+// TestRepoIsLintClean is the self-enforcing gate: it runs every analyzer
+// over every package of this module, so a plain `go test ./...` fails the
+// moment someone reintroduces a direct wall-clock call, holds a mutex
+// across a blocking operation, drops a wire/transport/store/tx error, or
+// re-arms time.After inside a loop.
+//
+// To see the same diagnostics from the command line:
+//
+//	go run ./cmd/wlslint ./...
+//
+// To suppress a legitimate finding, annotate the line (with a reason):
+//
+//	//wls:wallclock <reason>
+//	//wls:nolint <analyzer>[,<analyzer>] -- <reason>
+func TestRepoIsLintClean(t *testing.T) {
+	loader, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(pkgs, Default())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Logf("wlslint found %d violation(s); see DESIGN.md \"Determinism & lint rules\"", len(diags))
+	}
+}

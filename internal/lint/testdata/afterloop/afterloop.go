@@ -1,0 +1,63 @@
+// Fixture for the afterloop analyzer: After calls that mint a timer per
+// loop iteration are diagnosed; hoisted channels, time.Time.After
+// comparisons, and function literals are not.
+package afterloop
+
+import (
+	"time"
+
+	"wls/internal/vclock"
+)
+
+func badClock(clk vclock.Clock, stop chan struct{}) {
+	for {
+		select {
+		case <-clk.After(time.Second): // want "clk.After inside a loop"
+		case <-stop:
+			return
+		}
+	}
+}
+
+func badTime(n int) {
+	for i := 0; i < n; i++ {
+		<-time.After(time.Millisecond) // want "time.After inside a loop"
+	}
+}
+
+func badRange(clk vclock.Clock, keys []string) {
+	for range keys {
+		_ = clk.After(time.Second) // want "clk.After inside a loop"
+	}
+}
+
+func goodHoisted(clk vclock.Clock, stop chan struct{}) {
+	expired := clk.After(time.Second)
+	for {
+		select {
+		case <-expired:
+			return
+		case <-stop:
+			return
+		}
+	}
+}
+
+func goodTimeComparison(deadline time.Time, clk vclock.Clock) int {
+	n := 0
+	for clk.Now().After(deadline) { // time.Time.After returns bool, not a timer
+		n++
+		if n > 3 {
+			break
+		}
+	}
+	return n
+}
+
+func goodFuncLit(clk vclock.Clock, n int) {
+	for i := 0; i < n; i++ {
+		// The literal runs on its own schedule, not per iteration here.
+		f := func() <-chan time.Time { return clk.After(time.Second) }
+		_ = f
+	}
+}

@@ -1,0 +1,37 @@
+// Fixture for the errdrop analyzer: bare call statements that discard an
+// error from the watched packages are diagnosed; handled errors, explicit
+// blank assignments, and unwatched packages are not.
+package errdrop
+
+import (
+	"io"
+
+	"wls/internal/jms"
+	"wls/internal/wire"
+)
+
+func drops(w io.Writer, q *jms.Queue) {
+	wire.WriteFrame(w, wire.Frame{}) // want "wire.WriteFrame returns an error that is silently discarded"
+	q.Send(jms.Message{})            // want "jms.Send returns an error that is silently discarded"
+}
+
+func handled(w io.Writer, q *jms.Queue) error {
+	if err := wire.WriteFrame(w, wire.Frame{}); err != nil {
+		return err
+	}
+	_, err := q.Send(jms.Message{})
+	return err
+}
+
+func explicitDiscard(q *jms.Queue) {
+	_, _ = q.Send(jms.Message{}) // visible decision: allowed
+}
+
+func suppressed(q *jms.Queue) {
+	//wls:nolint errdrop -- fixture: deliberate fire-and-forget send
+	q.Send(jms.Message{})
+}
+
+func unwatchedPackage(c io.Closer) {
+	c.Close() // io is not a watched package
+}

@@ -1,0 +1,41 @@
+// Fixture for the walltime analyzer: direct time-package calls are
+// diagnosed, vclock usage and annotated call sites are not.
+package walltime
+
+import (
+	"time"
+	wt "time"
+
+	"wls/internal/vclock"
+)
+
+func bad() {
+	_ = time.Now()                    // want "direct time.Now"
+	time.Sleep(time.Millisecond)      // want "direct time.Sleep"
+	_ = time.After(time.Second)       // want "direct time.After"
+	_ = time.Since(time.Time{})       // want "direct time.Since"
+	_ = time.Tick(time.Second)        // want "direct time.Tick"
+	_ = time.NewTimer(time.Second)    // want "direct time.NewTimer"
+	t := time.AfterFunc(0, func() {}) // want "direct time.AfterFunc"
+	t.Stop()
+}
+
+func renamedImport() {
+	_ = wt.Now() // want "direct time.Now"
+}
+
+func good(clk vclock.Clock) {
+	_ = clk.Now()
+	clk.Sleep(time.Millisecond) // durations and types are fine, calls are not
+	_ = clk.After(time.Second)
+	_ = vclock.System.Now()
+}
+
+func suppressedSameLine() {
+	_ = time.Now() //wls:wallclock operator-facing timestamp in a report
+}
+
+func suppressedLineAbove() {
+	//wls:wallclock measuring real elapsed wall time for the bench table
+	_ = time.Now()
+}

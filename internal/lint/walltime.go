@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// walltimeFuncs are the time-package entry points that read or schedule
+// against the wall clock. Calling any of them outside vclock breaks the
+// deterministic simulations, because virtual-clock tests cannot advance
+// past them.
+var walltimeFuncs = map[string]bool{
+	"Now": true, "Sleep": true, "After": true, "AfterFunc": true,
+	"NewTimer": true, "NewTicker": true, "Tick": true, "Since": true, "Until": true,
+}
+
+// walltimeAllow are the packages permitted to touch the wall clock
+// directly: vclock is the one place the real clock is wrapped.
+var walltimeAllow = map[string]bool{
+	"wls/internal/vclock": true,
+}
+
+// Walltime reports direct time.Now/Sleep/After/... calls outside
+// allowlisted packages. Suppress a legitimately wall-clock call site with
+// //wls:wallclock <reason>.
+func Walltime() *Analyzer {
+	a := &Analyzer{
+		Name: "walltime",
+		Doc:  "flags direct time.Now/Sleep/After/... calls; cluster logic must use vclock.Clock",
+	}
+	a.Run = func(pass *Pass) {
+		if walltimeAllow[pass.Pkg.Path] {
+			return
+		}
+		info := pass.Pkg.Info
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || !walltimeFuncs[sel.Sel.Name] {
+					return true
+				}
+				ident, ok := ast.Unparen(sel.X).(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pn, ok := info.Uses[ident].(*types.PkgName)
+				if !ok || pn.Imported().Path() != "time" {
+					return true
+				}
+				pass.Reportf(sel.Pos(),
+					"direct time.%s breaks deterministic simulation; use vclock.Clock (or annotate with //wls:wallclock <reason>)",
+					sel.Sel.Name)
+				return true
+			})
+		}
+	}
+	return a
+}

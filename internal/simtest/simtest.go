@@ -159,7 +159,7 @@ func (f *Fixture) Settle(n int) {
 		if f.VClock != nil {
 			f.VClock.Advance(f.cfg.HeartbeatInterval)
 		} else {
-			time.Sleep(f.cfg.HeartbeatInterval)
+			f.Clock.Sleep(f.cfg.HeartbeatInterval)
 		}
 	}
 }

@@ -32,6 +32,10 @@ func newLockTable(clock vclock.Clock) *lockTable {
 func (lt *lockTable) acquire(txID, table, key string, timeout time.Duration) error {
 	ref := rowRef{table, key}
 	deadline := lt.clock.Now().Add(timeout)
+	// One timer covers the whole acquisition: re-arming clock.After on
+	// every contention wakeup would allocate a timer per loop iteration
+	// that lives until its deadline (wlslint: afterloop).
+	expired := lt.clock.After(timeout)
 	for {
 		lt.mu.Lock()
 		l, ok := lt.locks[ref]
@@ -57,15 +61,14 @@ func (lt *lockTable) acquire(txID, table, key string, timeout time.Duration) err
 		l.waiters = append(l.waiters, ch)
 		lt.mu.Unlock()
 
-		remaining := deadline.Sub(lt.clock.Now())
-		if remaining <= 0 {
+		if !deadline.After(lt.clock.Now()) {
 			lt.abandon(ref, ch)
 			return ErrLockTimeout
 		}
 		select {
 		case <-ch:
 			// Woken: loop and contend again (FIFO wake keeps this fair).
-		case <-lt.clock.After(remaining):
+		case <-expired:
 			lt.abandon(ref, ch)
 			return ErrLockTimeout
 		}

@@ -327,9 +327,10 @@ func (c *Cluster) Settle(n int) {
 	for i := 0; i < n; i++ {
 		if c.fix.vclk != nil {
 			c.fix.vclk.Advance(c.fix.cfg.HeartbeatInterval)
+			//wls:wallclock real yield so background goroutines keep pace with the advancing virtual clock
 			time.Sleep(2 * time.Millisecond)
 		} else {
-			time.Sleep(c.fix.cfg.HeartbeatInterval)
+			c.fix.clock.Sleep(c.fix.cfg.HeartbeatInterval)
 		}
 	}
 }
@@ -339,7 +340,7 @@ func (c *Cluster) Advance(d time.Duration) {
 	if c.fix.vclk != nil {
 		c.fix.vclk.Advance(d)
 	} else {
-		time.Sleep(d)
+		c.fix.clock.Sleep(d)
 	}
 }
 
@@ -418,7 +419,7 @@ func (c *Cluster) Stop() {
 		s.endpoint.Close()
 		s.Naming.Close()
 		if s.Files != nil {
-			s.Files.Close()
+			_ = s.Files.Close() // shutdown path; store is done either way
 		}
 	}
 }
