@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench
+.PHONY: all build test race lint bench bench-transport
 
 all: build test race lint
 
@@ -29,3 +29,8 @@ lint:
 
 bench:
 	$(GO) run ./cmd/wlsbench -all
+
+# Transport hot-path numbers (E27): echo RPC throughput, allocs/call and the
+# write-batching ablation, checked in as BENCH_transport.json.
+bench-transport:
+	$(GO) run ./cmd/wlsbench -exp E27 -json BENCH_transport.json

@@ -1,4 +1,4 @@
-// Command wlsbench runs the paper-reproduction experiments (E01–E26, see
+// Command wlsbench runs the paper-reproduction experiments (E01–E27, see
 // DESIGN.md) and prints their tables.
 //
 // Usage:
@@ -6,9 +6,11 @@
 //	wlsbench -list            list experiments
 //	wlsbench -exp E05         run one experiment
 //	wlsbench -all             run everything
+//	wlsbench -exp E27 -json BENCH_transport.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,8 +23,10 @@ func main() {
 	list := flag.Bool("list", false, "list experiments")
 	exp := flag.String("exp", "", "run one experiment by id (e.g. E05)")
 	all := flag.Bool("all", false, "run every experiment")
+	jsonPath := flag.String("json", "", "also write the tables of this run as JSON to the given file")
 	flag.Parse()
 
+	var tables []*bench.Table
 	switch {
 	case *list:
 		for _, e := range bench.All() {
@@ -34,23 +38,38 @@ func main() {
 			fmt.Fprintf(os.Stderr, "wlsbench: unknown experiment %q (try -list)\n", *exp)
 			os.Exit(1)
 		}
-		run(e)
+		tables = append(tables, run(e))
 	case *all:
 		for _, e := range bench.All() {
-			run(e)
+			tables = append(tables, run(e))
 			fmt.Println()
 		}
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	if *jsonPath != "" && len(tables) > 0 {
+		b, err := json.MarshalIndent(tables, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wlsbench: marshal tables: %v\n", err)
+			os.Exit(1)
+		}
+		b = append(b, '\n')
+		if err := os.WriteFile(*jsonPath, b, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "wlsbench: write %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
 }
 
-func run(e bench.Experiment) {
+func run(e bench.Experiment) *bench.Table {
 	//wls:wallclock human-facing runtime report for the operator, not cluster logic
 	start := time.Now()
 	table := e.Run()
 	fmt.Print(table.String())
 	//wls:wallclock human-facing runtime report for the operator, not cluster logic
 	fmt.Printf("(ran in %v)\n", time.Since(start).Round(time.Millisecond))
+	return table
 }

@@ -8,7 +8,9 @@ import (
 // obligations: the wire codec, the transport, the stores, the transaction
 // log, and the durable messaging layer. A bare call statement silently
 // discards the error; assigning to _ is treated as an explicit, visible
-// decision and left alone.
+// decision and left alone. bufio is included because the batched transport
+// writer path buffers I/O: a dropped Flush/Write error there means silent
+// frame loss.
 var errdropPkgs = map[string]bool{
 	"wls/internal/wire":      true,
 	"wls/internal/transport": true,
@@ -16,14 +18,16 @@ var errdropPkgs = map[string]bool{
 	"wls/internal/filestore": true,
 	"wls/internal/tx":        true,
 	"wls/internal/jms":       true,
+	"bufio":                  true,
 }
 
 // ErrDrop reports call statements that discard an error returned by the
-// wire/transport/store/filestore/tx/jms packages.
+// wire/transport/store/filestore/tx/jms packages (or by bufio, whose
+// buffered writers defer I/O errors to Flush).
 func ErrDrop() *Analyzer {
 	a := &Analyzer{
 		Name: "errdrop",
-		Doc:  "flags discarded errors from wire/transport/store/filestore/tx/jms calls",
+		Doc:  "flags discarded errors from wire/transport/store/filestore/tx/jms/bufio calls",
 	}
 	a.Run = func(pass *Pass) {
 		info := pass.Pkg.Info

@@ -347,10 +347,23 @@ func (e *Endpoint) deliver(ctx context.Context, from string, f wire.Frame, lat t
 	}
 }
 
+// cloneBody detaches f's body from the caller's buffer. Like the TCP
+// transport, the fabric copies frame bodies on entry so callers may reuse
+// (or release to a pool) their encode buffers as soon as Send/Call
+// returns — delivery may run arbitrarily later on a frozen or slow link.
+func cloneBody(f wire.Frame) wire.Frame {
+	if len(f.Body) > 0 {
+		f.Body = append([]byte(nil), f.Body...)
+	}
+	return f
+}
+
 // Send transmits a one-way frame to the destination address. Lost frames
 // (drop rate) return nil error, like UDP. A frozen sender blocks until it
-// thaws: a frozen process executes nothing, including its own sends.
+// thaws: a frozen process executes nothing, including its own sends. The
+// frame body is copied before Send returns.
 func (e *Endpoint) Send(ctx context.Context, to string, f wire.Frame) error {
+	f = cloneBody(f)
 	if e.Closed() {
 		return ErrClosed
 	}
@@ -370,8 +383,11 @@ func (e *Endpoint) Send(ctx context.Context, to string, f wire.Frame) error {
 
 // Call performs a request/response exchange. The response frame's kind is
 // whatever the remote handler produced (normally KindResponse). A frozen
-// caller blocks until it thaws, like a frozen process would.
+// caller blocks until it thaws, like a frozen process would. The frame
+// body is copied before dispatch, mirroring the TCP transport's
+// enqueue-copies semantics.
 func (e *Endpoint) Call(ctx context.Context, to string, f wire.Frame) (wire.Frame, error) {
+	f = cloneBody(f)
 	if e.Closed() {
 		return wire.Frame{}, ErrClosed
 	}

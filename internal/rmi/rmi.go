@@ -27,6 +27,10 @@ import (
 
 // Node is the transport endpoint the registry and stubs ride on. Both
 // netsim.Endpoint and transport.Transport satisfy it.
+//
+// Contract: Send and Call must not retain f.Body after returning (both
+// implementations copy it into their delivery path), which lets stubs
+// encode requests into pooled buffers.
 type Node interface {
 	Addr() string
 	Send(ctx context.Context, to string, f wire.Frame) error
@@ -101,14 +105,16 @@ const (
 	respNoSuchService // definitely no side effects: safe to fail over
 )
 
-func encodeRequest(c *Call) []byte {
-	e := wire.NewEncoder(64 + len(c.Args))
+// encodeRequestTo writes c into e. The stub call path encodes into a
+// pooled encoder (wire.AcquireEncoder) and releases it once the node has
+// copied the frame into its send queue, so steady-state invocations do not
+// allocate a request buffer.
+func encodeRequestTo(e *wire.Encoder, c *Call) {
 	e.String(c.Service)
 	e.String(c.Method)
 	e.String(c.TxID)
 	e.String(c.ConvID)
 	e.Bytes2(c.Args)
-	return e.Bytes()
 }
 
 func decodeRequest(from string, b []byte) (*Call, error) {

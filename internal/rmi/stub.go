@@ -328,7 +328,13 @@ func requestNeverSent(err error) bool {
 
 func (s *Stub) callOne(ctx context.Context, addr, method string, args []byte, txID, convID string) (*Result, error) {
 	req := &Call{Service: s.service, Method: method, Args: args, TxID: txID, ConvID: convID}
-	frame := wire.Frame{Kind: wire.KindRequest, Body: encodeRequest(req)}
+	// Both Node implementations copy the frame body before Call returns
+	// (the transport into its batched send queue, netsim on entry), so the
+	// pooled encoder can be released as soon as the exchange completes.
+	enc := wire.AcquireEncoder()
+	defer enc.Release()
+	encodeRequestTo(enc, req)
+	frame := wire.Frame{Kind: wire.KindRequest, Body: enc.Bytes()}
 	respFrame, err := s.node.Call(ctx, addr, frame)
 	if err != nil {
 		if requestNeverSent(err) {

@@ -11,16 +11,27 @@
 // A connection doubles as both directions of traffic: if A dialed B, B
 // sends its own requests to A over the same TCP connection rather than
 // dialing back.
+//
+// The hot path is built for concentration economics (§2.1–2.2): frames
+// queued by concurrent callers are coalesced by a per-connection writer
+// goroutine into single buffered flushes (many frames, one syscall), the
+// correlation-id → waiter table is sharded to keep concurrent callers off
+// one mutex, inbound requests run on a bounded worker pool instead of a
+// goroutine per frame, and encode/read buffers are pooled/reused so the
+// steady state does not allocate per frame.
 package transport
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"wls/internal/metrics"
 	"wls/internal/wire"
 )
 
@@ -35,29 +46,86 @@ var ErrClosed = errors.New("transport: closed")
 // another candidate even for non-idempotent methods (§3.1).
 var ErrDial = errors.New("transport: dial failed")
 
+// Options tunes a Transport. The zero value gives production defaults.
+type Options struct {
+	// Metrics receives the transport's frame/byte/batch metrics
+	// (transport.frames.in/out, transport.bytes.in/out,
+	// transport.batch.frames, transport.batch.bytes). Nil allocates a
+	// private registry, readable via Transport.Metrics.
+	Metrics *metrics.Registry
+	// Workers bounds the inbound worker pool — the execute-thread pool of
+	// a WebLogic server rather than one goroutine per request. Zero means
+	// 4×GOMAXPROCS (minimum 8).
+	Workers int
+	// QueueDepth is the worker pool's task queue length (default 256).
+	// When every worker is busy and the queue is full, dispatch overflows
+	// to a fresh goroutine: a bounded queue with no escape valve can
+	// deadlock two servers whose pools are saturated with requests to
+	// each other.
+	QueueDepth int
+	// UnbatchedWrites disables write coalescing, reverting to one Write
+	// syscall per frame. Kept for the transportbench ablation (E27).
+	UnbatchedWrites bool
+}
+
 // Transport is one server's endpoint on the network.
 type Transport struct {
 	ln      net.Listener
 	addr    string
 	handler atomic.Value // Handler
+	opts    Options
+	reg     *metrics.Registry
+	pool    *workerPool
+
+	framesOut, bytesOut     *metrics.Counter
+	framesIn, bytesIn       *metrics.Counter
+	batchFrames, batchBytes *metrics.Histogram
 
 	mu     sync.Mutex
-	conns  map[string]*conn // by advertised remote address
+	conns  map[string]*conn // primary conn per advertised remote address
+	extras map[*conn]struct{} // duplicate inbound conns, tracked so Close reaps them
 	closed bool
 	wg     sync.WaitGroup
 }
 
 // Listen starts a transport on the given TCP address ("127.0.0.1:0" picks a
-// free port). The advertised address is the actual listen address.
-func Listen(addr string) (*Transport, error) {
+// free port) with default Options. The advertised address is the actual
+// listen address.
+func Listen(addr string) (*Transport, error) { return ListenOpts(addr, Options{}) }
+
+// ListenOpts starts a transport with explicit Options.
+func ListenOpts(addr string, opts Options) (*Transport, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
+	if opts.Workers <= 0 {
+		opts.Workers = 4 * runtime.GOMAXPROCS(0)
+		if opts.Workers < 8 {
+			opts.Workers = 8
+		}
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 256
+	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
 	t := &Transport{
-		ln:    ln,
-		addr:  ln.Addr().String(),
-		conns: make(map[string]*conn),
+		ln:          ln,
+		addr:        ln.Addr().String(),
+		opts:        opts,
+		reg:         reg,
+		pool:        newWorkerPool(opts.Workers, opts.QueueDepth),
+		framesOut:   reg.Counter("transport.frames.out"),
+		bytesOut:    reg.Counter("transport.bytes.out"),
+		framesIn:    reg.Counter("transport.frames.in"),
+		bytesIn:     reg.Counter("transport.bytes.in"),
+		batchFrames: reg.Histogram("transport.batch.frames"),
+		batchBytes:  reg.Histogram("transport.batch.bytes"),
+		conns:       make(map[string]*conn),
+		extras:      make(map[*conn]struct{}),
 	}
 	t.handler.Store(Handler(func(string, wire.Frame) *wire.Frame { return nil }))
 	t.wg.Add(1)
@@ -71,7 +139,11 @@ func (t *Transport) Addr() string { return t.addr }
 // SetHandler installs the inbound frame handler.
 func (t *Transport) SetHandler(h Handler) { t.handler.Store(h) }
 
-// Close shuts down the listener and all connections.
+// Metrics returns the registry the transport records into.
+func (t *Transport) Metrics() *metrics.Registry { return t.reg }
+
+// Close shuts down the listener, all connections (including duplicate
+// inbound ones), and the worker pool.
 func (t *Transport) Close() error {
 	t.mu.Lock()
 	if t.closed {
@@ -79,8 +151,11 @@ func (t *Transport) Close() error {
 		return nil
 	}
 	t.closed = true
-	conns := make([]*conn, 0, len(t.conns))
+	conns := make([]*conn, 0, len(t.conns)+len(t.extras))
 	for _, c := range t.conns {
+		conns = append(conns, c)
+	}
+	for c := range t.extras {
 		conns = append(conns, c)
 	}
 	t.mu.Unlock()
@@ -88,7 +163,11 @@ func (t *Transport) Close() error {
 	for _, c := range conns {
 		c.close(ErrClosed)
 	}
+	// All read loops have exited once wg returns, so nothing submits to
+	// the pool anymore; workers drain the queue and exit. In-flight
+	// handlers finish on their own goroutines, as before.
 	t.wg.Wait()
+	t.pool.close()
 	return err
 }
 
@@ -112,7 +191,7 @@ func (t *Transport) acceptLoop() {
 func (t *Transport) handleInbound(nc net.Conn) {
 	hello, err := wire.ReadFrame(nc)
 	if err != nil || hello.Kind != wire.KindAnnounce {
-		nc.Close()
+		_ = nc.Close() // handshake failed; nothing to recover
 		return
 	}
 	remote := string(hello.Body)
@@ -120,12 +199,16 @@ func (t *Transport) handleInbound(nc net.Conn) {
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
-		nc.Close()
+		c.close(ErrClosed)
 		return
 	}
-	// Keep at most one cached conn per peer; an inbound conn replaces
-	// nothing if we already dialed them (both work; latest wins for sends).
-	if _, ok := t.conns[remote]; !ok {
+	// Keep at most one cached conn per peer for the send path; a
+	// duplicate (we already dialed them, or they dialed twice) still
+	// serves traffic and is tracked in extras so Close reaps it and its
+	// read loop instead of leaking them.
+	if _, ok := t.conns[remote]; ok {
+		t.extras[c] = struct{}{}
+	} else {
 		t.conns[remote] = c
 	}
 	t.mu.Unlock()
@@ -138,6 +221,7 @@ func (t *Transport) dropConn(remote string, c *conn) {
 	if t.conns[remote] == c {
 		delete(t.conns, remote)
 	}
+	delete(t.extras, c)
 	t.mu.Unlock()
 }
 
@@ -161,7 +245,7 @@ func (t *Transport) getConn(ctx context.Context, to string) (*conn, error) {
 	}
 	// Handshake: announce our advertised address.
 	if err := wire.WriteFrame(nc, wire.Frame{Kind: wire.KindAnnounce, Body: []byte(t.addr)}); err != nil {
-		nc.Close()
+		_ = nc.Close() // conn is being abandoned anyway
 		return nil, err
 	}
 	c := newConn(t, nc, to)
@@ -169,13 +253,13 @@ func (t *Transport) getConn(ctx context.Context, to string) (*conn, error) {
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
-		nc.Close()
+		c.close(ErrClosed)
 		return nil, ErrClosed
 	}
 	if existing, ok := t.conns[to]; ok {
 		// Lost the race; use the existing one.
 		t.mu.Unlock()
-		nc.Close()
+		c.close(ErrClosed)
 		return existing, nil
 	}
 	t.conns[to] = c
@@ -190,7 +274,9 @@ func (t *Transport) getConn(ctx context.Context, to string) (*conn, error) {
 	return c, nil
 }
 
-// Send transmits a one-way frame.
+// Send transmits a one-way frame. The frame is copied into the
+// connection's send queue before Send returns, so the caller may reuse
+// f.Body (e.g. release it to a pool) immediately afterwards.
 func (t *Transport) Send(ctx context.Context, to string, f wire.Frame) error {
 	c, err := t.getConn(ctx, to)
 	if err != nil {
@@ -200,7 +286,7 @@ func (t *Transport) Send(ctx context.Context, to string, f wire.Frame) error {
 }
 
 // Call performs a request/response exchange, retrying once on a stale
-// cached connection.
+// cached connection. Like Send, f.Body is not retained past the return.
 func (t *Transport) Call(ctx context.Context, to string, f wire.Frame) (wire.Frame, error) {
 	for attempt := 0; ; attempt++ {
 		c, err := t.getConn(ctx, to)
@@ -212,141 +298,13 @@ func (t *Transport) Call(ctx context.Context, to string, f wire.Frame) (wire.Fra
 			return resp, nil
 		}
 		// A write on a connection the peer already closed surfaces here;
-		// retry once with a fresh dial.
-		if attempt == 0 && errors.Is(err, errConnDead) {
+		// retry once with a fresh dial — unless the caller's context is
+		// already done, in which case re-arming the retry would only dial
+		// again to fail.
+		if attempt == 0 && errors.Is(err, errConnDead) && ctx.Err() == nil {
 			continue
 		}
 		return wire.Frame{}, err
-	}
-}
-
-// ---------------------------------------------------------------------------
-
-var errConnDead = errors.New("transport: connection dead")
-
-type conn struct {
-	t      *Transport
-	nc     net.Conn
-	remote string
-
-	writeMu sync.Mutex
-
-	mu      sync.Mutex
-	pending map[uint64]chan wire.Frame
-	nextID  uint64
-	dead    error
-}
-
-func newConn(t *Transport, nc net.Conn, remote string) *conn {
-	return &conn{t: t, nc: nc, remote: remote, pending: make(map[uint64]chan wire.Frame)}
-}
-
-func (c *conn) write(f wire.Frame) error {
-	c.mu.Lock()
-	if c.dead != nil {
-		err := c.dead
-		c.mu.Unlock()
-		return err
-	}
-	c.mu.Unlock()
-	c.writeMu.Lock()
-	defer c.writeMu.Unlock()
-	if err := wire.WriteFrame(c.nc, f); err != nil {
-		c.close(fmt.Errorf("%w: %v", errConnDead, err))
-		return errConnDead
-	}
-	return nil
-}
-
-func (c *conn) call(ctx context.Context, f wire.Frame) (wire.Frame, error) {
-	ch := make(chan wire.Frame, 1)
-	c.mu.Lock()
-	if c.dead != nil {
-		err := c.dead
-		c.mu.Unlock()
-		return wire.Frame{}, err
-	}
-	c.nextID++
-	id := c.nextID
-	c.pending[id] = ch
-	c.mu.Unlock()
-
-	f.Kind = wire.KindRequest
-	f.Corr = id
-	if err := c.write(f); err != nil {
-		c.mu.Lock()
-		delete(c.pending, id)
-		c.mu.Unlock()
-		return wire.Frame{}, err
-	}
-	select {
-	case resp, ok := <-ch:
-		if !ok {
-			return wire.Frame{}, errConnDead
-		}
-		return resp, nil
-	case <-ctx.Done():
-		c.mu.Lock()
-		delete(c.pending, id)
-		c.mu.Unlock()
-		return wire.Frame{}, ctx.Err()
-	}
-}
-
-func (c *conn) close(reason error) {
-	c.mu.Lock()
-	if c.dead != nil {
-		c.mu.Unlock()
-		return
-	}
-	c.dead = reason
-	pending := c.pending
-	c.pending = make(map[uint64]chan wire.Frame)
-	c.mu.Unlock()
-	c.nc.Close()
-	for _, ch := range pending {
-		close(ch)
-	}
-}
-
-// readLoop dispatches inbound frames until the connection dies.
-func (c *conn) readLoop() {
-	for {
-		f, err := wire.ReadFrame(c.nc)
-		if err != nil {
-			c.close(fmt.Errorf("%w: %v", errConnDead, err))
-			return
-		}
-		switch f.Kind {
-		case wire.KindResponse:
-			c.mu.Lock()
-			ch, ok := c.pending[f.Corr]
-			if ok {
-				delete(c.pending, f.Corr)
-			}
-			c.mu.Unlock()
-			if ok {
-				ch <- f
-			}
-		case wire.KindRequest:
-			// Run the handler off the read loop so slow services do not
-			// block unrelated traffic on the shared connection.
-			go func(req wire.Frame) {
-				h := c.t.handler.Load().(Handler)
-				resp := h(c.remote, req)
-				if resp == nil {
-					resp = &wire.Frame{}
-				}
-				resp.Kind = wire.KindResponse
-				resp.Corr = req.Corr
-				_ = c.write(*resp)
-			}(f)
-		default:
-			go func(req wire.Frame) {
-				h := c.t.handler.Load().(Handler)
-				h(c.remote, req)
-			}(f)
-		}
 	}
 }
 
@@ -358,3 +316,415 @@ func (t *Transport) NumConns() int {
 	defer t.mu.Unlock()
 	return len(t.conns)
 }
+
+// ---------------------------------------------------------------------------
+// Connection
+
+var errConnDead = errors.New("transport: connection dead")
+
+// pendingShards is the number of slices the correlation-id → waiter table
+// is split into. Correlation ids are sequential, so id%pendingShards
+// spreads concurrent callers uniformly and cross-caller lock contention on
+// one busy connection disappears.
+const pendingShards = 16
+
+type pendingShard struct {
+	mu   sync.Mutex
+	m    map[uint64]chan wire.Frame
+	dead bool
+}
+
+type conn struct {
+	t      *Transport
+	nc     net.Conn
+	remote string
+	w      *connWriter
+
+	nextID atomic.Uint64
+	shards [pendingShards]pendingShard
+
+	deadMu  sync.Mutex
+	deadErr error
+}
+
+func newConn(t *Transport, nc net.Conn, remote string) *conn {
+	c := &conn{t: t, nc: nc, remote: remote}
+	for i := range c.shards {
+		c.shards[i].m = make(map[uint64]chan wire.Frame)
+	}
+	c.w = newConnWriter(nc, !t.opts.UnbatchedWrites, c.writeFailed, t.batchFrames, t.batchBytes)
+	return c
+}
+
+// writeFailed is the connWriter's fatal-error callback: a failed flush
+// poisons the connection so pending callers fail over instead of hanging.
+func (c *conn) writeFailed(err error) {
+	c.close(fmt.Errorf("%w: %v", errConnDead, err))
+}
+
+func (c *conn) shard(id uint64) *pendingShard { return &c.shards[id%pendingShards] }
+
+// register installs a response waiter, failing if the conn is already dead
+// (the close path will never visit a waiter added after the drain).
+func (c *conn) register(id uint64, ch chan wire.Frame) error {
+	s := c.shard(id)
+	s.mu.Lock()
+	if s.dead {
+		s.mu.Unlock()
+		return c.deadReason()
+	}
+	s.m[id] = ch
+	s.mu.Unlock()
+	return nil
+}
+
+func (c *conn) deregister(id uint64) {
+	s := c.shard(id)
+	s.mu.Lock()
+	delete(s.m, id)
+	s.mu.Unlock()
+}
+
+// deliver hands an inbound response to its waiter, if still present.
+func (c *conn) deliver(f wire.Frame) {
+	s := c.shard(f.Corr)
+	s.mu.Lock()
+	ch, ok := s.m[f.Corr]
+	if ok {
+		delete(s.m, f.Corr)
+	}
+	s.mu.Unlock()
+	if ok {
+		ch <- f
+	}
+}
+
+func (c *conn) deadReason() error {
+	c.deadMu.Lock()
+	defer c.deadMu.Unlock()
+	if c.deadErr != nil {
+		return c.deadErr
+	}
+	return errConnDead
+}
+
+// write queues f on the connection. The body is copied into the send
+// queue before write returns.
+func (c *conn) write(f wire.Frame) error {
+	if f.WireSize() > 4+wire.MaxFrameSize {
+		return wire.ErrFrameTooLarge
+	}
+	if err := c.w.enqueue(f); err != nil {
+		return c.deadReason()
+	}
+	c.t.framesOut.Inc()
+	c.t.bytesOut.Add(int64(f.WireSize()))
+	return nil
+}
+
+func (c *conn) call(ctx context.Context, f wire.Frame) (wire.Frame, error) {
+	// A frame submitted through Call is a request by definition. Reject a
+	// conflicting caller-set kind instead of silently clobbering it; the
+	// zero Kind is treated as "unset" and allowed.
+	if f.Kind != 0 && f.Kind != wire.KindRequest {
+		return wire.Frame{}, fmt.Errorf("transport: Call with frame kind %v (want request or unset)", f.Kind)
+	}
+	id := c.nextID.Add(1)
+	ch := make(chan wire.Frame, 1)
+	if err := c.register(id, ch); err != nil {
+		return wire.Frame{}, err
+	}
+	f.Kind = wire.KindRequest
+	f.Corr = id
+	if err := c.write(f); err != nil {
+		c.deregister(id)
+		return wire.Frame{}, err
+	}
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return wire.Frame{}, errConnDead
+		}
+		return resp, nil
+	case <-ctx.Done():
+		c.deregister(id)
+		return wire.Frame{}, ctx.Err()
+	}
+}
+
+func (c *conn) close(reason error) {
+	c.deadMu.Lock()
+	if c.deadErr != nil {
+		c.deadMu.Unlock()
+		return
+	}
+	c.deadErr = reason
+	c.deadMu.Unlock()
+	c.w.close()
+	_ = c.nc.Close() // best effort; the conn is already condemned
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.dead = true
+		pend := s.m
+		s.m = nil
+		s.mu.Unlock()
+		for _, ch := range pend {
+			close(ch)
+		}
+	}
+}
+
+// readLoop dispatches inbound frames until the connection dies. Frames
+// are decoded through a buffered, buffer-reusing FrameReader; kinds whose
+// handling outlives this loop iteration (responses handed to waiters,
+// requests dispatched to the pool) get their body copied out, while
+// heartbeats run inline on the zero-copy buffer.
+func (c *conn) readLoop() {
+	fr := wire.NewFrameReader(bufio.NewReaderSize(c.nc, 64<<10))
+	fr.SetZeroCopy(true)
+	for {
+		f, err := fr.Next()
+		if err != nil {
+			c.close(fmt.Errorf("%w: %v", errConnDead, err))
+			return
+		}
+		c.t.framesIn.Inc()
+		c.t.bytesIn.Add(int64(f.WireSize()))
+		switch f.Kind {
+		case wire.KindResponse:
+			f.Body = cloneBody(f.Body)
+			c.deliver(f)
+		case wire.KindHeartbeat:
+			// Heartbeats keep failure detectors alive and never retain
+			// the body: dispatch inline, zero-copy, ahead of any queued
+			// pool work.
+			h := c.t.handler.Load().(Handler)
+			h(c.remote, f)
+		case wire.KindRequest:
+			f.Body = cloneBody(f.Body)
+			req := f
+			c.t.pool.submit(func() {
+				h := c.t.handler.Load().(Handler)
+				resp := h(c.remote, req)
+				if resp == nil {
+					resp = &wire.Frame{}
+				}
+				resp.Kind = wire.KindResponse
+				resp.Corr = req.Corr
+				_ = c.write(*resp) // a dead conn already fails the caller's pending wait
+			})
+		default:
+			f.Body = cloneBody(f.Body)
+			req := f
+			c.t.pool.submit(func() {
+				h := c.t.handler.Load().(Handler)
+				h(c.remote, req)
+			})
+		}
+	}
+}
+
+func cloneBody(b []byte) []byte {
+	if len(b) == 0 {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}
+
+// ---------------------------------------------------------------------------
+// Batched writer
+
+// maxQueuedBytes is the backpressure threshold: a caller that finds this
+// much data already queued blocks until the writer drains, so a stalled
+// peer surfaces as slow calls rather than unbounded memory.
+const maxQueuedBytes = 1 << 20
+
+// maxRetainedBatch bounds the recycled flush buffer; a burst may grow a
+// batch past this, but the oversized buffer is then released rather than
+// pinned for the connection's lifetime.
+const maxRetainedBatch = 256 << 10
+
+var errWriterClosed = errors.New("transport: writer closed")
+
+// connWriter coalesces frames queued by concurrent callers into single
+// buffered flushes (the gRPC loopyWriter pattern): every frame enqueued
+// while the previous Write syscall was in flight is appended to one batch
+// buffer and shipped by the next syscall. Under concurrency this turns N
+// small writes into one large one; with a single quiet caller it degrades
+// gracefully to one write per frame with no added latency beyond a
+// goroutine wakeup.
+type connWriter struct {
+	nc       net.Conn
+	batching bool
+	onFatal  func(error) // invoked (once) when a flush fails
+
+	mu     sync.Mutex
+	cond   *sync.Cond // signals drain to callers blocked on backpressure
+	buf    []byte     // frames encoded and waiting for the writer goroutine
+	frames int        // frame count in buf
+	spare  []byte     // recycled flush buffer, swapped with buf at each flush
+	err    error
+	closed bool
+	wake   chan struct{} // capacity 1: writer-goroutine run signal
+
+	batchFrames, batchBytes *metrics.Histogram
+}
+
+func newConnWriter(nc net.Conn, batching bool, onFatal func(error), batchFrames, batchBytes *metrics.Histogram) *connWriter {
+	w := &connWriter{
+		nc:          nc,
+		batching:    batching,
+		onFatal:     onFatal,
+		batchFrames: batchFrames,
+		batchBytes:  batchBytes,
+	}
+	w.cond = sync.NewCond(&w.mu)
+	if batching {
+		w.wake = make(chan struct{}, 1)
+		go w.loop()
+	}
+	return w
+}
+
+// enqueue appends f to the pending batch (copying the body) and nudges the
+// writer goroutine. It blocks only when maxQueuedBytes are already queued.
+func (w *connWriter) enqueue(f wire.Frame) error {
+	if !w.batching {
+		return w.writeDirect(f)
+	}
+	w.mu.Lock()
+	for len(w.buf) >= maxQueuedBytes && w.err == nil && !w.closed {
+		w.cond.Wait()
+	}
+	if w.err != nil || w.closed {
+		err := w.err
+		w.mu.Unlock()
+		if err == nil {
+			err = errWriterClosed
+		}
+		return err
+	}
+	w.buf = wire.AppendFrame(w.buf, f)
+	w.frames++
+	w.mu.Unlock()
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// writeDirect is the unbatched (ablation) path: one locked Write per
+// frame, still through a reused encode buffer.
+func (w *connWriter) writeDirect(f wire.Frame) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return errWriterClosed
+	}
+	w.spare = wire.AppendFrame(w.spare[:0], f)
+	if _, err := w.nc.Write(w.spare); err != nil {
+		w.err = err
+		return err
+	}
+	return nil
+}
+
+// loop is the writer goroutine: swap out whatever accumulated, flush it
+// with one syscall, repeat until the queue is empty, then sleep on wake.
+func (w *connWriter) loop() {
+	for range w.wake {
+		w.mu.Lock()
+		for len(w.buf) > 0 && w.err == nil {
+			batch := w.buf
+			nframes := w.frames
+			w.buf = w.spare[:0]
+			w.frames = 0
+			w.spare = nil
+			w.mu.Unlock()
+
+			_, err := w.nc.Write(batch)
+			w.batchFrames.Record(int64(nframes))
+			w.batchBytes.Record(int64(len(batch)))
+
+			w.mu.Lock()
+			if cap(batch) <= maxRetainedBatch {
+				w.spare = batch[:0]
+			}
+			if err != nil {
+				w.err = err
+			}
+			w.cond.Broadcast()
+		}
+		err := w.err
+		closed := w.closed
+		w.mu.Unlock()
+		if err != nil {
+			w.onFatal(err)
+			return
+		}
+		if closed {
+			return
+		}
+	}
+}
+
+// close wakes the writer goroutine (which exits after a final drain
+// attempt) and releases any callers blocked on backpressure.
+func (w *connWriter) close() {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.closed = true
+	w.mu.Unlock()
+	w.cond.Broadcast()
+	if w.batching {
+		select {
+		case w.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool
+
+// workerPool is the bounded set of goroutines servicing inbound frames —
+// the execute-thread pool of a WebLogic server rather than one thread per
+// request. submit never blocks the read loop: when the queue is full it
+// overflows to a fresh goroutine, because a bounded queue with no escape
+// valve deadlocks two servers whose pools are saturated with requests to
+// each other.
+type workerPool struct {
+	tasks chan func()
+}
+
+func newWorkerPool(workers, depth int) *workerPool {
+	p := &workerPool{tasks: make(chan func(), depth)}
+	for i := 0; i < workers; i++ {
+		go func() {
+			for task := range p.tasks {
+				task()
+			}
+		}()
+	}
+	return p
+}
+
+func (p *workerPool) submit(task func()) {
+	select {
+	case p.tasks <- task:
+	default:
+		go task()
+	}
+}
+
+// close stops the workers once the queue drains. Callers must guarantee no
+// further submits (the transport closes every read loop first).
+func (p *workerPool) close() { close(p.tasks) }

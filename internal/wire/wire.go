@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 )
 
 // Kind identifies the role of a frame within a connection.
@@ -85,22 +86,55 @@ type Frame struct {
 // frameHeaderLen is kind byte + correlation id.
 const frameHeaderLen = 1 + 8
 
-// WriteFrame writes f to w as a single length-prefixed frame.
+// maxRetainedBuf bounds how large a reused buffer (pooled encode buffers,
+// FrameReader's read buffer) is allowed to grow before it is dropped back
+// to the allocator: one oversized frame must not pin megabytes per
+// connection forever.
+const maxRetainedBuf = 64 << 10
+
+// WireSize returns the number of bytes f occupies on the wire, including
+// the 4-byte length prefix.
+func (f Frame) WireSize() int { return 4 + frameHeaderLen + len(f.Body) }
+
+// AppendFrame appends f to dst as a single length-prefixed frame and
+// returns the extended slice. It is the allocation-free building block
+// under WriteFrame and the transport's batched writer: encoding many
+// frames into one buffer turns many small writes into one syscall.
+//
+// AppendFrame performs no size validation so the steady-state path stays
+// free of error plumbing; callers accepting frames from untrusted sources
+// must reject f.WireSize() > 4+MaxFrameSize themselves (WriteFrame and the
+// transport both do).
+func AppendFrame(dst []byte, f Frame) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(frameHeaderLen+len(f.Body)))
+	dst = append(dst, byte(f.Kind))
+	dst = binary.BigEndian.AppendUint64(dst, f.Corr)
+	return append(dst, f.Body...)
+}
+
+// frameBufPool recycles WriteFrame's encode buffers. The pointer wrapper
+// keeps Get/Put free of slice-header allocations.
+var frameBufPool = sync.Pool{New: func() any { return &frameBuf{buf: make([]byte, 0, 4096)} }}
+
+type frameBuf struct{ buf []byte }
+
+// WriteFrame writes f to w as a single length-prefixed frame. The encode
+// buffer comes from a pool, so steady-state writes do not allocate.
 func WriteFrame(w io.Writer, f Frame) error {
-	n := frameHeaderLen + len(f.Body)
-	if n > MaxFrameSize {
+	if frameHeaderLen+len(f.Body) > MaxFrameSize {
 		return ErrFrameTooLarge
 	}
-	buf := make([]byte, 4+n)
-	binary.BigEndian.PutUint32(buf, uint32(n))
-	buf[4] = byte(f.Kind)
-	binary.BigEndian.PutUint64(buf[5:], f.Corr)
-	copy(buf[13:], f.Body)
-	_, err := w.Write(buf)
+	fb := frameBufPool.Get().(*frameBuf)
+	fb.buf = AppendFrame(fb.buf[:0], f)
+	_, err := w.Write(fb.buf)
+	if cap(fb.buf) <= maxRetainedBuf {
+		frameBufPool.Put(fb)
+	}
 	return err
 }
 
-// ReadFrame reads the next frame from r.
+// ReadFrame reads the next frame from r. Each call allocates the returned
+// Body; stream readers that want buffer reuse should use FrameReader.
 func ReadFrame(r io.Reader) (Frame, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
@@ -124,6 +158,73 @@ func ReadFrame(r io.Reader) (Frame, error) {
 	}, nil
 }
 
+// FrameReader reads a stream of frames from r, reusing one internal
+// payload buffer across calls so the per-frame `make` of ReadFrame
+// disappears from the steady state.
+//
+// By default each returned Frame carries a freshly copied Body that the
+// caller owns. In zero-copy mode (SetZeroCopy) the Body aliases the
+// reader's internal buffer and is valid only until the next call to Next —
+// the mode is opt-in for dispatch loops whose handlers do not retain the
+// body (heartbeats, frames copied-out during decode).
+type FrameReader struct {
+	r        io.Reader
+	hdr      [4]byte // length-prefix scratch; a field so it never escapes
+	buf      []byte
+	zeroCopy bool
+}
+
+// NewFrameReader returns a FrameReader over r in copying (safe) mode.
+func NewFrameReader(r io.Reader) *FrameReader { return &FrameReader{r: r} }
+
+// SetZeroCopy toggles zero-copy mode: when on, the Body of a returned
+// frame aliases the reader's internal buffer until the next call to Next.
+func (fr *FrameReader) SetZeroCopy(on bool) { fr.zeroCopy = on }
+
+// Next returns the next frame from the stream.
+func (fr *FrameReader) Next() (Frame, error) {
+	if _, err := io.ReadFull(fr.r, fr.hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	n := binary.BigEndian.Uint32(fr.hdr[:])
+	if n > MaxFrameSize {
+		return Frame{}, ErrFrameTooLarge
+	}
+	if n < frameHeaderLen {
+		return Frame{}, fmt.Errorf("wire: short frame (%d bytes)", n)
+	}
+	buf := fr.payload(int(n))
+	if _, err := io.ReadFull(fr.r, buf); err != nil {
+		return Frame{}, err
+	}
+	f := Frame{Kind: Kind(buf[0]), Corr: binary.BigEndian.Uint64(buf[1:9])}
+	body := buf[frameHeaderLen:]
+	if fr.zeroCopy {
+		f.Body = body
+	} else if len(body) > 0 {
+		f.Body = append([]byte(nil), body...)
+	}
+	return f, nil
+}
+
+// payload returns an n-byte read buffer, reusing (and growing) the
+// internal one for ordinary frames; oversized frames get a one-shot
+// allocation so they are not retained.
+func (fr *FrameReader) payload(n int) []byte {
+	if n <= cap(fr.buf) {
+		return fr.buf[:n]
+	}
+	if n <= maxRetainedBuf {
+		c := n
+		if c < 4096 {
+			c = 4096
+		}
+		fr.buf = make([]byte, n, c)
+		return fr.buf
+	}
+	return make([]byte, n)
+}
+
 // ---------------------------------------------------------------------------
 // Encoder / Decoder
 
@@ -137,6 +238,29 @@ type Encoder struct {
 // bytes.
 func NewEncoder(sizeHint int) *Encoder {
 	return &Encoder{buf: make([]byte, 0, sizeHint)}
+}
+
+// encoderPool recycles encoders for hot encode paths (RMI stub requests,
+// the transport handshake). Steady-state encoding through the pool is
+// allocation-free.
+var encoderPool = sync.Pool{New: func() any { return &Encoder{buf: make([]byte, 0, 512)} }}
+
+// AcquireEncoder returns an empty pooled encoder. Release it with
+// (*Encoder).Release when the encoded bytes are no longer referenced.
+func AcquireEncoder() *Encoder {
+	e := encoderPool.Get().(*Encoder)
+	e.buf = e.buf[:0]
+	return e
+}
+
+// Release returns e to the pool. The caller must not use e — or any slice
+// previously obtained from e.Bytes() — after Release: the buffer will be
+// overwritten by the next AcquireEncoder. Oversized buffers are dropped
+// rather than retained.
+func (e *Encoder) Release() {
+	if cap(e.buf) <= maxRetainedBuf {
+		encoderPool.Put(e)
+	}
 }
 
 // Bytes returns the encoded body. The returned slice aliases the encoder's

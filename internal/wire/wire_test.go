@@ -272,6 +272,273 @@ func TestFramePropertyRoundTrip(t *testing.T) {
 	}
 }
 
+func TestAppendFrameMatchesWriteFrame(t *testing.T) {
+	for _, body := range [][]byte{nil, {}, []byte("x"), make([]byte, 300)} {
+		f := Frame{Kind: KindOneWay, Corr: 9999, Body: body}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+		got := AppendFrame(nil, f)
+		if !bytes.Equal(got, buf.Bytes()) {
+			t.Fatalf("AppendFrame bytes differ from WriteFrame for body len %d", len(body))
+		}
+		if len(got) != f.WireSize() {
+			t.Fatalf("WireSize = %d, encoded %d bytes", f.WireSize(), len(got))
+		}
+	}
+}
+
+func TestAppendFramePreservesPrefix(t *testing.T) {
+	dst := []byte("prefix")
+	dst = AppendFrame(dst, Frame{Kind: KindRequest, Corr: 1, Body: []byte("a")})
+	dst = AppendFrame(dst, Frame{Kind: KindRequest, Corr: 2, Body: []byte("b")})
+	if !bytes.HasPrefix(dst, []byte("prefix")) {
+		t.Fatal("prefix clobbered")
+	}
+	fr := NewFrameReader(bytes.NewReader(dst[len("prefix"):]))
+	for want := uint64(1); want <= 2; want++ {
+		f, err := fr.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Corr != want {
+			t.Fatalf("corr = %d, want %d", f.Corr, want)
+		}
+	}
+}
+
+func TestFrameReaderStream(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 20; i++ {
+		body := bytes.Repeat([]byte{byte(i)}, i*31) // varying sizes incl. empty
+		if err := WriteFrame(&buf, Frame{Kind: KindOneWay, Corr: uint64(i), Body: body}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, zeroCopy := range []bool{false, true} {
+		fr := NewFrameReader(bytes.NewReader(buf.Bytes()))
+		fr.SetZeroCopy(zeroCopy)
+		for i := 0; i < 20; i++ {
+			f, err := fr.Next()
+			if err != nil {
+				t.Fatalf("zeroCopy=%v frame %d: %v", zeroCopy, i, err)
+			}
+			want := bytes.Repeat([]byte{byte(i)}, i*31)
+			if f.Corr != uint64(i) || !bytes.Equal(f.Body, want) {
+				t.Fatalf("zeroCopy=%v frame %d mismatch", zeroCopy, i)
+			}
+		}
+		if _, err := fr.Next(); err != io.EOF {
+			t.Fatalf("want EOF, got %v", err)
+		}
+	}
+}
+
+func TestFrameReaderZeroCopyAliasing(t *testing.T) {
+	var buf bytes.Buffer
+	for _, s := range []string{"first", "secnd"} {
+		if err := WriteFrame(&buf, Frame{Kind: KindOneWay, Body: []byte(s)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Zero-copy: the first body is overwritten by the next Next call.
+	fr := NewFrameReader(bytes.NewReader(buf.Bytes()))
+	fr.SetZeroCopy(true)
+	f1, err := fr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	retained := f1.Body
+	if _, err := fr.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if string(retained) != "secnd" {
+		t.Fatalf("zero-copy body should alias the reuse buffer; got %q", retained)
+	}
+	// Copying mode: the body survives subsequent reads.
+	fr = NewFrameReader(bytes.NewReader(buf.Bytes()))
+	f1, err = fr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	retained = f1.Body
+	if _, err := fr.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if string(retained) != "first" {
+		t.Fatalf("copying body should be stable; got %q", retained)
+	}
+}
+
+// TestFrameSizeEdgeCases exercises the boundary frames: empty body,
+// payload of exactly MaxFrameSize, one byte over, and a header truncated
+// mid-stream after a complete frame.
+func TestFrameSizeEdgeCases(t *testing.T) {
+	// Empty body through both readers.
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Frame{Kind: KindHeartbeat, Corr: 3}); err != nil {
+		t.Fatal(err)
+	}
+	fr := NewFrameReader(bytes.NewReader(buf.Bytes()))
+	if f, err := fr.Next(); err != nil || f.Kind != KindHeartbeat || f.Corr != 3 || len(f.Body) != 0 {
+		t.Fatalf("empty body: %+v, %v", f, err)
+	}
+
+	// Exactly MaxFrameSize payload: the largest legal frame.
+	maxBody := make([]byte, MaxFrameSize-9) // payload = header(9) + body = MaxFrameSize
+	maxBody[0], maxBody[len(maxBody)-1] = 0xAA, 0xBB
+	buf.Reset()
+	if err := WriteFrame(&buf, Frame{Kind: KindOneWay, Corr: 1, Body: maxBody}); err != nil {
+		t.Fatalf("exactly MaxFrameSize should encode: %v", err)
+	}
+	fr = NewFrameReader(bytes.NewReader(buf.Bytes()))
+	f, err := fr.Next()
+	if err != nil {
+		t.Fatalf("exactly MaxFrameSize should decode: %v", err)
+	}
+	if len(f.Body) != len(maxBody) || f.Body[0] != 0xAA || f.Body[len(f.Body)-1] != 0xBB {
+		t.Fatal("max-size body corrupted")
+	}
+
+	// One byte over: rejected on write and on read.
+	if err := WriteFrame(io.Discard, Frame{Body: make([]byte, MaxFrameSize-9+1)}); err != ErrFrameTooLarge {
+		t.Fatalf("MaxFrameSize+1 write: want ErrFrameTooLarge, got %v", err)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrameSize+1)
+	fr = NewFrameReader(bytes.NewReader(hdr[:]))
+	if _, err := fr.Next(); err != ErrFrameTooLarge {
+		t.Fatalf("MaxFrameSize+1 read: want ErrFrameTooLarge, got %v", err)
+	}
+
+	// Truncated header mid-stream: one good frame, then 2 bytes of a
+	// length prefix.
+	buf.Reset()
+	if err := WriteFrame(&buf, Frame{Kind: KindRequest, Corr: 7, Body: []byte("ok")}); err != nil {
+		t.Fatal(err)
+	}
+	buf.Write([]byte{0x00, 0x00})
+	fr = NewFrameReader(bytes.NewReader(buf.Bytes()))
+	if f, err := fr.Next(); err != nil || string(f.Body) != "ok" {
+		t.Fatalf("first frame: %+v, %v", f, err)
+	}
+	if _, err := fr.Next(); err != io.ErrUnexpectedEOF {
+		t.Fatalf("truncated header: want ErrUnexpectedEOF, got %v", err)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Zero-allocation regression guards (the perf contract of this package).
+
+func TestAppendFrameZeroAllocs(t *testing.T) {
+	f := Frame{Kind: KindRequest, Corr: 42, Body: make([]byte, 256)}
+	dst := make([]byte, 0, 1024)
+	if allocs := testing.AllocsPerRun(500, func() {
+		dst = AppendFrame(dst[:0], f)
+	}); allocs != 0 {
+		t.Fatalf("AppendFrame steady state: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestWriteFramePooledZeroAllocs(t *testing.T) {
+	f := Frame{Kind: KindRequest, Corr: 42, Body: make([]byte, 256)}
+	if allocs := testing.AllocsPerRun(500, func() {
+		if err := WriteFrame(io.Discard, f); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("WriteFrame steady state: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestPooledEncoderZeroAllocs(t *testing.T) {
+	args := make([]byte, 128)
+	if allocs := testing.AllocsPerRun(500, func() {
+		e := AcquireEncoder()
+		e.String("Inventory")
+		e.String("reserve")
+		e.Uint64(12345)
+		e.Bytes2(args)
+		if e.Len() == 0 {
+			t.Fatal("empty encode")
+		}
+		e.Release()
+	}); allocs != 0 {
+		t.Fatalf("pooled Encoder steady state: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestFrameReaderZeroCopyZeroAllocs(t *testing.T) {
+	var buf bytes.Buffer
+	f := Frame{Kind: KindOneWay, Corr: 1, Body: make([]byte, 256)}
+	if err := WriteFrame(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	encoded := buf.Bytes()
+	rd := bytes.NewReader(encoded)
+	fr := NewFrameReader(rd)
+	fr.SetZeroCopy(true)
+	if _, err := fr.Next(); err != nil { // warm the reuse buffer
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(500, func() {
+		rd.Reset(encoded)
+		if _, err := fr.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("zero-copy FrameReader steady state: %v allocs/op, want 0", allocs)
+	}
+}
+
+func BenchmarkAppendFrame(b *testing.B) {
+	f := Frame{Kind: KindRequest, Corr: 42, Body: make([]byte, 256)}
+	dst := make([]byte, 0, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dst = AppendFrame(dst[:0], f)
+	}
+}
+
+func BenchmarkPooledEncoder(b *testing.B) {
+	args := make([]byte, 128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := AcquireEncoder()
+		e.String("Inventory")
+		e.String("reserve")
+		e.Uint64(uint64(i))
+		e.Bytes2(args)
+		e.Release()
+	}
+}
+
+func BenchmarkFrameReader(b *testing.B) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Frame{Kind: KindOneWay, Corr: 1, Body: make([]byte, 256)}); err != nil {
+		b.Fatal(err)
+	}
+	encoded := buf.Bytes()
+	for _, mode := range []struct {
+		name     string
+		zeroCopy bool
+	}{{"copy", false}, {"zerocopy", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			rd := bytes.NewReader(encoded)
+			fr := NewFrameReader(rd)
+			fr.SetZeroCopy(mode.zeroCopy)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rd.Reset(encoded)
+				if _, err := fr.Next(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkWriteFrame(b *testing.B) {
 	body := make([]byte, 256)
 	b.ReportAllocs()
