@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench bench-transport
+.PHONY: all build test race lint bench bench-transport chaos
 
 all: build test race lint
 
@@ -34,3 +34,9 @@ bench:
 # write-batching ablation, checked in as BENCH_transport.json.
 bench-transport:
 	$(GO) run ./cmd/wlsbench -exp E27 -json BENCH_transport.json
+
+# Extended chaos sweep (E28): 32 seeds at a longer horizon than the small
+# in-tree sweep TestChaosSweepSmall runs under `make test`. A failing seed
+# prints a one-command replay (see DESIGN.md "Chaos sweep").
+chaos:
+	WLS_CHAOS_SEEDS=32 $(GO) test -run TestChaosExtended -v ./internal/chaos

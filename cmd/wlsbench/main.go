@@ -1,4 +1,4 @@
-// Command wlsbench runs the paper-reproduction experiments (E01–E27, see
+// Command wlsbench runs the paper-reproduction experiments (E01–E28, see
 // DESIGN.md) and prints their tables.
 //
 // Usage:

@@ -1,6 +1,6 @@
 // Package bench is the experiment harness: one runnable experiment per
 // figure and falsifiable claim of the paper, as indexed in DESIGN.md
-// (E01–E26). Each experiment builds a cluster with the public wls façade,
+// (E01–E28). Each experiment builds a cluster with the public wls façade,
 // drives a workload, and emits a table whose *shape* (who wins, by what
 // rough factor, where the crossover falls) is the reproduction target.
 //

@@ -1,0 +1,155 @@
+package chaos
+
+import (
+	"os"
+	"strconv"
+	"testing"
+)
+
+// TestScheduleDeterministic pins the reproducibility contract: the
+// schedule — and therefore the rendered fault timeline — is a pure
+// function of (seed, Config).
+func TestScheduleDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 100; seed++ {
+		a := Generate(seed, Config{}).String()
+		b := Generate(seed, Config{}).String()
+		if a != b {
+			t.Fatalf("seed %d: schedules differ:\n%s\n---\n%s", seed, a, b)
+		}
+	}
+	if Generate(1, Config{}).String() == Generate(2, Config{}).String() {
+		t.Fatalf("different seeds produced identical schedules")
+	}
+}
+
+// TestScheduleHealsEverything checks the generator's safety contract:
+// every injected fault is healed by the end of every schedule, the admin
+// server is never faulted, and fault concurrency stays within MaxFaults.
+func TestScheduleHealsEverything(t *testing.T) {
+	for seed := int64(1); seed <= 200; seed++ {
+		cfg := Config{}.withDefaults()
+		sched := Generate(seed, cfg)
+		open := map[string]int{}
+		outstanding := 0
+		note := func(key string, delta int) {
+			open[key] += delta
+			outstanding += delta
+			if open[key] < 0 || open[key] > 1 {
+				t.Fatalf("seed %d: fault %q count %d", seed, key, open[key])
+			}
+			if outstanding > cfg.MaxFaults {
+				t.Fatalf("seed %d: %d concurrent faults (max %d)", seed, outstanding, cfg.MaxFaults)
+			}
+		}
+		for _, st := range sched.Steps {
+			if st.A == "admin" || st.B == "admin" {
+				t.Fatalf("seed %d: schedule faults the admin server: %s", seed, st)
+			}
+			switch st.Kind {
+			case OpCrash, OpFreeze, OpFence:
+				note(st.Kind.String()+st.A, +1)
+			case OpRestart:
+				note(OpCrash.String()+st.A, -1)
+			case OpThaw:
+				note(OpFreeze.String()+st.A, -1)
+			case OpUnfence:
+				note(OpFence.String()+st.A, -1)
+			case OpPartition:
+				note("part"+st.A+st.B, +1)
+			case OpHeal:
+				note("part"+st.A+st.B, -1)
+			case OpDrop:
+				note("drop"+st.A+st.B, +1)
+			case OpClearDrop:
+				note("drop"+st.A+st.B, -1)
+			}
+		}
+		if outstanding != 0 {
+			t.Fatalf("seed %d: %d faults left unhealed at end of schedule", seed, outstanding)
+		}
+	}
+}
+
+// TestChaosSweepSmall is the in-tree sweep: a handful of seeds at the
+// default budget, run as part of go test ./... so every change to the HA
+// stack faces the fault generator. A failing seed prints its replay
+// command.
+func TestChaosSweepSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep skipped in -short mode")
+	}
+	res, err := Sweep(1, 3, Config{})
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	t.Logf("\n%s", res.Report())
+	if fails := res.Failures(); len(fails) > 0 {
+		t.Fatalf("%d seed(s) violated invariants:\n%s", len(fails), res.Report())
+	}
+}
+
+// TestChaosRegressionSeeds pins the seeds whose scenarios drive the
+// lifecycle paths behind the lease-manager stop race and the transaction
+// timeout/commit races: schedules heavy in crash/restart cycles (lease
+// sweeps racing stops, coordinator timeouts racing commits). They must
+// stay green.
+func TestChaosRegressionSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos regression seeds skipped in -short mode")
+	}
+	for _, seed := range []int64{7, 11} {
+		r, err := Run(seed, Config{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if r.Failed() {
+			t.Fatalf("seed %d regressed — replay with:\n  %s\nviolations:\n  %s\ntimeline:\n%s",
+				seed, r.Replay(), r.Violations, r.Timeline)
+		}
+	}
+}
+
+// TestChaosReplay reproduces a single failing seed from a sweep:
+//
+//	WLS_CHAOS_SEED=<seed> go test -run TestChaosReplay ./internal/chaos
+func TestChaosReplay(t *testing.T) {
+	env := os.Getenv("WLS_CHAOS_SEED")
+	if env == "" {
+		t.Skip("set WLS_CHAOS_SEED=<seed> to replay a failing chaos run")
+	}
+	seed, err := strconv.ParseInt(env, 10, 64)
+	if err != nil {
+		t.Fatalf("bad WLS_CHAOS_SEED %q: %v", env, err)
+	}
+	r, err := Run(seed, Config{})
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	t.Logf("seed %d: %d faults\ntimeline:\n%s", seed, r.Faults, r.Timeline)
+	if r.Failed() {
+		t.Fatalf("seed %d violations:\n  %v", seed, r.Violations)
+	}
+}
+
+// TestChaosExtended is the extended-budget sweep behind make chaos:
+//
+//	WLS_CHAOS_SEEDS=32 go test -run TestChaosExtended -v ./internal/chaos
+func TestChaosExtended(t *testing.T) {
+	env := os.Getenv("WLS_CHAOS_SEEDS")
+	if env == "" {
+		t.Skip("set WLS_CHAOS_SEEDS=<n> (e.g. via make chaos) for the extended sweep")
+	}
+	n, err := strconv.Atoi(env)
+	if err != nil || n <= 0 {
+		t.Fatalf("bad WLS_CHAOS_SEEDS %q", env)
+	}
+	cfg := Config{Steps: 40}
+	res, err := Sweep(1, n, cfg)
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	t.Logf("\n%s", res.Report())
+	if fails := res.Failures(); len(fails) > 0 {
+		t.Fatalf("%d seed(s) violated invariants:\n%s", len(fails), res.Report())
+	}
+}

@@ -1,0 +1,72 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SweepResult aggregates a multi-seed sweep.
+type SweepResult struct {
+	Runs []*Result
+}
+
+// Failures returns the failing runs.
+func (s *SweepResult) Failures() []*Result {
+	var out []*Result
+	for _, r := range s.Runs {
+		if r.Failed() {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Faults totals the fault events injected across the sweep.
+func (s *SweepResult) Faults() int {
+	n := 0
+	for _, r := range s.Runs {
+		n += r.Faults
+	}
+	return n
+}
+
+// Report renders the sweep verdict; failing seeds include their replay
+// command and fault timeline.
+func (s *SweepResult) Report() string {
+	var b strings.Builder
+	fails := s.Failures()
+	fmt.Fprintf(&b, "chaos sweep: %d seeds, %d faults injected, %d failing\n",
+		len(s.Runs), s.Faults(), len(fails))
+	for _, r := range fails {
+		fmt.Fprintf(&b, "\nseed %d FAILED — replay with:\n  %s\n", r.Seed, r.Replay())
+		for _, v := range r.Violations {
+			fmt.Fprintf(&b, "  violation: %s\n", v)
+		}
+		b.WriteString(indent(r.Timeline, "  "))
+	}
+	return b.String()
+}
+
+func indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = prefix + l
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// Sweep runs seeds firstSeed..firstSeed+n-1 with the given per-run
+// config. Runs are sequential — each needs the virtual clock to itself —
+// and every run is independent, so a failing seed reproduces in isolation
+// via its replay command.
+func Sweep(firstSeed int64, n int, cfg Config) (*SweepResult, error) {
+	out := &SweepResult{}
+	for i := 0; i < n; i++ {
+		r, err := Run(firstSeed+int64(i), cfg)
+		if err != nil {
+			return out, fmt.Errorf("chaos: seed %d: %w", firstSeed+int64(i), err)
+		}
+		out.Runs = append(out.Runs, r)
+	}
+	return out, nil
+}

@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"sync"
 	"time"
 
 	"wls/internal/rmi"
@@ -100,9 +101,11 @@ type Manager struct {
 	table     *store.Store
 	ttl       time.Duration
 
+	mu        sync.Mutex
 	listeners []func(Grant) // push-lease expiry notifications
 	sweepT    vclock.Timer
-	stopped   bool
+	running   bool
+	gen       uint64 // bumped by Stop so in-flight sweep callbacks retire
 }
 
 // NewManager creates a manager replica. ttl is the default lease period
@@ -120,30 +123,59 @@ func (m *Manager) TTL() time.Duration { return m.ttl }
 // OnExpired registers a push-lease expiry listener. Listeners run on the
 // sweep timer goroutine.
 func (m *Manager) OnExpired(fn func(Grant)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.listeners = append(m.listeners, fn)
 }
 
-// Start begins the expiry sweep (push leases).
+// Start begins the expiry sweep (push leases). Starting a running manager
+// is a no-op.
 func (m *Manager) Start() {
-	m.stopped = false
-	m.scheduleSweep()
+	m.mu.Lock()
+	if m.running {
+		m.mu.Unlock()
+		return
+	}
+	m.running = true
+	gen := m.gen
+	m.mu.Unlock()
+	m.scheduleSweep(gen)
 }
 
-// Stop halts the sweep.
+// Stop halts the sweep. It is idempotent and safe to race an in-flight
+// sweep callback: bumping the generation retires any callback that already
+// fired but has not re-armed yet, so no sweeper can outlive Stop.
 func (m *Manager) Stop() {
-	m.stopped = true
-	if m.sweepT != nil {
-		m.sweepT.Stop()
+	m.mu.Lock()
+	if !m.running {
+		m.mu.Unlock()
+		return
+	}
+	m.running = false
+	m.gen++
+	t := m.sweepT
+	m.sweepT = nil
+	m.mu.Unlock()
+	if t != nil {
+		t.Stop()
 	}
 }
 
-func (m *Manager) scheduleSweep() {
-	if m.stopped {
+func (m *Manager) scheduleSweep(gen uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.running || gen != m.gen {
 		return
 	}
 	m.sweepT = m.clock.AfterFunc(m.ttl/2, func() {
+		m.mu.Lock()
+		live := m.running && gen == m.gen
+		m.mu.Unlock()
+		if !live {
+			return
+		}
 		m.sweepOnce()
-		m.scheduleSweep()
+		m.scheduleSweep(gen)
 	})
 }
 
@@ -153,6 +185,9 @@ func (m *Manager) sweepOnce() {
 	if !m.elections.IsLeader() {
 		return
 	}
+	m.mu.Lock()
+	listeners := append([]func(Grant){}, m.listeners...)
+	m.mu.Unlock()
 	now := m.clock.Now()
 	for _, row := range m.table.Scan(Table, nil) {
 		g, err := rowToGrant(row)
@@ -171,7 +206,7 @@ func (m *Manager) sweepOnce() {
 			if err := sess.Commit(""); err != nil {
 				continue
 			}
-			for _, fn := range m.listeners {
+			for _, fn := range listeners {
 				fn(g)
 			}
 		}

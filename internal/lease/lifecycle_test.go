@@ -1,0 +1,113 @@
+package lease_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wls/internal/lease"
+	"wls/internal/vclock"
+)
+
+// TestManagerStartStopSweepRace interleaves Start/Stop/OnExpired with a
+// concurrently advancing clock (which fires sweep callbacks on the
+// advancing goroutine). Under -race it pins the manager's lifecycle
+// synchronization: listeners, the sweep timer and the running flag are
+// all touched from both goroutines.
+func TestManagerStartStopSweepRace(t *testing.T) {
+	clk := vclock.NewVirtualAtZero()
+	m, _ := newManager(clk, 100*time.Millisecond)
+	swept := make(chan struct{}, 100)
+	m.OnExpired(func(lease.Grant) {
+		select {
+		case swept <- struct{}{}:
+		default:
+		}
+	})
+	m.Start()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				clk.Advance(25 * time.Millisecond)
+			}
+		}
+	}()
+	for i := 0; i < 20; i++ {
+		// Re-arm an expiring push lease, then wait until a sweep has just
+		// notified on the advancing goroutine — Stop below races that
+		// callback's re-arm, OnExpired races its listener snapshot.
+		if _, err := m.Acquire("svc", "a", lease.Push); err != nil {
+			t.Fatal(err)
+		}
+		<-swept
+		m.OnExpired(func(lease.Grant) {})
+		m.Stop()
+		m.Start()
+	}
+	close(stop)
+	wg.Wait()
+	m.Stop()
+}
+
+// TestNoSweepAfterStop pins the semantic half of the lifecycle fix: once
+// Stop returns, no sweep may run again — in particular an in-flight
+// AfterFunc callback must not re-arm the sweeper — so a lease expiring
+// after Stop produces no notifications.
+func TestNoSweepAfterStop(t *testing.T) {
+	clk := vclock.NewVirtualAtZero()
+	m, _ := newManager(clk, 100*time.Millisecond)
+	var fired atomic.Int64
+	m.OnExpired(func(lease.Grant) { fired.Add(1) })
+
+	if _, err := m.Acquire("svc", "a", lease.Push); err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	clk.Advance(350 * time.Millisecond)
+	if fired.Load() == 0 {
+		t.Fatalf("no expiry notification while running")
+	}
+
+	m.Stop()
+	m.Stop() // idempotent
+	base := fired.Load()
+	if _, err := m.Acquire("svc", "a", lease.Push); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(2 * time.Second)
+	if got := fired.Load(); got != base {
+		t.Fatalf("sweeper survived Stop: %d extra notifications", got-base)
+	}
+}
+
+// TestManagerRestartResumesSweeps checks that Stop is a pause, not a
+// poison pill: a restarted manager sweeps again under a fresh generation.
+func TestManagerRestartResumesSweeps(t *testing.T) {
+	clk := vclock.NewVirtualAtZero()
+	m, _ := newManager(clk, 100*time.Millisecond)
+	var fired atomic.Int64
+	m.OnExpired(func(lease.Grant) { fired.Add(1) })
+
+	m.Start()
+	m.Start() // no-op on a running manager
+	m.Stop()
+
+	if _, err := m.Acquire("svc", "a", lease.Push); err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	clk.Advance(time.Second)
+	if fired.Load() == 0 {
+		t.Fatalf("restarted manager never swept the expired lease")
+	}
+	m.Stop()
+}

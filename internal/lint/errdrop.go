@@ -10,7 +10,8 @@ import (
 // discards the error; assigning to _ is treated as an explicit, visible
 // decision and left alone. bufio is included because the batched transport
 // writer path buffers I/O: a dropped Flush/Write error there means silent
-// frame loss.
+// frame loss. The chaos harness is included because a dropped error there
+// turns a failing fault-injection run into a silently vacuous one.
 var errdropPkgs = map[string]bool{
 	"wls/internal/wire":      true,
 	"wls/internal/transport": true,
@@ -18,16 +19,17 @@ var errdropPkgs = map[string]bool{
 	"wls/internal/filestore": true,
 	"wls/internal/tx":        true,
 	"wls/internal/jms":       true,
+	"wls/internal/chaos":     true,
 	"bufio":                  true,
 }
 
 // ErrDrop reports call statements that discard an error returned by the
-// wire/transport/store/filestore/tx/jms packages (or by bufio, whose
-// buffered writers defer I/O errors to Flush).
+// wire/transport/store/filestore/tx/jms/chaos packages (or by bufio,
+// whose buffered writers defer I/O errors to Flush).
 func ErrDrop() *Analyzer {
 	a := &Analyzer{
 		Name: "errdrop",
-		Doc:  "flags discarded errors from wire/transport/store/filestore/tx/jms/bufio calls",
+		Doc:  "flags discarded errors from wire/transport/store/filestore/tx/jms/chaos/bufio calls",
 	}
 	a.Run = func(pass *Pass) {
 		info := pass.Pkg.Info

@@ -52,10 +52,48 @@ type Network struct {
 	dropRate    map[linkKey]float64
 	fenced      map[string]bool
 	defLatency  time.Duration
+	onFault     func(FaultEvent)
 
 	// Stats.
 	sent    int64
 	dropped int64
+}
+
+// FaultEvent is one fault-injection action on the fabric, as observed by
+// the hook installed with OnFault. Chaos harnesses use the stream as a
+// schedule recorder: the sequence of events, stamped with the fabric
+// clock, is the executed fault timeline of a run.
+type FaultEvent struct {
+	// At is the fabric clock time of the injection.
+	At time.Time
+	// Op names the action: "partition", "heal", "fence", "unfence",
+	// "freeze", "thaw", "stop", "restart", "droprate".
+	Op string
+	// A is the affected endpoint; B is the peer for link-level ops.
+	A, B string
+	// P is the drop probability (droprate only).
+	P float64
+}
+
+// OnFault installs a hook observing every fault injection (partitions,
+// fencing, freezes, crashes, restarts, drop-rate changes). The hook runs
+// on the injecting goroutine after the fabric state has changed and must
+// not call back into the Network. A nil fn removes the hook.
+func (n *Network) OnFault(fn func(FaultEvent)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.onFault = fn
+}
+
+// recordFault delivers a FaultEvent to the hook, outside n.mu.
+func (n *Network) recordFault(op, a, b string, p float64) {
+	n.mu.Lock()
+	fn := n.onFault
+	now := n.clock.Now()
+	n.mu.Unlock()
+	if fn != nil {
+		fn(FaultEvent{At: now, Op: op, A: a, B: b, P: p})
+	}
 }
 
 type linkKey struct{ a, b string }
@@ -117,25 +155,36 @@ func (n *Network) SetLatency(a, b string, d time.Duration) {
 // it models TCP — only by partitions, fencing, and crashes.
 func (n *Network) SetDropRate(a, b string, p float64) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	n.dropRate[link(a, b)] = p
+	n.mu.Unlock()
+	n.recordFault("droprate", a, b, p)
 }
 
 // SetPartitioned splits or heals the link between a and b.
 func (n *Network) SetPartitioned(a, b string, broken bool) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	n.partitioned[link(a, b)] = broken
+	n.mu.Unlock()
+	if broken {
+		n.recordFault("partition", a, b, 0)
+	} else {
+		n.recordFault("heal", a, b, 0)
+	}
 }
 
 // Isolate partitions addr from every other current endpoint.
 func (n *Network) Isolate(addr string, broken bool) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	for other := range n.endpoints {
 		if other != addr {
 			n.partitioned[link(addr, other)] = broken
 		}
+	}
+	n.mu.Unlock()
+	if broken {
+		n.recordFault("partition", addr, "*", 0)
+	} else {
+		n.recordFault("heal", addr, "*", 0)
 	}
 }
 
@@ -143,8 +192,13 @@ func (n *Network) Isolate(addr string, broken bool) {
 // everything sent to it. This models the SNMP router-level fencing of §3.4.
 func (n *Network) Fence(addr string, fenced bool) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	n.fenced[addr] = fenced
+	n.mu.Unlock()
+	if fenced {
+		n.recordFault("fence", addr, "", 0)
+	} else {
+		n.recordFault("unfence", addr, "", 0)
+	}
 }
 
 // Freeze pauses or resumes an endpoint's handler. A frozen endpoint is not
@@ -157,6 +211,11 @@ func (n *Network) Freeze(addr string, frozen bool) {
 	n.mu.Unlock()
 	if ep != nil {
 		ep.freeze(frozen)
+		if frozen {
+			n.recordFault("freeze", addr, "", 0)
+		} else {
+			n.recordFault("thaw", addr, "", 0)
+		}
 	}
 }
 
@@ -166,7 +225,7 @@ func (n *Network) Stop(addr string) {
 	ep := n.endpoints[addr]
 	n.mu.Unlock()
 	if ep != nil {
-		ep.Close()
+		ep.Close() // Close records the "stop" event
 	}
 }
 
@@ -174,16 +233,19 @@ func (n *Network) Stop(addr string) {
 // with no handler installed (the server must re-register).
 func (n *Network) Restart(addr string) *Endpoint {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	if ep, ok := n.endpoints[addr]; ok {
 		ep.mu.Lock()
 		ep.closed = false
 		ep.handler = nil
 		ep.mu.Unlock()
+		n.mu.Unlock()
+		n.recordFault("restart", addr, "", 0)
 		return ep
 	}
 	ep := &Endpoint{net: n, addr: addr}
 	n.endpoints[addr] = ep
+	n.mu.Unlock()
+	n.recordFault("restart", addr, "", 0)
 	return ep
 }
 
@@ -255,7 +317,7 @@ func (e *Endpoint) SetHandler(h Handler) {
 // Close marks the endpoint crashed.
 func (e *Endpoint) Close() error {
 	e.mu.Lock()
-	defer e.mu.Unlock()
+	wasOpen := !e.closed
 	e.closed = true
 	if e.frozen {
 		e.frozen = false
@@ -263,6 +325,10 @@ func (e *Endpoint) Close() error {
 			close(e.thaw)
 			e.thaw = nil
 		}
+	}
+	e.mu.Unlock()
+	if wasOpen {
+		e.net.recordFault("stop", e.addr, "", 0)
 	}
 	return nil
 }

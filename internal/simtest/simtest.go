@@ -202,6 +202,32 @@ func (f *Fixture) Thaw(name string) {
 	s.Member.Start()
 }
 
+// Fence cuts a server off at the fabric level — the router fencing of
+// §3.4: everything it sends and everything sent to it is dropped.
+func (f *Fixture) Fence(name string, fenced bool) {
+	if s := f.Server(name); s != nil {
+		f.Net.Fence(s.Endpoint.Addr(), fenced)
+	}
+}
+
+// Partition breaks or heals the link between two named servers.
+func (f *Fixture) Partition(a, b string, broken bool) {
+	sa, sb := f.Server(a), f.Server(b)
+	if sa != nil && sb != nil {
+		f.Net.SetPartitioned(sa.Endpoint.Addr(), sb.Endpoint.Addr(), broken)
+	}
+}
+
+// SetDropRate sets the one-way frame loss probability between two named
+// servers (announcement traffic; request/response models TCP and is never
+// rate-dropped).
+func (f *Fixture) SetDropRate(a, b string, p float64) {
+	sa, sb := f.Server(a), f.Server(b)
+	if sa != nil && sb != nil {
+		f.Net.SetDropRate(sa.Endpoint.Addr(), sb.Endpoint.Addr(), p)
+	}
+}
+
 // Restart restarts a previously crashed server: a fresh endpoint on the
 // same address, a fresh registry, and a new membership incarnation.
 // Services must be re-registered by the caller (as a restarted server

@@ -118,11 +118,16 @@ func (m *Manager) Begin(timeout time.Duration) *Tx {
 		id:      id,
 		mgr:     m,
 		servers: map[string]bool{m.server: true},
+		done:    make(chan struct{}),
 	}
 	m.active[id] = t
 	m.mu.Unlock()
 
 	if timeout > 0 {
+		// The timer field is read by Commit/Rollback on other goroutines,
+		// and the callback can fire (via a concurrent clock Advance) before
+		// Begin returns — both require the assignment to happen under t.mu.
+		t.mu.Lock()
 		t.timer = m.clock.AfterFunc(timeout, func() {
 			t.mu.Lock()
 			active := t.state == StateActive
@@ -132,6 +137,7 @@ func (m *Manager) Begin(timeout time.Duration) *Tx {
 				_ = t.Rollback()
 			}
 		})
+		t.mu.Unlock()
 	}
 	return t
 }
@@ -166,6 +172,7 @@ type Tx struct {
 	after     []func(committed bool)
 	timer     vclock.Timer
 	timedOut  atomicBool
+	done      chan struct{} // closed when the state becomes terminal
 }
 
 type enlisted struct {
@@ -248,27 +255,40 @@ func (t *Tx) AfterCompletion(fn func(committed bool)) {
 	t.after = append(t.after, fn)
 }
 
+// waitOutcome blocks until the transaction reaches a terminal state and
+// reports the actual outcome. A caller that lost the race for the
+// Active→Preparing transition (e.g. Commit racing the timeout rollback, or
+// two concurrent Commits) must not guess: the winning path may still commit
+// or abort, and the loser's return value has to match reality.
+func (t *Tx) waitOutcome() error {
+	<-t.done
+	t.mu.Lock()
+	st := t.state
+	t.mu.Unlock()
+	if st == StateCommitted {
+		return nil
+	}
+	if t.timedOut.Load() {
+		return ErrTimeout
+	}
+	return ErrAborted
+}
+
 // Commit drives the transaction to completion: beforeCompletion hooks,
 // prepare (skipped for a single resource — the one-phase optimization),
 // a durable commit record, then commit on every resource.
 func (t *Tx) Commit() error {
 	t.mu.Lock()
 	if t.state != StateActive {
-		st := t.state
 		t.mu.Unlock()
-		if st == StateCommitted {
-			return nil
-		}
-		if t.timedOut.Load() {
-			return ErrTimeout
-		}
-		return ErrAborted
+		return t.waitOutcome()
 	}
 	before := append([]func() error{}, t.before...)
+	timer := t.timer
 	t.mu.Unlock()
 
-	if t.timer != nil {
-		t.timer.Stop()
+	if timer != nil {
+		timer.Stop()
 	}
 
 	// JTA ordering: beforeCompletion runs while the transaction is still
@@ -277,6 +297,10 @@ func (t *Tx) Commit() error {
 	for _, fn := range before {
 		if err := fn(); err != nil {
 			t.mu.Lock()
+			if t.state != StateActive { // a concurrent path owns the outcome
+				t.mu.Unlock()
+				return t.waitOutcome()
+			}
 			resources := append([]enlisted{}, t.resources...)
 			t.state = StatePreparing
 			t.mu.Unlock()
@@ -286,22 +310,22 @@ func (t *Tx) Commit() error {
 	}
 
 	t.mu.Lock()
-	if t.state != StateActive { // a hook rolled the transaction back
+	if t.state != StateActive { // a hook or a concurrent path finished it
 		t.mu.Unlock()
-		return ErrAborted
+		return t.waitOutcome()
 	}
 	t.state = StatePreparing
 	resources := append([]enlisted{}, t.resources...)
 	t.mu.Unlock()
 
 	m := t.mgr
-	if len(resources) > 1 {
+	switch {
+	case len(resources) > 1:
 		// Phase 1: prepare.
 		m.reg.Counter("tx.2pc").Inc()
-		for i, e := range resources {
+		for _, e := range resources {
 			if err := e.r.Prepare(t.id); err != nil {
 				// Roll back everything, including already-prepared ones.
-				_ = i
 				t.abort(resources, true)
 				return fmt.Errorf("%w: %s voted no: %v", ErrAborted, e.name, err)
 			}
@@ -311,27 +335,22 @@ func (t *Tx) Commit() error {
 			t.abort(resources, true)
 			return fmt.Errorf("%w: commit record: %v", ErrAborted, err)
 		}
-	} else {
+	case len(resources) == 1:
 		// One-phase optimization: a single resource decides the outcome
 		// itself, so a commit failure here is an abort, not an in-doubt
 		// state — no decision was ever logged.
 		m.reg.Counter("tx.1pc").Inc()
-		if len(resources) == 1 {
-			if err := resources[0].r.Commit(t.id); err != nil {
-				t.abort(resources, false)
-				return fmt.Errorf("%w: %v", ErrAborted, err)
-			}
-			t.mu.Lock()
-			t.state = StateCommitted
-			after := append([]func(bool){}, t.after...)
-			t.mu.Unlock()
-			m.finish(t)
-			m.reg.Counter("tx.committed").Inc()
-			for _, fn := range after {
-				fn(true)
-			}
-			return nil
+		if err := resources[0].r.Commit(t.id); err != nil {
+			t.abort(resources, false)
+			return fmt.Errorf("%w: %v", ErrAborted, err)
 		}
+		t.complete()
+		return nil
+	default:
+		// No resources enlisted: nothing to prepare or commit. This is not
+		// a one-phase commit; count it apart so the 1pc/2pc ratio stays an
+		// honest measure of the co-location optimization (§5.1).
+		m.reg.Counter("tx.0pc").Inc()
 	}
 
 	// Phase 2: commit every resource. After the decision is logged,
@@ -348,19 +367,25 @@ func (t *Tx) Commit() error {
 		_ = m.log.Append(Record{TxID: t.id, Kind: RecordDone})
 	}
 
-	t.mu.Lock()
-	t.state = StateCommitted
-	after := append([]func(bool){}, t.after...)
-	t.mu.Unlock()
-	m.finish(t)
-	m.reg.Counter("tx.committed").Inc()
-	for _, fn := range after {
-		fn(true)
-	}
+	t.complete()
 	if firstErr != nil {
 		return fmt.Errorf("tx: committed with in-doubt resource (recovery will retry): %v", firstErr)
 	}
 	return nil
+}
+
+// complete finalizes a committed transaction and runs after hooks.
+func (t *Tx) complete() {
+	t.mu.Lock()
+	t.state = StateCommitted
+	after := append([]func(bool){}, t.after...)
+	close(t.done)
+	t.mu.Unlock()
+	t.mgr.finish(t)
+	t.mgr.reg.Counter("tx.committed").Inc()
+	for _, fn := range after {
+		fn(true)
+	}
 }
 
 // Rollback aborts the transaction.
@@ -372,9 +397,10 @@ func (t *Tx) Rollback() error {
 	}
 	t.state = StatePreparing
 	resources := append([]enlisted{}, t.resources...)
+	timer := t.timer
 	t.mu.Unlock()
-	if t.timer != nil {
-		t.timer.Stop()
+	if timer != nil {
+		timer.Stop()
 	}
 	t.abort(resources, false)
 	return nil
@@ -387,6 +413,7 @@ func (t *Tx) abort(resources []enlisted, prepared bool) {
 	t.mu.Lock()
 	t.state = StateAborted
 	after := append([]func(bool){}, t.after...)
+	close(t.done)
 	t.mu.Unlock()
 	t.mgr.finish(t)
 	t.mgr.reg.Counter("tx.aborted").Inc()

@@ -354,6 +354,43 @@ func (c *Cluster) Crash(name string) {
 	s.endpoint.Close()
 }
 
+// Freeze pauses a server without killing it: its endpoint stops processing
+// traffic and its heartbeats stop, but its state survives — the §3.4
+// split-brain scenario.
+func (c *Cluster) Freeze(name string) {
+	s := c.Server(name)
+	if s == nil {
+		return
+	}
+	s.member.Stop()
+	c.fix.net.Freeze(s.endpoint.Addr(), true)
+}
+
+// Thaw resumes a frozen server.
+func (c *Cluster) Thaw(name string) {
+	s := c.Server(name)
+	if s == nil {
+		return
+	}
+	c.fix.net.Freeze(s.endpoint.Addr(), false)
+	s.member.Start()
+}
+
+// Fence cuts a server off at the fabric level (router fencing, §3.4).
+func (c *Cluster) Fence(name string, fenced bool) {
+	if s := c.Server(name); s != nil {
+		c.fix.net.Fence(s.endpoint.Addr(), fenced)
+	}
+}
+
+// Partition breaks or heals the link between two named servers.
+func (c *Cluster) Partition(a, b string, broken bool) {
+	sa, sb := c.Server(a), c.Server(b)
+	if sa != nil && sb != nil {
+		c.fix.net.SetPartitioned(sa.endpoint.Addr(), sb.endpoint.Addr(), broken)
+	}
+}
+
 // Restart brings a crashed server back with fresh containers (applications
 // must be redeployed, as on a real reboot).
 func (c *Cluster) Restart(name string) *Server {
