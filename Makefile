@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench bench-transport chaos
+.PHONY: all build test race lint bench bench-transport bench-trace chaos
 
 all: build test race lint
 
@@ -34,6 +34,12 @@ bench:
 # write-batching ablation, checked in as BENCH_transport.json.
 bench-transport:
 	$(GO) run ./cmd/wlsbench -exp E27 -json BENCH_transport.json
+
+# Tracing numbers (E29): per-hop latency breakdown of a traced servlet
+# request plus echo-RPC overhead at 0%/1%/100% sampling, checked in as
+# BENCH_trace.json.
+bench-trace:
+	$(GO) run ./cmd/wlsbench -exp E29 -json BENCH_trace.json
 
 # Extended chaos sweep (E28): 32 seeds at a longer horizon than the small
 # in-tree sweep TestChaosSweepSmall runs under `make test`. A failing seed

@@ -66,6 +66,7 @@ func BenchmarkE24Warehouse(b *testing.B)          { runExperiment(b, "E24") }
 func BenchmarkE25Admission(b *testing.B)          { runExperiment(b, "E25") }
 func BenchmarkE26Concentration(b *testing.B)      { runExperiment(b, "E26") }
 func BenchmarkE27TransportHotPath(b *testing.B)   { runExperiment(b, "E27") }
+func BenchmarkE29TraceOverhead(b *testing.B)      { runExperiment(b, "E29") }
 func BenchmarkA01HeartbeatSweep(b *testing.B)     { runExperiment(b, "A01") }
 func BenchmarkA02LossyBus(b *testing.B)           { runExperiment(b, "A02") }
 

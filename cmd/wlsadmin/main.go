@@ -4,6 +4,7 @@
 //
 //	wlsadmin -addr localhost:7002 servers
 //	wlsadmin -addr localhost:7002 metrics
+//	wlsadmin -addr localhost:7002 trace [text|jsonl|chrome]
 //	wlsadmin -addr localhost:7002 crash server-2
 //	wlsadmin -addr localhost:7002 restart server-2
 package main
@@ -43,6 +44,12 @@ func main() {
 		get("/admin/servers")
 	case "metrics":
 		get("/admin/metrics")
+	case "trace":
+		path := "/admin/trace"
+		if len(args) > 1 {
+			path += "?format=" + url.QueryEscape(args[1])
+		}
+		get(path)
 	case "crash", "restart":
 		if len(args) < 2 {
 			usage()
@@ -54,6 +61,6 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: wlsadmin [-addr host:port] servers|metrics|crash <server>|restart <server>")
+	fmt.Fprintln(os.Stderr, "usage: wlsadmin [-addr host:port] servers|metrics|trace [format]|crash <server>|restart <server>")
 	os.Exit(2)
 }

@@ -3,7 +3,7 @@
 // port, and an admin endpoint exposes cluster state and metrics for
 // cmd/wlsadmin.
 //
-//	wlsd -servers 3 -http :7001 -admin :7002 [-data /var/wls]
+//	wlsd -servers 3 -http :7001 -admin :7002 [-data /var/wls] [-trace-sample 0.01]
 //
 // Then:
 //
@@ -29,8 +29,10 @@ import (
 
 	"wls"
 	"wls/internal/ejb"
+	"wls/internal/metrics"
 	"wls/internal/rmi"
 	"wls/internal/servlet"
+	"wls/internal/trace"
 )
 
 func main() {
@@ -38,12 +40,14 @@ func main() {
 	httpAddr := flag.String("http", ":7001", "application HTTP address (proxy plug-in)")
 	adminAddr := flag.String("admin", ":7002", "admin HTTP address")
 	dataDir := flag.String("data", "", "data directory for middle-tier filestores (optional)")
+	traceSample := flag.Float64("trace-sample", 0, "fraction of requests to trace (0 disables, 1 traces all)")
 	flag.Parse()
 
 	cluster, err := wls.New(wls.Options{
-		Servers:   *servers,
-		RealClock: true,
-		DataDir:   *dataDir,
+		Servers:     *servers,
+		RealClock:   true,
+		DataDir:     *dataDir,
+		TraceSample: *traceSample,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -90,9 +94,30 @@ func main() {
 	adminMux.HandleFunc("/admin/metrics", func(w http.ResponseWriter, r *http.Request) {
 		for _, s := range cluster.Servers {
 			fmt.Fprintf(w, "## %s\n", s.Name)
-			for _, line := range s.Metrics().Snapshot() {
-				fmt.Fprintf(w, "%s\n", line)
+			fmt.Fprint(w, metrics.RenderText(s.Metrics().Snapshot()))
+		}
+	})
+	adminMux.HandleFunc("/admin/trace", func(w http.ResponseWriter, r *http.Request) {
+		ring := cluster.Traces()
+		if ring == nil {
+			http.Error(w, "tracing disabled; restart wlsd with -trace-sample > 0", http.StatusNotFound)
+			return
+		}
+		spans := ring.Snapshot()
+		switch r.URL.Query().Get("format") {
+		case "", "text":
+			fmt.Fprint(w, trace.CanonicalDump(spans))
+		case "jsonl":
+			j := trace.NewJSONL(w)
+			for _, d := range spans {
+				j.ExportSpan(d)
 			}
+		case "chrome":
+			if err := trace.WriteChromeTrace(w, spans); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		default:
+			http.Error(w, "format must be text, jsonl or chrome", http.StatusBadRequest)
 		}
 	})
 	adminMux.HandleFunc("/admin/crash", func(w http.ResponseWriter, r *http.Request) {

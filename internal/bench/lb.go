@@ -10,6 +10,7 @@ import (
 	"wls"
 	"wls/internal/metrics"
 	"wls/internal/rmi"
+	"wls/internal/trace"
 	"wls/internal/transport"
 	"wls/internal/wire"
 	"wls/internal/workload"
@@ -35,12 +36,12 @@ func init() {
 func runE01() *Table {
 	t := &Table{ID: "E01", Title: "Request latency vs physical tiers",
 		Source:  "Fig 1 + §2.1",
-		Columns: []string{"tiers", "mean_latency", "p99_latency", "req/s"},
-		Notes:   "latency grows ~linearly with hops; short-request throughput drops accordingly — minimizing tiers wins"}
+		Columns: []string{"tiers", "hops", "mean_latency", "p99_latency", "req/s"},
+		Notes:   "latency grows ~linearly with hops; short-request throughput drops accordingly — minimizing tiers wins. hops is read off a traced probe request, not assumed"}
 
 	const hopLatency = 200 * time.Microsecond
 	for tiers := 1; tiers <= 4; tiers++ {
-		c, err := wls.New(wls.Options{Servers: 4, RealClock: true})
+		c, err := wls.New(wls.Options{Servers: 4, RealClock: true, TraceSample: 1})
 		if err != nil {
 			panic(err)
 		}
@@ -85,7 +86,23 @@ func runE01() *Table {
 			hist.RecordDuration(wall.Since(t0))
 		})
 		elapsed := wall.Since(start)
-		t.AddRow(tiers,
+
+		// The measured requests above carry no trace envelope (old-style
+		// callers), so the tiers are wired for tracing but pay nothing.
+		// One traced probe then verifies the hop count the experiment is
+		// built on, straight from the trace.
+		tr := trace.New("client", wall, trace.Options{Exporter: c.Traces()})
+		pctx, root := tr.StartRoot(context.Background(), "probe", trace.KindClient)
+		if _, err := stub.Invoke(pctx, "handle", nil); err != nil {
+			panic(err)
+		}
+		root.Finish()
+		hops := trace.HopCount(c.Traces().Snapshot(), root.Context().Trace)
+		if hops != tiers {
+			panic(fmt.Sprintf("E01: trace shows %d hops for %d tiers", hops, tiers))
+		}
+
+		t.AddRow(tiers, hops,
 			time.Duration(hist.Mean()).Round(10*time.Microsecond),
 			time.Duration(hist.P99()).Round(10*time.Microsecond),
 			fmt.Sprintf("%.0f", float64(reqs)/elapsed.Seconds()))
@@ -228,10 +245,10 @@ func runE04() *Table {
 	t := &Table{ID: "E04", Title: "Local preference and transaction affinity",
 		Source:  "§3.1",
 		Columns: []string{"policy", "avg_servers_per_tx", "remote_calls"},
-		Notes:   "default policy (local pref + tx affinity) keeps multi-step transactions on 1 server; round robin spreads them across the cluster"}
+		Notes:   "default policy (local pref + tx affinity) keeps multi-step transactions on 1 server; round robin spreads them across the cluster. servers-per-tx is read from per-transaction traces and cross-checked against the ServedBy replies"}
 
 	for _, mode := range []string{"round-robin", "default"} {
-		c, err := wls.New(wls.Options{Servers: 3, RealClock: true})
+		c, err := wls.New(wls.Options{Servers: 3, RealClock: true, TraceSample: 1})
 		if err != nil {
 			panic(err)
 		}
@@ -253,14 +270,20 @@ func runE04() *Table {
 		}
 		// The caller is an internal client on server-1.
 		stub := c.Servers[0].Stub("Step", rmi.WithPolicy(policy))
+		tracer := c.Servers[0].Tracer()
 		const txs, steps = 50, 6
 		totalServers, remote := 0, 0
+		type probe struct {
+			id      trace.TraceID
+			touched map[string]bool
+		}
+		probes := make([]probe, 0, txs)
 		for i := 0; i < txs; i++ {
-			txn := c.Servers[0].Tx.Begin(0)
-			ctx := context.Background()
+			tctx, root := tracer.StartRoot(context.Background(), "tx-probe", trace.KindClient)
+			txn := c.Servers[0].Tx.BeginCtx(tctx, 0)
 			touched := map[string]bool{}
 			for s := 0; s < steps; s++ {
-				ctx = rmi.WithAffinity(context.Background(), txn.Servers()...)
+				ctx := rmi.WithAffinity(tctx, txn.Servers()...)
 				res, err := stub.InvokeTx(ctx, txn.ID(), "do", nil)
 				if err != nil {
 					panic(err)
@@ -272,7 +295,18 @@ func runE04() *Table {
 				}
 			}
 			_ = txn.Rollback() // read-only probe transaction
-			totalServers += len(touched)
+			root.Finish()
+			probes = append(probes, probe{root.Context().Trace, touched})
+		}
+		// servers-per-tx comes off the traces; the ServedBy-derived count is
+		// the independent cross-check.
+		spans := c.Traces().Snapshot()
+		for _, p := range probes {
+			traced := trace.ServersTouched(spans, p.id)
+			if len(traced) != len(p.touched) {
+				panic(fmt.Sprintf("E04 (%s): trace says %d servers, replies say %d", mode, len(traced), len(p.touched)))
+			}
+			totalServers += len(traced)
 		}
 		t.AddRow(mode, fmt.Sprintf("%.2f", float64(totalServers)/txs), remote)
 		c.Stop()

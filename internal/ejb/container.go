@@ -27,6 +27,7 @@ import (
 	"wls/internal/metrics"
 	"wls/internal/rmi"
 	"wls/internal/store"
+	"wls/internal/trace"
 	"wls/internal/tx"
 	"wls/internal/vclock"
 )
@@ -141,17 +142,25 @@ func (c *Container) DeployStateless(spec StatelessSpec) string {
 	}
 	methods := make(map[string]rmi.MethodSpec, len(spec.Methods))
 	for name, impl := range spec.Methods {
-		impl := impl
+		name, impl := name, impl
 		methods[name] = rmi.MethodSpec{
 			Idempotent: idem[name],
 			Handler: func(ctx context.Context, call *rmi.Call) ([]byte, error) {
+				var span *trace.Span
+				if parent := trace.FromContext(ctx); parent != nil {
+					ctx, span = parent.NewChild(ctx, "ejb "+spec.Name+"."+name, trace.KindInternal)
+					defer span.Finish()
+				}
 				inst, err := pool.checkout(ctx)
 				if err != nil {
+					span.SetError(err)
 					return nil, err
 				}
 				defer pool.checkin(inst)
 				c.reg.Counter("ejb.stateless.calls").Inc()
-				return impl(ctx, inst, call)
+				body, err := impl(ctx, inst, call)
+				span.SetError(err)
+				return body, err
 			},
 		}
 	}

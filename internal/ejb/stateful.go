@@ -8,6 +8,7 @@ import (
 
 	"wls/internal/cluster"
 	"wls/internal/rmi"
+	"wls/internal/trace"
 	"wls/internal/wire"
 )
 
@@ -276,9 +277,17 @@ func (ss *statefulStore) handleInvoke(ctx context.Context, call *rmi.Call) ([]by
 	if err := d.Err(); err != nil {
 		return nil, err
 	}
+	var span *trace.Span
+	if parent := trace.FromContext(ctx); parent != nil {
+		_, span = parent.NewChild(ctx, "ejb "+ss.spec.Name+"."+method, trace.KindInternal)
+		span.Annotate("bean", id)
+		defer span.Finish()
+	}
 	impl, ok := ss.spec.Methods[method]
 	if !ok {
-		return nil, &rmi.AppError{Msg: "no such method: " + method}
+		err := &rmi.AppError{Msg: "no such method: " + method}
+		span.SetError(err)
+		return nil, err
 	}
 
 	ss.mu.Lock()
@@ -291,7 +300,9 @@ func (ss *statefulStore) handleInvoke(ctx context.Context, call *rmi.Call) ([]by
 	}
 	if !found {
 		ss.mu.Unlock()
-		return nil, &rmi.AppError{Msg: "no such bean: " + id}
+		err := &rmi.AppError{Msg: "no such bean: " + id}
+		span.SetError(err)
+		return nil, err
 	}
 	if !b.primary {
 		// Failover: the replica becomes the primary and recruits a new
@@ -307,6 +318,7 @@ func (ss *statefulStore) handleInvoke(ctx context.Context, call *rmi.Call) ([]by
 
 	out, err := impl(sc, payload)
 	if err != nil {
+		span.SetError(err)
 		if !rmi.IsAppError(err) {
 			return nil, err
 		}

@@ -28,6 +28,7 @@ import (
 	"wls/internal/filestore"
 	"wls/internal/metrics"
 	"wls/internal/rmi"
+	"wls/internal/trace"
 	"wls/internal/tx"
 	"wls/internal/vclock"
 	"wls/internal/wire"
@@ -375,6 +376,13 @@ func (b *Broker) RMIService() *rmi.Service {
 					seen[m.ID] = true
 				}
 				seenMu.Unlock()
+				if sp := trace.FromContext(ctx); sp != nil {
+					if dup {
+						sp.Annotate("dedup", "drop")
+					} else {
+						sp.Annotate("dedup", "accept")
+					}
+				}
 				if dup {
 					b.reg.Counter("jms.dedup_drops").Inc()
 					return nil, nil
@@ -457,11 +465,17 @@ type Forwarder struct {
 	interval   time.Duration
 	maxBackoff time.Duration
 
+	tracer *trace.Tracer
+
 	mu      sync.Mutex
 	timer   vclock.Timer
 	backoff time.Duration
 	stopped bool
 }
+
+// SetTracer makes the agent start a root span per forwarded message (wire
+// it before Start).
+func (f *Forwarder) SetTracer(t *trace.Tracer) { f.tracer = t }
 
 // NewForwarder creates a SAF agent draining local into remoteQ at
 // remoteAddr every interval (with exponential backoff up to 16x while the
@@ -525,12 +539,26 @@ func (f *Forwarder) drain() {
 		e.String(m.ID)
 		e.String(m.Key)
 		e.Bytes2(m.Body)
+		sctx := context.Background()
+		var span *trace.Span
+		if f.tracer != nil {
+			// Each SAF hop is its own trace root: the forwarder runs in the
+			// background, detached from whatever request produced the message.
+			sctx, span = f.tracer.StartRoot(sctx, "jms.saf "+f.remoteQ, trace.KindJMS)
+			span.Annotate("msg", m.ID)
+			span.Annotate("to", f.remoteAddr)
+		}
 		stub := rmi.NewStub(ServiceName, f.node, rmi.StaticView(f.remoteAddr))
-		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		ctx, cancel := context.WithTimeout(sctx, 2*time.Second)
 		_, err = stub.Invoke(ctx, "deliver", e.Bytes())
 		cancel()
 		if err != nil {
 			// No ACK: message back to the buffer, back off, retry later.
+			if span != nil {
+				span.Annotate("outcome", "retry")
+				span.SetError(err)
+				span.Finish()
+			}
 			f.local.Nack(m.ID)
 			f.mu.Lock()
 			f.backoff *= 2
@@ -542,6 +570,10 @@ func (f *Forwarder) drain() {
 			f.local.b.reg.Counter("jms.saf_retries").Inc()
 			f.schedule(next)
 			return
+		}
+		if span != nil {
+			span.Annotate("outcome", "ack")
+			span.Finish()
 		}
 		_ = f.local.Ack(m.ID)
 		f.local.b.reg.Counter("jms.saf_forwarded").Inc()

@@ -8,7 +8,9 @@ import (
 // obligations: the wire codec, the transport, the stores, the transaction
 // log, and the durable messaging layer. A bare call statement silently
 // discards the error; assigning to _ is treated as an explicit, visible
-// decision and left alone. bufio is included because the batched transport
+// decision and left alone. The trace envelope codec is included because a
+// dropped ParseEnvelope error corrupts span parentage silently instead of
+// failing the request. bufio is included because the batched transport
 // writer path buffers I/O: a dropped Flush/Write error there means silent
 // frame loss. The chaos harness is included because a dropped error there
 // turns a failing fault-injection run into a silently vacuous one.
@@ -20,6 +22,7 @@ var errdropPkgs = map[string]bool{
 	"wls/internal/tx":        true,
 	"wls/internal/jms":       true,
 	"wls/internal/chaos":     true,
+	"wls/internal/trace":     true,
 	"bufio":                  true,
 }
 

@@ -14,6 +14,9 @@
 //   - afterloop: time.After / Clock.After inside a for loop allocates a
 //     timer per iteration that is only reclaimed when it fires — a leak in
 //     long-running heartbeat and retry loops.
+//   - spanleak:  a trace span started and never Finished silently drops a
+//     hop from the trace, breaking the trace-derived assertions
+//     (ServersTouched, HopCount) the experiments rely on.
 //
 // Diagnostics can be suppressed line-by-line with directives:
 //
@@ -79,7 +82,7 @@ func (d Diagnostic) String() string {
 
 // Default is the analyzer set cmd/wlslint and repo_test.go run.
 func Default() []*Analyzer {
-	return []*Analyzer{Walltime(), LockHeld(), ErrDrop(), AfterLoop()}
+	return []*Analyzer{Walltime(), LockHeld(), ErrDrop(), AfterLoop(), SpanLeak()}
 }
 
 // Run applies each analyzer to each package and returns the surviving

@@ -5,8 +5,9 @@ import "testing"
 // TestRepoIsLintClean is the self-enforcing gate: it runs every analyzer
 // over every package of this module, so a plain `go test ./...` fails the
 // moment someone reintroduces a direct wall-clock call, holds a mutex
-// across a blocking operation, drops a wire/transport/store/tx error, or
-// re-arms time.After inside a loop.
+// across a blocking operation, drops a wire/transport/store/tx error,
+// re-arms time.After inside a loop, or starts a trace span without
+// finishing it.
 //
 // To see the same diagnostics from the command line:
 //

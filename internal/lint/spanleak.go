@@ -1,0 +1,187 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// spanStarters are the wls/internal/trace calls that hand the caller a
+// span it owns and must Finish. FromContext is deliberately absent: it
+// borrows a span owned by someone further up the call chain.
+var spanStarters = map[string]bool{
+	"StartRoot": true, "StartRemote": true, "NewChild": true, "Child": true,
+}
+
+// SpanLeak reports spans that are started and then dropped: a local
+// variable assigned from StartRoot/StartRemote/NewChild/Child whose Finish
+// method is never called in the enclosing function. An unfinished span
+// never reaches the exporter, so the trace silently loses the hop — the
+// exact failure mode the trace-derived assertions exist to rule out. A
+// span that escapes the function (returned, stored, or passed on) is
+// assumed to be finished by its new owner and left alone.
+func SpanLeak() *Analyzer {
+	a := &Analyzer{
+		Name: "spanleak",
+		Doc:  "flags trace spans that are started but never Finished (and don't escape)",
+	}
+	a.Run = func(pass *Pass) {
+		info := pass.Pkg.Info
+		for _, f := range pass.Pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkSpanLeaks(pass, info, fd.Body)
+			}
+		}
+	}
+	return a
+}
+
+func checkSpanLeaks(pass *Pass, info *types.Info, body *ast.BlockStmt) {
+	type started struct {
+		pos  token.Pos
+		call string
+	}
+	owned := map[types.Object]*started{}
+	assignLHS := map[*ast.Ident]bool{}
+
+	claim := func(id *ast.Ident, call *ast.CallExpr, name string) {
+		if id.Name == "_" {
+			return
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		if _, seen := owned[obj]; !seen {
+			owned[obj] = &started{pos: call.Pos(), call: name}
+		}
+	}
+
+	// Pass 1: find local variables assigned from a span-starter call.
+	ast.Inspect(body, func(n ast.Node) bool {
+		var lhs []ast.Expr
+		var rhs []ast.Expr
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, l := range n.Lhs {
+				if id, ok := l.(*ast.Ident); ok {
+					assignLHS[id] = true
+				}
+			}
+			lhs, rhs = n.Lhs, n.Rhs
+		case *ast.ValueSpec:
+			lhs = make([]ast.Expr, len(n.Names))
+			for i, id := range n.Names {
+				lhs[i] = id
+			}
+			rhs = n.Values
+		default:
+			return true
+		}
+		if len(rhs) != 1 {
+			return true
+		}
+		call, ok := rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := calleeObject(info, call)
+		if obj == nil || pkgPathOf(obj) != "wls/internal/trace" || !spanStarters[obj.Name()] {
+			return true
+		}
+		results := resultsOf(info, call)
+		if results == nil {
+			return true
+		}
+		for i := 0; i < results.Len() && i < len(lhs); i++ {
+			if !isTraceSpanPtr(results.At(i).Type()) {
+				continue
+			}
+			if id, ok := lhs[i].(*ast.Ident); ok {
+				claim(id, call, obj.Name())
+			}
+		}
+		return true
+	})
+	if len(owned) == 0 {
+		return
+	}
+
+	// Pass 2: classify every use of an owned span. A use as the receiver of
+	// a method call is tracing activity (Finish among it); any other use —
+	// return, call argument, store, copy — means the span escapes and some
+	// other owner is responsible for finishing it.
+	finished := map[types.Object]bool{}
+	escaped := map[types.Object]bool{}
+	methodRecv := map[*ast.Ident]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if _, tracked := owned[obj]; !tracked {
+			return true
+		}
+		methodRecv[id] = true
+		if sel.Sel.Name == "Finish" {
+			finished[obj] = true
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if _, tracked := owned[obj]; !tracked {
+			return true
+		}
+		if methodRecv[id] || assignLHS[id] {
+			return true
+		}
+		escaped[obj] = true
+		return true
+	})
+
+	for obj, s := range owned {
+		if finished[obj] || escaped[obj] {
+			continue
+		}
+		pass.Reportf(s.pos,
+			"span %q from %s is never Finished; an unfinished span never reaches the exporter, so the trace drops this hop",
+			obj.Name(), s.call)
+	}
+}
+
+// isTraceSpanPtr reports whether t is *wls/internal/trace.Span.
+func isTraceSpanPtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "Span" && pkgPathOf(named.Obj()) == "wls/internal/trace"
+}

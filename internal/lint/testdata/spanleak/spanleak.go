@@ -1,0 +1,72 @@
+// Fixture for the spanleak analyzer: spans started and dropped are
+// diagnosed; spans that are Finished, deferred-Finished, or escape to a
+// new owner are not. Borrowed spans (FromContext) are never diagnosed.
+package spanleak
+
+import (
+	"context"
+
+	"wls/internal/trace"
+	"wls/internal/vclock"
+)
+
+func tracer() *trace.Tracer {
+	return trace.New("fixture", vclock.NewVirtualAtZero(), trace.Options{})
+}
+
+func leaks(ctx context.Context) {
+	tr := tracer()
+	_, span := tr.StartRoot(ctx, "op", trace.KindInternal) // want "span \"span\" from StartRoot is never Finished"
+	span.Annotate("k", "v")
+}
+
+func leaksChild(ctx context.Context) {
+	tr := tracer()
+	ctx, parent := tr.StartRoot(ctx, "op", trace.KindInternal)
+	defer parent.Finish()
+	sub := parent.Child("step", trace.KindInternal) // want "span \"sub\" from Child is never Finished"
+	sub.AnnotateInt("n", 1)
+	_ = ctx
+}
+
+func finished(ctx context.Context) {
+	tr := tracer()
+	_, span := tr.StartRoot(ctx, "op", trace.KindInternal)
+	span.Annotate("k", "v")
+	span.Finish()
+}
+
+func deferFinished(ctx context.Context) {
+	tr := tracer()
+	_, span := tr.StartRoot(ctx, "op", trace.KindInternal)
+	defer span.Finish()
+	span.SetError(nil)
+}
+
+func escapesByReturn(ctx context.Context) (context.Context, *trace.Span) {
+	tr := tracer()
+	cctx, span := tr.StartRoot(ctx, "op", trace.KindInternal)
+	return cctx, span // new owner finishes it
+}
+
+func finishSpan(s *trace.Span) { s.Finish() }
+
+func escapesByCall(ctx context.Context) {
+	tr := tracer()
+	_, span := tr.StartRoot(ctx, "op", trace.KindInternal)
+	finishSpan(span)
+}
+
+func borrowed(ctx context.Context) {
+	// FromContext borrows a span owned further up the chain; not finishing
+	// it here is correct.
+	span := trace.FromContext(ctx)
+	span.Annotate("k", "v")
+}
+
+func suppressed(ctx context.Context) {
+	tr := tracer()
+	//wls:nolint spanleak -- fixture: span intentionally left open
+	_, span := tr.StartRoot(ctx, "op", trace.KindInternal)
+	span.Annotate("k", "v")
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -178,10 +179,11 @@ func (h *Histogram) Quantile(q float64) int64 {
 	return h.max.Load()
 }
 
-// P50, P95, P99 are convenience accessors.
-func (h *Histogram) P50() int64 { return h.Quantile(0.50) }
-func (h *Histogram) P95() int64 { return h.Quantile(0.95) }
-func (h *Histogram) P99() int64 { return h.Quantile(0.99) }
+// P50, P95, P99, P999 are convenience accessors.
+func (h *Histogram) P50() int64  { return h.Quantile(0.50) }
+func (h *Histogram) P95() int64  { return h.Quantile(0.95) }
+func (h *Histogram) P99() int64  { return h.Quantile(0.99) }
+func (h *Histogram) P999() int64 { return h.Quantile(0.999) }
 
 // MeanDuration returns the mean as a time.Duration.
 func (h *Histogram) MeanDuration() time.Duration { return time.Duration(h.Mean()) }
@@ -254,20 +256,91 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
-// Snapshot returns a sorted, human-readable dump of every metric.
-func (r *Registry) Snapshot() []string {
+// MetricValue is one named metric in a Snapshot. Kind is "counter",
+// "gauge", or "hist"; Value carries the counter/gauge value (the
+// observation count for histograms); Hist is set for histograms only.
+type MetricValue struct {
+	Kind  string
+	Name  string
+	Value int64
+	Hist  *HistogramSummary
+}
+
+// HistogramSummary is the percentile digest of one histogram, in the
+// histogram's native units (nanoseconds for latencies).
+type HistogramSummary struct {
+	Count                    int64
+	Mean                     float64
+	Min, P50, P95, P99, P999 int64
+	Max                      int64
+}
+
+// Summary digests the histogram.
+func (h *Histogram) Summary() HistogramSummary {
+	return HistogramSummary{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		Min:   h.Min(),
+		P50:   h.P50(),
+		P95:   h.P95(),
+		P99:   h.P99(),
+		P999:  h.P999(),
+		Max:   h.Max(),
+	}
+}
+
+// Snapshot returns a stable-ordered structured dump of every metric:
+// sorted by name, then kind, so two snapshots of the same registry state
+// are identical element for element. RenderText turns it into the
+// human-readable form served by the admin tooling.
+func (r *Registry) Snapshot() []MetricValue {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	var out []string
+	out := make([]MetricValue, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
 	for name, c := range r.counters {
-		out = append(out, fmt.Sprintf("counter %s = %d", name, c.Value()))
+		out = append(out, MetricValue{Kind: "counter", Name: name, Value: c.Value()})
 	}
 	for name, g := range r.gauges {
-		out = append(out, fmt.Sprintf("gauge %s = %d", name, g.Value()))
+		out = append(out, MetricValue{Kind: "gauge", Name: name, Value: g.Value()})
 	}
 	for name, h := range r.histograms {
-		out = append(out, fmt.Sprintf("hist %s: %s", name, h))
+		s := h.Summary()
+		out = append(out, MetricValue{Kind: "hist", Name: name, Value: s.Count, Hist: &s})
 	}
-	sort.Strings(out)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Kind < out[j].Kind
+	})
 	return out
+}
+
+// RenderText renders a snapshot one metric per line, aligned for
+// terminals (the `wlsadmin metrics` output format).
+func RenderText(snap []MetricValue) string {
+	width := 0
+	for _, m := range snap {
+		if len(m.Name) > width {
+			width = len(m.Name)
+		}
+	}
+	var b strings.Builder
+	for _, m := range snap {
+		switch m.Kind {
+		case "hist":
+			h := m.Hist
+			fmt.Fprintf(&b, "hist    %-*s n=%d mean=%v p50=%v p95=%v p99=%v p999=%v max=%v\n",
+				width, m.Name, h.Count,
+				time.Duration(h.Mean).Round(time.Microsecond),
+				time.Duration(h.P50).Round(time.Microsecond),
+				time.Duration(h.P95).Round(time.Microsecond),
+				time.Duration(h.P99).Round(time.Microsecond),
+				time.Duration(h.P999).Round(time.Microsecond),
+				time.Duration(h.Max).Round(time.Microsecond))
+		default:
+			fmt.Fprintf(&b, "%-7s %-*s %d\n", m.Kind, width, m.Name, m.Value)
+		}
+	}
+	return b.String()
 }

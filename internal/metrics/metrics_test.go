@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math"
+	"strings"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -178,9 +179,83 @@ func TestRegistrySnapshotSorted(t *testing.T) {
 		t.Fatalf("snapshot len = %d, want 4", len(snap))
 	}
 	for i := 1; i < len(snap); i++ {
-		if snap[i-1] > snap[i] {
+		a, b := snap[i-1], snap[i]
+		if a.Name > b.Name || (a.Name == b.Name && a.Kind > b.Kind) {
 			t.Fatalf("snapshot not sorted: %v", snap)
 		}
+	}
+	if snap[0].Name != "a" || snap[0].Kind != "counter" || snap[0].Value != 2 {
+		t.Fatalf("snap[0] = %+v", snap[0])
+	}
+	var hist *MetricValue
+	for i := range snap {
+		if snap[i].Kind == "hist" {
+			hist = &snap[i]
+		}
+	}
+	if hist == nil || hist.Name != "lat" || hist.Hist == nil || hist.Hist.Count != 1 {
+		t.Fatalf("histogram entry wrong: %+v", hist)
+	}
+}
+
+func TestSnapshotStableAcrossCalls(t *testing.T) {
+	r := NewRegistry()
+	for _, n := range []string{"q", "a", "m", "z", "b"} {
+		r.Counter(n).Inc()
+		r.Gauge("g." + n).Set(1)
+		r.Histogram("h." + n).Record(10)
+	}
+	s1, s2 := r.Snapshot(), r.Snapshot()
+	if len(s1) != len(s2) {
+		t.Fatalf("lengths differ: %d vs %d", len(s1), len(s2))
+	}
+	for i := range s1 {
+		if s1[i].Name != s2[i].Name || s1[i].Kind != s2[i].Kind || s1[i].Value != s2[i].Value {
+			t.Fatalf("element %d differs: %+v vs %+v", i, s1[i], s2[i])
+		}
+	}
+}
+
+func TestRenderText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rmi.requests").Add(7)
+	r.Gauge("pool.size").Set(3)
+	h := r.Histogram("lat")
+	for i := 0; i < 1000; i++ {
+		h.Record(int64(i))
+	}
+	out := RenderText(r.Snapshot())
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "hist    lat") || !strings.Contains(lines[0], "p999=") {
+		t.Fatalf("hist line: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "pool.size") || !strings.Contains(lines[1], "3") {
+		t.Fatalf("gauge line: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "rmi.requests") || !strings.Contains(lines[2], "7") {
+		t.Fatalf("counter line: %q", lines[2])
+	}
+}
+
+func TestP999(t *testing.T) {
+	h := &Histogram{}
+	for i := 1; i <= 10000; i++ {
+		h.Record(int64(i))
+	}
+	p99, p999, max := h.P99(), h.P999(), h.Max()
+	if p999 < p99 {
+		t.Fatalf("p999 %d < p99 %d", p999, p99)
+	}
+	// Bucket interpolation may overshoot max by up to one bucket (~9%).
+	if float64(p999) > float64(max)*1.10 {
+		t.Fatalf("p999 %d far above max %d", p999, max)
+	}
+	// ~4.3% bucket error: the true p999 of 1..10000 is 9991.
+	if p999 < 9000 {
+		t.Fatalf("p999 = %d, want ≈9991", p999)
 	}
 }
 

@@ -19,9 +19,11 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 
 	"wls/internal/cluster"
 	"wls/internal/metrics"
+	"wls/internal/trace"
 	"wls/internal/wire"
 )
 
@@ -117,7 +119,11 @@ func encodeRequestTo(e *wire.Encoder, c *Call) {
 	e.Bytes2(c.Args)
 }
 
-func decodeRequest(from string, b []byte) (*Call, error) {
+// decodeRequest reads the fixed request fields, then the optional trailing
+// trace envelope. A request without the envelope (an old-version caller)
+// decodes to a zero SpanContext and is handled identically to before the
+// envelope existed.
+func decodeRequest(from string, b []byte) (*Call, trace.SpanContext, error) {
 	d := wire.NewDecoder(b)
 	c := &Call{
 		From:    from,
@@ -127,7 +133,14 @@ func decodeRequest(from string, b []byte) (*Call, error) {
 		ConvID:  d.String(),
 		Args:    d.Bytes(),
 	}
-	return c, d.Err()
+	if err := d.Err(); err != nil {
+		return nil, trace.SpanContext{}, err
+	}
+	sc, err := trace.ParseEnvelope(d)
+	if err != nil {
+		return nil, trace.SpanContext{}, err
+	}
+	return c, sc, nil
 }
 
 func encodeResponse(status byte, servedBy, errMsg string, body []byte) []byte {
@@ -166,6 +179,9 @@ type Registry struct {
 	node   Node
 	member *cluster.Member
 	reg    *metrics.Registry
+	// tracer continues inbound traces (atomic: it is wired after the
+	// handler is installed, and frames may already be arriving).
+	tracer atomic.Pointer[trace.Tracer]
 
 	mu       sync.Mutex
 	services map[string]*Service
@@ -198,6 +214,13 @@ func (r *Registry) Member() *cluster.Member { return r.member }
 // Metrics returns the server's metrics registry.
 func (r *Registry) Metrics() *metrics.Registry { return r.reg }
 
+// SetTracer installs the tracer that continues traces arriving in request
+// envelopes. A nil tracer (the default) disables server-side spans.
+func (r *Registry) SetTracer(t *trace.Tracer) { r.tracer.Store(t) }
+
+// Tracer returns the installed tracer, or nil.
+func (r *Registry) Tracer() *trace.Tracer { return r.tracer.Load() }
+
 // Register deploys a service on this server and advertises it.
 func (r *Registry) Register(s *Service) {
 	r.mu.Lock()
@@ -227,7 +250,7 @@ func (r *Registry) handle(from string, f wire.Frame) *wire.Frame {
 	if f.Kind != wire.KindRequest {
 		return nil
 	}
-	call, err := decodeRequest(from, f.Body)
+	call, sc, err := decodeRequest(from, f.Body)
 	if err != nil {
 		return &wire.Frame{Kind: wire.KindResponse, Corr: f.Corr,
 			Body: encodeResponse(respSystemError, r.node.Addr(), "malformed request", nil)}
@@ -249,7 +272,17 @@ func (r *Registry) handle(from string, f wire.Frame) *wire.Frame {
 
 	r.reg.Counter("rmi.requests").Inc()
 	r.reg.Counter("rmi.requests." + call.Service).Inc()
-	body, err := m.Handler(context.Background(), call)
+	ctx := context.Background()
+	var span *trace.Span
+	if tr := r.tracer.Load(); tr != nil && sc.Sampled {
+		ctx, span = tr.StartRemote(ctx, sc, "rmi.serve "+call.Service+"."+call.Method, trace.KindServer)
+		span.Annotate("from", call.From)
+	}
+	body, err := m.Handler(ctx, call)
+	if span != nil {
+		span.SetError(err)
+		span.Finish()
+	}
 	switch {
 	case err == nil:
 		return &wire.Frame{Kind: wire.KindResponse, Corr: f.Corr,

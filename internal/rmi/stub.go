@@ -10,6 +10,7 @@ import (
 
 	"wls/internal/cluster"
 	"wls/internal/netsim"
+	"wls/internal/trace"
 	"wls/internal/transport"
 	"wls/internal/wire"
 )
@@ -278,19 +279,53 @@ func (s *Stub) invoke(ctx context.Context, method string, args []byte, txID, con
 		return nil, fmt.Errorf("%w: %s", ErrNoServers, s.service)
 	}
 	ordered := s.policy.Order(ctx, s.view.LocalName(), cands)
+	// One client span for the logical invocation, one child per attempt:
+	// failover retries become distinct, inspectable children. The span name
+	// is concatenated only inside the traced branch so untraced calls stay
+	// allocation-free.
+	var span *trace.Span
+	if parent := trace.FromContext(ctx); parent != nil {
+		ctx, span = parent.NewChild(ctx, "rmi.call "+s.service+"."+method, trace.KindClient)
+		defer span.Finish()
+	}
 	var lastErr error
-	for _, cand := range ordered {
-		res, err := s.callOne(ctx, cand.Addr, method, args, txID, convID)
+	for i, cand := range ordered {
+		attemptCtx := ctx
+		var att *trace.Span
+		if span != nil {
+			attemptCtx, att = span.NewChild(ctx, "rmi.attempt", trace.KindClient)
+			att.Annotate("target", cand.Name)
+			att.AnnotateInt("attempt", i+1)
+		}
+		res, err := s.callOne(attemptCtx, cand.Addr, method, args, txID, convID)
 		if err == nil {
+			if att != nil {
+				att.Annotate("final", "true")
+				att.Finish()
+				if i > 0 {
+					span.AnnotateInt("failovers", i)
+				}
+			}
 			return res, nil
 		}
 		lastErr = err
-		if !s.mayFailOver(method, err) {
+		failover := s.mayFailOver(method, err)
+		if att != nil {
+			att.SetError(err)
+			if !failover || i == len(ordered)-1 {
+				att.Annotate("final", "true")
+			}
+			att.Finish()
+		}
+		if !failover {
+			span.SetError(err)
 			return nil, err
 		}
 	}
-	return nil, fmt.Errorf("rmi: all %d candidates failed for %s.%s: %w",
+	err := fmt.Errorf("rmi: all %d candidates failed for %s.%s: %w",
 		len(ordered), s.service, method, lastErr)
+	span.SetError(err)
+	return nil, err
 }
 
 // InvokeOn calls the method on a specific server, bypassing load balancing.
@@ -334,6 +369,9 @@ func (s *Stub) callOne(ctx context.Context, addr, method string, args []byte, tx
 	enc := wire.AcquireEncoder()
 	defer enc.Release()
 	encodeRequestTo(enc, req)
+	if sp := trace.FromContext(ctx); sp != nil {
+		trace.AppendEnvelope(enc, sp.Context())
+	}
 	frame := wire.Frame{Kind: wire.KindRequest, Body: enc.Bytes()}
 	respFrame, err := s.node.Call(ctx, addr, frame)
 	if err != nil {

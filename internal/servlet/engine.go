@@ -8,6 +8,7 @@ import (
 
 	"wls/internal/rmi"
 	"wls/internal/store"
+	"wls/internal/trace"
 	"wls/internal/wire"
 )
 
@@ -98,6 +99,14 @@ func (e *Engine) Handle(path string, h HandlerFunc) {
 // servlet, replicate/persist the session, return the (possibly rewritten)
 // cookie.
 func (e *Engine) Serve(path, cookie string, body []byte) Response {
+	return e.ServeCtx(context.Background(), path, cookie, body)
+}
+
+// ServeCtx is Serve with a caller context. When ctx carries a trace span
+// (the RMI surface's server span, typically), session replication and
+// fetch traffic runs under child spans and carries the trace to the
+// replica servers.
+func (e *Engine) ServeCtx(ctx context.Context, path, cookie string, body []byte) Response {
 	// URL rewriting (§3.2): a cookie-less client may carry the session
 	// token in the path instead.
 	if bare, urlTok := SplitURL(path); urlTok != "" {
@@ -110,9 +119,12 @@ func (e *Engine) Serve(path, cookie string, body []byte) Response {
 	if err != nil {
 		return Response{Status: 400, Body: []byte("bad cookie"), ServedBy: e.ServerName()}
 	}
-	sess, err := e.sessions.resolve(c)
+	sess, err := e.sessions.resolve(ctx, c)
 	if err != nil {
 		return Response{Status: 500, Body: []byte(err.Error()), ServedBy: e.ServerName()}
+	}
+	if sp := trace.FromContext(ctx); sp != nil {
+		sp.Annotate("session", sess.ID)
 	}
 	e.mu.Lock()
 	h, ok := e.servlets[path]
@@ -124,7 +136,7 @@ func (e *Engine) Serve(path, cookie string, body []byte) Response {
 	if resp.Status == 0 {
 		resp.Status = 200
 	}
-	out, err := e.sessions.finish(sess)
+	out, err := e.sessions.finish(ctx, sess)
 	if err != nil {
 		return Response{Status: 500, Body: []byte(err.Error()), ServedBy: e.ServerName()}
 	}
@@ -142,7 +154,7 @@ func (e *Engine) handleRequest(ctx context.Context, c *rmi.Call) ([]byte, error)
 	if err := d.Err(); err != nil {
 		return nil, err
 	}
-	resp := e.Serve(path, cookie, body)
+	resp := e.ServeCtx(ctx, path, cookie, body)
 	return EncodeResponse(resp), nil
 }
 

@@ -27,6 +27,7 @@ import (
 	"wls/internal/cluster"
 	"wls/internal/rmi"
 	"wls/internal/store"
+	"wls/internal/trace"
 	"wls/internal/wire"
 )
 
@@ -168,7 +169,7 @@ func (sm *SessionManager) ResidentSessions() int {
 
 // resolve produces the Session for a request's cookie, performing
 // creation, promotion (Fig 2), or state fetch (Fig 3) as needed.
-func (sm *SessionManager) resolve(c Cookie) (*Session, error) {
+func (sm *SessionManager) resolve(ctx context.Context, c Cookie) (*Session, error) {
 	switch sm.mode {
 	case SessionsClientCookie:
 		data := c.State
@@ -197,11 +198,11 @@ func (sm *SessionManager) resolve(c Cookie) (*Session, error) {
 		return &Session{ID: id, data: data, dirty: map[string]bool{}, isNew: isNew}, nil
 
 	default: // SessionsReplicated
-		return sm.resolveReplicated(c)
+		return sm.resolveReplicated(ctx, c)
 	}
 }
 
-func (sm *SessionManager) resolveReplicated(c Cookie) (*Session, error) {
+func (sm *SessionManager) resolveReplicated(ctx context.Context, c Cookie) (*Session, error) {
 	if c.ID == "" {
 		// New session: this server is the primary; pick a secondary by the
 		// ring algorithm among servers running this engine.
@@ -220,9 +221,12 @@ func (sm *SessionManager) resolveReplicated(c Cookie) (*Session, error) {
 		if !st.primary {
 			// Fig 2 failover: the plug-in routed to us, the secondary. We
 			// become the primary and create a new secondary.
+			if sp := trace.FromContext(ctx); sp != nil {
+				sp.Annotate("session-promoted", st.id)
+			}
 			st.primary = true
 			sm.chooseSecondary(st)
-			sm.shipFull(st)
+			sm.shipFull(ctx, st)
 		}
 		return &Session{ID: st.id, data: st.data, dirty: map[string]bool{}}, nil
 	}
@@ -232,9 +236,9 @@ func (sm *SessionManager) resolveReplicated(c Cookie) (*Session, error) {
 	// secondary to obtain a copy of the state, becomes the primary, and
 	// then rewrites the cookie leaving the secondary unchanged."
 	if c.Secondary != "" && c.Secondary != sm.self() {
-		if data, err := sm.fetchFrom(c.Secondary, c.ID); err == nil {
+		if data, err := sm.fetchFrom(ctx, c.Secondary, c.ID); err == nil {
 			st := &sessState{id: c.ID, data: data, primary: true, secondary: c.Secondary}
-			sm.shipFull(st)
+			sm.shipFull(ctx, st)
 			sm.mu.Lock()
 			sm.sessions[c.ID] = st
 			sm.mu.Unlock()
@@ -264,7 +268,7 @@ func (sm *SessionManager) chooseSecondary(st *sessState) {
 
 // finish persists/replicates the session after the servlet ran, and
 // returns the cookie the response must carry.
-func (sm *SessionManager) finish(s *Session) (Cookie, error) {
+func (sm *SessionManager) finish(ctx context.Context, s *Session) (Cookie, error) {
 	switch sm.mode {
 	case SessionsClientCookie:
 		return Cookie{ID: s.ID, State: s.data}, nil
@@ -283,21 +287,23 @@ func (sm *SessionManager) finish(s *Session) (Cookie, error) {
 			for k := range s.dirty {
 				delta[k] = s.data[k]
 			}
-			sm.ship(st, delta)
+			sm.ship(ctx, st, delta)
 		}
 		return Cookie{ID: s.ID, Primary: sm.self(), Secondary: st.secondary}, nil
 	}
 }
 
-// ship synchronously transmits a delta to the secondary.
-func (sm *SessionManager) ship(st *sessState, delta map[string]string) {
+// ship synchronously transmits a delta to the secondary. A trace span in
+// ctx makes the write a "session.replicate" child span that continues the
+// trace on the secondary.
+func (sm *SessionManager) ship(ctx context.Context, st *sessState, delta map[string]string) {
 	info, ok := sm.member.Lookup(st.secondary)
 	if !ok {
 		sm.chooseSecondary(st)
 		if st.secondary == "" {
 			return
 		}
-		sm.shipFull(st)
+		sm.shipFull(ctx, st)
 		return
 	}
 	st.gen++
@@ -309,15 +315,25 @@ func (sm *SessionManager) ship(st *sessState, delta map[string]string) {
 		e.String(k)
 		e.String(v)
 	}
-	stub := rmi.NewStub(sm.service, sm.node, rmi.StaticView(info.Addr))
-	if _, err := stub.Invoke(context.Background(), "session.update", e.Bytes()); err != nil {
-		sm.chooseSecondary(st)
-		sm.shipFull(st)
+	var span *trace.Span
+	if parent := trace.FromContext(ctx); parent != nil {
+		ctx, span = parent.NewChild(ctx, "session.replicate", trace.KindSession)
+		span.Annotate("to", st.secondary)
+		span.AnnotateInt("keys", len(delta))
 	}
+	stub := rmi.NewStub(sm.service, sm.node, rmi.StaticView(info.Addr))
+	if _, err := stub.Invoke(ctx, "session.update", e.Bytes()); err != nil {
+		span.SetError(err)
+		span.Finish()
+		sm.chooseSecondary(st)
+		sm.shipFull(ctx, st)
+		return
+	}
+	span.Finish()
 }
 
 // shipFull seeds (or re-seeds) the secondary with the whole state.
-func (sm *SessionManager) shipFull(st *sessState) {
+func (sm *SessionManager) shipFull(ctx context.Context, st *sessState) {
 	if st.secondary == "" {
 		return
 	}
@@ -325,20 +341,27 @@ func (sm *SessionManager) shipFull(st *sessState) {
 	for k, v := range st.data {
 		full[k] = v
 	}
-	sm.ship(st, full)
+	sm.ship(ctx, st, full)
 }
 
 // fetchFrom copies session state from another engine (Fig 3).
-func (sm *SessionManager) fetchFrom(server, id string) (map[string]string, error) {
+func (sm *SessionManager) fetchFrom(ctx context.Context, server, id string) (map[string]string, error) {
 	info, ok := sm.member.Lookup(server)
 	if !ok {
 		return nil, fmt.Errorf("servlet: %s not in view", server)
 	}
 	e := wire.NewEncoder(32)
 	e.String(id)
+	var span *trace.Span
+	if parent := trace.FromContext(ctx); parent != nil {
+		ctx, span = parent.NewChild(ctx, "session.fetch", trace.KindSession)
+		span.Annotate("from", server)
+		defer span.Finish()
+	}
 	stub := rmi.NewStub(sm.service, sm.node, rmi.StaticView(info.Addr))
-	res, err := stub.Invoke(context.Background(), "session.fetch", e.Bytes())
+	res, err := stub.Invoke(ctx, "session.fetch", e.Bytes())
 	if err != nil {
+		span.SetError(err)
 		return nil, err
 	}
 	d := wire.NewDecoder(res.Body)

@@ -1,0 +1,147 @@
+package trace
+
+import (
+	"errors"
+	"testing"
+
+	"wls/internal/wire"
+)
+
+// encodeBase simulates the fixed fields of an RMI request ahead of the
+// optional envelope.
+func encodeBase(e *wire.Encoder) {
+	e.String("svc")
+	e.String("method")
+	e.Bytes2([]byte("args"))
+}
+
+func decodeBase(d *wire.Decoder) {
+	_ = d.String()
+	_ = d.String()
+	_ = d.Bytes()
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	sc := SpanContext{Trace: TraceID{Hi: 0xdead, Lo: 7}, Span: 42, Sampled: true}
+	e := wire.NewEncoder(64)
+	encodeBase(e)
+	AppendEnvelope(e, sc)
+
+	d := wire.NewDecoder(e.Bytes())
+	decodeBase(d)
+	got, err := ParseEnvelope(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != sc {
+		t.Fatalf("round trip: got %+v, want %+v", got, sc)
+	}
+}
+
+func TestEnvelopeAbsent(t *testing.T) {
+	e := wire.NewEncoder(64)
+	encodeBase(e)
+	// Unsampled and invalid contexts append nothing.
+	AppendEnvelope(e, SpanContext{Trace: TraceID{Hi: 1, Lo: 1}, Span: 9, Sampled: false})
+	AppendEnvelope(e, SpanContext{Sampled: true})
+
+	d := wire.NewDecoder(e.Bytes())
+	decodeBase(d)
+	sc, err := ParseEnvelope(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Valid() || sc.Sampled {
+		t.Fatalf("absent envelope parsed as %+v", sc)
+	}
+}
+
+func envelopeBytes() []byte {
+	e := wire.NewEncoder(64)
+	AppendEnvelope(e, SpanContext{Trace: TraceID{Hi: 3, Lo: 4}, Span: 5, Sampled: true})
+	return append([]byte(nil), e.Bytes()...)
+}
+
+func TestEnvelopeMalformed(t *testing.T) {
+	good := envelopeBytes()
+	cases := map[string][]byte{
+		"bad magic":     append([]byte{0x00}, good[1:]...),
+		"bad version":   append([]byte{good[0], 0x99}, good[2:]...),
+		"truncated":     good[:len(good)-1],
+		"only magic":    good[:1],
+		"trailing junk": append(append([]byte(nil), good...), 0xFF),
+	}
+	for name, b := range cases {
+		d := wire.NewDecoder(b)
+		if _, err := ParseEnvelope(d); !errors.Is(err, ErrBadEnvelope) {
+			t.Errorf("%s: err = %v, want ErrBadEnvelope", name, err)
+		}
+	}
+}
+
+func TestEnvelopeZeroIDsRejected(t *testing.T) {
+	e := wire.NewEncoder(16)
+	e.Byte(envelopeMagic)
+	e.Byte(envelopeVersion)
+	e.Uint64(0)
+	e.Uint64(0)
+	e.Uint64(0)
+	e.Byte(flagSampled)
+	if _, err := ParseEnvelope(wire.NewDecoder(e.Bytes())); !errors.Is(err, ErrBadEnvelope) {
+		t.Fatalf("zero-id envelope accepted: %v", err)
+	}
+}
+
+func TestEnvelopeLatchedDecoderError(t *testing.T) {
+	d := wire.NewDecoder([]byte{0x02, 'x'}) // String() will run past the buffer
+	_ = d.String()                          // latch an error: length 2 but 1 byte left
+	if _, err := ParseEnvelope(d); err == nil {
+		t.Fatal("ParseEnvelope ignored a latched decoder error")
+	}
+}
+
+// FuzzParseEnvelope feeds arbitrary tails to the parser: any input must
+// either parse cleanly or error — never panic.
+func FuzzParseEnvelope(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(envelopeBytes())
+	f.Add([]byte{envelopeMagic})
+	f.Add([]byte{envelopeMagic, envelopeVersion, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{envelopeMagic, 2, 1, 2, 3, 4, 5, 1})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		d := wire.NewDecoder(b)
+		sc, err := ParseEnvelope(d)
+		if err != nil && sc.Valid() {
+			t.Fatal("error with non-zero span context")
+		}
+		if err == nil && len(b) > 0 && !sc.Valid() {
+			t.Fatal("non-empty tail parsed to invalid context without error")
+		}
+	})
+}
+
+// FuzzEnvelopeRoundTrip checks append→parse is the identity for any
+// sampled, valid context.
+func FuzzEnvelopeRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint64(2), uint64(3))
+	f.Add(^uint64(0), uint64(1), ^uint64(0))
+	f.Fuzz(func(t *testing.T, hi, lo, span uint64) {
+		sc := SpanContext{Trace: TraceID{Hi: hi, Lo: lo}, Span: SpanID(span), Sampled: true}
+		e := wire.NewEncoder(64)
+		AppendEnvelope(e, sc)
+		d := wire.NewDecoder(e.Bytes())
+		got, err := ParseEnvelope(d)
+		if !sc.Valid() {
+			if err != nil || got.Valid() {
+				t.Fatalf("invalid context must encode to nothing: %+v %v", got, err)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != sc {
+			t.Fatalf("round trip: got %+v, want %+v", got, sc)
+		}
+	})
+}

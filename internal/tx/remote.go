@@ -158,20 +158,43 @@ func NewRemoteBranch(node rmi.Node, addr string) *RemoteBranch {
 	}
 }
 
-func (r *RemoteBranch) call(method, txID string) error {
+func (r *RemoteBranch) call(ctx context.Context, method, txID string) error {
 	e := wire.NewEncoder(32)
 	e.String(txID)
-	ctx, cancel := context.WithTimeout(context.Background(), r.Timeout)
+	ctx, cancel := context.WithTimeout(ctx, r.Timeout)
 	defer cancel()
 	_, err := r.stub.Invoke(ctx, method, e.Bytes())
 	return err
 }
 
 // Prepare implements Resource.
-func (r *RemoteBranch) Prepare(txID string) error { return r.call("prepare", txID) }
+func (r *RemoteBranch) Prepare(txID string) error {
+	return r.call(context.Background(), "prepare", txID)
+}
 
 // Commit implements Resource.
-func (r *RemoteBranch) Commit(txID string) error { return r.call("commit", txID) }
+func (r *RemoteBranch) Commit(txID string) error {
+	return r.call(context.Background(), "commit", txID)
+}
 
 // Rollback implements Resource.
-func (r *RemoteBranch) Rollback(txID string) error { return r.call("rollback", txID) }
+func (r *RemoteBranch) Rollback(txID string) error {
+	return r.call(context.Background(), "rollback", txID)
+}
+
+// PrepareCtx, CommitCtx, and RollbackCtx implement ContextResource: a
+// traced coordinator hands each 2PC message its phase-span context, so
+// the message is recorded as an RMI hop onto the participant.
+func (r *RemoteBranch) PrepareCtx(ctx context.Context, txID string) error {
+	return r.call(ctx, "prepare", txID)
+}
+
+// CommitCtx implements ContextResource.
+func (r *RemoteBranch) CommitCtx(ctx context.Context, txID string) error {
+	return r.call(ctx, "commit", txID)
+}
+
+// RollbackCtx implements ContextResource.
+func (r *RemoteBranch) RollbackCtx(ctx context.Context, txID string) error {
+	return r.call(ctx, "rollback", txID)
+}

@@ -18,14 +18,47 @@
 package tx
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"wls/internal/metrics"
+	"wls/internal/trace"
 	"wls/internal/vclock"
 )
+
+// ContextResource is an optional extension of Resource for participants
+// that forward 2PC messages to other servers (RemoteBranch): the context
+// carries the phase span so the message continues the trace on the
+// participant. Resources that do local work only need not implement it.
+type ContextResource interface {
+	PrepareCtx(ctx context.Context, txID string) error
+	CommitCtx(ctx context.Context, txID string) error
+	RollbackCtx(ctx context.Context, txID string) error
+}
+
+func prepareResource(ctx context.Context, r Resource, txID string) error {
+	if cr, ok := r.(ContextResource); ok {
+		return cr.PrepareCtx(ctx, txID)
+	}
+	return r.Prepare(txID)
+}
+
+func commitResource(ctx context.Context, r Resource, txID string) error {
+	if cr, ok := r.(ContextResource); ok {
+		return cr.CommitCtx(ctx, txID)
+	}
+	return r.Commit(txID)
+}
+
+func rollbackResource(ctx context.Context, r Resource, txID string) error {
+	if cr, ok := r.(ContextResource); ok {
+		return cr.RollbackCtx(ctx, txID)
+	}
+	return r.Rollback(txID)
+}
 
 // Resource is an XA-style transaction participant.
 type Resource interface {
@@ -111,14 +144,28 @@ func NewManager(server string, clock vclock.Clock, log Log, reg *metrics.Registr
 // Begin starts a transaction coordinated by this server. A non-zero
 // timeout schedules automatic rollback.
 func (m *Manager) Begin(timeout time.Duration) *Tx {
+	return m.BeginCtx(context.Background(), timeout)
+}
+
+// BeginCtx is Begin with a caller context. When ctx carries a trace span,
+// the transaction runs under a child span and each 2PC phase message
+// (prepare/commit/rollback per resource) becomes its own child — including
+// the interposed branches driven over RMI, which continue the trace on the
+// participant server.
+func (m *Manager) BeginCtx(ctx context.Context, timeout time.Duration) *Tx {
 	m.mu.Lock()
 	m.nextID++
 	id := fmt.Sprintf("%s-tx-%d", m.server, m.nextID)
 	t := &Tx{
 		id:      id,
 		mgr:     m,
+		ctx:     ctx,
 		servers: map[string]bool{m.server: true},
 		done:    make(chan struct{}),
+	}
+	if parent := trace.FromContext(ctx); parent != nil {
+		t.ctx, t.span = parent.NewChild(ctx, "tx "+id, trace.KindTx)
+		t.span.Annotate("coordinator", m.server)
 	}
 	m.active[id] = t
 	m.mu.Unlock()
@@ -161,8 +208,10 @@ func (m *Manager) Metrics() *metrics.Registry { return m.reg }
 
 // Tx is one transaction, coordinated by the server that began it.
 type Tx struct {
-	id  string
-	mgr *Manager
+	id   string
+	mgr  *Manager
+	ctx  context.Context // from BeginCtx; carries span when traced
+	span *trace.Span     // nil unless BeginCtx found a parent span
 
 	mu        sync.Mutex
 	state     State
@@ -255,6 +304,22 @@ func (t *Tx) AfterCompletion(fn func(committed bool)) {
 	t.after = append(t.after, fn)
 }
 
+// phaseSpan returns the context a 2PC message for one resource should
+// carry, opening a per-phase child span when the transaction is traced.
+// The caller must Finish the returned span (nil when untraced; Span
+// methods are nil-safe).
+func (t *Tx) phaseSpan(verb, res string) (context.Context, *trace.Span) {
+	ctx := t.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if t.span == nil {
+		return ctx, nil
+	}
+	sp := t.span.Child("tx."+verb+" "+res, trace.KindTx)
+	return trace.ContextWith(ctx, sp), sp
+}
+
 // waitOutcome blocks until the transaction reaches a terminal state and
 // reports the actual outcome. A caller that lost the race for the
 // Active→Preparing transition (e.g. Commit racing the timeout rollback, or
@@ -323,8 +388,13 @@ func (t *Tx) Commit() error {
 	case len(resources) > 1:
 		// Phase 1: prepare.
 		m.reg.Counter("tx.2pc").Inc()
+		t.span.Annotate("mode", "2pc")
 		for _, e := range resources {
-			if err := e.r.Prepare(t.id); err != nil {
+			pctx, sp := t.phaseSpan("prepare", e.name)
+			err := prepareResource(pctx, e.r, t.id)
+			sp.SetError(err)
+			sp.Finish()
+			if err != nil {
 				// Roll back everything, including already-prepared ones.
 				t.abort(resources, true)
 				return fmt.Errorf("%w: %s voted no: %v", ErrAborted, e.name, err)
@@ -340,7 +410,12 @@ func (t *Tx) Commit() error {
 		// itself, so a commit failure here is an abort, not an in-doubt
 		// state — no decision was ever logged.
 		m.reg.Counter("tx.1pc").Inc()
-		if err := resources[0].r.Commit(t.id); err != nil {
+		t.span.Annotate("mode", "1pc")
+		cctx, sp := t.phaseSpan("commit", resources[0].name)
+		err := commitResource(cctx, resources[0].r, t.id)
+		sp.SetError(err)
+		sp.Finish()
+		if err != nil {
 			t.abort(resources, false)
 			return fmt.Errorf("%w: %v", ErrAborted, err)
 		}
@@ -351,13 +426,18 @@ func (t *Tx) Commit() error {
 		// a one-phase commit; count it apart so the 1pc/2pc ratio stays an
 		// honest measure of the co-location optimization (§5.1).
 		m.reg.Counter("tx.0pc").Inc()
+		t.span.Annotate("mode", "0pc")
 	}
 
 	// Phase 2: commit every resource. After the decision is logged,
 	// failures here are retried by recovery, not reported as aborts.
 	var firstErr error
 	for _, e := range resources {
-		if err := e.r.Commit(t.id); err != nil && firstErr == nil {
+		cctx, sp := t.phaseSpan("commit", e.name)
+		err := commitResource(cctx, e.r, t.id)
+		sp.SetError(err)
+		sp.Finish()
+		if err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -383,6 +463,10 @@ func (t *Tx) complete() {
 	t.mu.Unlock()
 	t.mgr.finish(t)
 	t.mgr.reg.Counter("tx.committed").Inc()
+	if t.span != nil {
+		t.span.Annotate("outcome", "committed")
+		t.span.Finish()
+	}
 	for _, fn := range after {
 		fn(true)
 	}
@@ -408,7 +492,9 @@ func (t *Tx) Rollback() error {
 
 func (t *Tx) abort(resources []enlisted, prepared bool) {
 	for _, e := range resources {
-		_ = e.r.Rollback(t.id)
+		rctx, sp := t.phaseSpan("rollback", e.name)
+		sp.SetError(rollbackResource(rctx, e.r, t.id))
+		sp.Finish()
 	}
 	t.mu.Lock()
 	t.state = StateAborted
@@ -417,6 +503,10 @@ func (t *Tx) abort(resources []enlisted, prepared bool) {
 	t.mu.Unlock()
 	t.mgr.finish(t)
 	t.mgr.reg.Counter("tx.aborted").Inc()
+	if t.span != nil {
+		t.span.Annotate("outcome", "aborted")
+		t.span.Finish()
+	}
 	for _, fn := range after {
 		fn(false)
 	}

@@ -27,6 +27,7 @@ import (
 	"wls/internal/metrics"
 	"wls/internal/rmi"
 	"wls/internal/servlet"
+	"wls/internal/trace"
 )
 
 // View supplies the servlet-engine servers (the rmi.View interface).
@@ -50,11 +51,16 @@ func callEngine(ctx context.Context, node rmi.Node, addr, path, cookie string, b
 
 // ProxyPlugin routes on the session cookie.
 type ProxyPlugin struct {
-	node rmi.Node
-	view View
-	rr   atomic.Uint64
-	reg  *metrics.Registry
+	node   rmi.Node
+	view   View
+	rr     atomic.Uint64
+	reg    *metrics.Registry
+	tracer *trace.Tracer
 }
+
+// SetTracer makes the plug-in start a root span per routed request (wire
+// it before serving traffic).
+func (p *ProxyPlugin) SetTracer(t *trace.Tracer) { p.tracer = t }
 
 // NewProxyPlugin creates a plug-in front end using the given node (its own
 // endpoint in the presentation tier) and cluster view.
@@ -81,12 +87,20 @@ func (p *ProxyPlugin) addrOf(server string) (string, bool) {
 // Route forwards one request: cookie-primary first, then cookie-secondary,
 // then round robin over live engines (session creation).
 func (p *ProxyPlugin) Route(ctx context.Context, path, cookie string, body []byte) (servlet.Response, error) {
+	var span *trace.Span
+	if p.tracer != nil {
+		ctx, span = p.tracer.StartRoot(ctx, "http "+path, trace.KindRoute)
+		span.Annotate("router", "proxy-plugin")
+		defer span.Finish()
+	}
 	c, err := servlet.DecodeCookie(cookie)
 	if err != nil {
+		span.SetError(err)
 		return servlet.Response{}, err
 	}
 	// Cookie-directed routing.
-	for _, target := range []string{c.Primary, c.Secondary} {
+	decisions := [...]string{"cookie-primary", "cookie-secondary"}
+	for i, target := range []string{c.Primary, c.Secondary} {
 		if target == "" {
 			continue
 		}
@@ -97,13 +111,21 @@ func (p *ProxyPlugin) Route(ctx context.Context, path, cookie string, body []byt
 		resp, err := callEngine(ctx, p.node, addr, path, cookie, body)
 		if err == nil {
 			p.reg.Counter("webtier.routed").Inc()
+			if span != nil {
+				span.Annotate("decision", decisions[i])
+				span.Annotate("served", target)
+			}
 			return resp, nil
 		}
 		p.reg.Counter("webtier.failovers").Inc()
+		if span != nil {
+			span.Annotate("failover-from", target)
+		}
 	}
 	// No cookie, or both replicas unreachable: load balance.
 	backs := p.backends()
 	if len(backs) == 0 {
+		span.SetError(ErrNoBackends)
 		return servlet.Response{}, ErrNoBackends
 	}
 	start := int(p.rr.Add(1)-1) % len(backs)
@@ -113,11 +135,17 @@ func (p *ProxyPlugin) Route(ctx context.Context, path, cookie string, body []byt
 		resp, err := callEngine(ctx, p.node, b.Addr, path, cookie, body)
 		if err == nil {
 			p.reg.Counter("webtier.routed").Inc()
+			if span != nil {
+				span.Annotate("decision", "load-balance")
+				span.Annotate("served", b.Name)
+			}
 			return resp, nil
 		}
 		lastErr = err
 	}
-	return servlet.Response{}, errors.Join(ErrNoBackends, lastErr)
+	err = errors.Join(ErrNoBackends, lastErr)
+	span.SetError(err)
+	return servlet.Response{}, err
 }
 
 // ---------------------------------------------------------------------------
@@ -126,14 +154,19 @@ func (p *ProxyPlugin) Route(ctx context.Context, path, cookie string, body []byt
 // ExternalLB models an IP appliance: it knows client identities (source
 // addresses) and sticky affinity, but never parses cookies.
 type ExternalLB struct {
-	node rmi.Node
-	view View
-	rr   atomic.Uint64
-	reg  *metrics.Registry
+	node   rmi.Node
+	view   View
+	rr     atomic.Uint64
+	reg    *metrics.Registry
+	tracer *trace.Tracer
 
 	mu       sync.Mutex
 	affinity map[string]string // clientID → server name
 }
+
+// SetTracer makes the appliance start a root span per routed request
+// (wire it before serving traffic).
+func (lb *ExternalLB) SetTracer(t *trace.Tracer) { lb.tracer = t }
 
 // NewExternalLB creates an appliance front end.
 func NewExternalLB(node rmi.Node, view View, reg *metrics.Registry) *ExternalLB {
@@ -151,8 +184,16 @@ func (lb *ExternalLB) backends() []cluster.MemberInfo {
 // failure, affinity switches to an arbitrary live member; the engine there
 // recovers the session from the secondary named in the cookie.
 func (lb *ExternalLB) Route(ctx context.Context, clientID, path, cookie string, body []byte) (servlet.Response, error) {
+	var span *trace.Span
+	if lb.tracer != nil {
+		ctx, span = lb.tracer.StartRoot(ctx, "http "+path, trace.KindRoute)
+		span.Annotate("router", "external-lb")
+		span.Annotate("client", clientID)
+		defer span.Finish()
+	}
 	backs := lb.backends()
 	if len(backs) == 0 {
+		span.SetError(ErrNoBackends)
 		return servlet.Response{}, ErrNoBackends
 	}
 
@@ -169,6 +210,9 @@ func (lb *ExternalLB) Route(ctx context.Context, clientID, path, cookie string, 
 					lb.affinity[clientID] = name
 					lb.mu.Unlock()
 					lb.reg.Counter("webtier.routed").Inc()
+					if span != nil {
+						span.Annotate("served", name)
+					}
 					return resp, true
 				}
 			}
@@ -178,18 +222,28 @@ func (lb *ExternalLB) Route(ctx context.Context, clientID, path, cookie string, 
 
 	if hasAffinity {
 		if resp, ok := tryServer(target); ok {
+			if span != nil {
+				span.Annotate("decision", "affinity")
+			}
 			return resp, nil
 		}
 		lb.reg.Counter("webtier.failovers").Inc()
+		if span != nil {
+			span.Annotate("failover-from", target)
+		}
 	}
 	// Pick an arbitrary member (round robin) and stick to it.
 	start := int(lb.rr.Add(1)-1) % len(backs)
 	for i := 0; i < len(backs); i++ {
 		b := backs[(start+i)%len(backs)]
 		if resp, ok := tryServer(b.Name); ok {
+			if span != nil {
+				span.Annotate("decision", "arbitrary-member")
+			}
 			return resp, nil
 		}
 	}
+	span.SetError(ErrNoBackends)
 	return servlet.Response{}, ErrNoBackends
 }
 

@@ -39,6 +39,7 @@ import (
 	"wls/internal/servlet"
 	"wls/internal/singleton"
 	"wls/internal/store"
+	"wls/internal/trace"
 	"wls/internal/tx"
 	"wls/internal/vclock"
 	"wls/internal/webtier"
@@ -72,6 +73,14 @@ type Options struct {
 	LeaseTTL time.Duration
 	// Seed drives all simulation randomness.
 	Seed int64
+	// TraceSample enables distributed tracing: every server (and every
+	// router built from the cluster) gets a tracer exporting into one
+	// shared ring. 0 disables tracing entirely (the default — no tracers
+	// are created, keeping the hot paths allocation-free); 1 samples every
+	// root; a fraction samples deterministically (counter-based, no RNG).
+	TraceSample float64
+	// TraceBuffer is the shared span ring capacity (default 4096).
+	TraceBuffer int
 }
 
 // Cluster is a running group of application servers plus the shared
@@ -88,6 +97,8 @@ type Cluster struct {
 	Admin *Server
 	// Leases is the lease manager (nil unless WithAdmin).
 	Leases *lease.Manager
+
+	traces *trace.Ring // shared span ring (nil unless TraceSample > 0)
 }
 
 // Server is one application server.
@@ -99,6 +110,7 @@ type Server struct {
 	member   *cluster2Member
 	registry *rmi.Registry
 	reg      *metrics.Registry
+	tracer   *trace.Tracer // nil unless Options.TraceSample > 0
 
 	// Tx is the server's transaction manager.
 	Tx *tx.Manager
@@ -170,10 +182,16 @@ func New(opts Options) (*Cluster, error) {
 			FailureTimeout:    350 * time.Millisecond,
 		},
 	}
+	if opts.TraceBuffer == 0 {
+		opts.TraceBuffer = 4096
+	}
 	c := &Cluster{
 		opts: opts,
 		fix:  fix,
 		DB:   store.New("backend", clk),
+	}
+	if opts.TraceSample > 0 {
+		c.traces = trace.NewRing(opts.TraceBuffer)
 	}
 
 	total := opts.Servers
@@ -255,7 +273,25 @@ func (c *Cluster) newServer(i int, name string, isAdmin bool) (*Server, error) {
 	registry.Register(s.JMS.RMIService())
 	registry.Register(s.Tx.Service())
 	registry.Register(s.Health.Service())
+	if s.tracer = c.newTracer(name); s.tracer != nil {
+		registry.SetTracer(s.tracer)
+	}
 	return s, nil
+}
+
+// newTracer builds a tracer exporting into the cluster's shared ring, or
+// nil when tracing is disabled.
+func (c *Cluster) newTracer(name string) *trace.Tracer {
+	if c.traces == nil {
+		return nil
+	}
+	var sampler trace.Sampler
+	if c.opts.TraceSample >= 1 {
+		sampler = trace.Always()
+	} else {
+		sampler = trace.Ratio(c.opts.TraceSample)
+	}
+	return trace.New(name, c.fix.clock, trace.Options{Sampler: sampler, Exporter: c.traces})
 }
 
 // --- Server accessors -------------------------------------------------------
@@ -274,6 +310,10 @@ func (s *Server) Node() rmi.Node { return s.endpoint }
 
 // Metrics returns the server's metric registry.
 func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// Tracer returns the server's tracer (nil unless Options.TraceSample > 0).
+// Use it to start roots for internal-client work on this server.
+func (s *Server) Tracer() *trace.Tracer { return s.tracer }
 
 // Stub creates an internal-client stub for a clustered service.
 func (s *Server) Stub(service string, opts ...rmi.StubOption) *rmi.Stub {
@@ -412,6 +452,11 @@ func (c *Cluster) Restart(name string) *Server {
 	s.registry.Register(s.JMS.RMIService())
 	s.registry.Register(s.Tx.Service())
 	s.registry.Register(s.Health.Service())
+	if s.tracer != nil {
+		// The tracer survives the reboot (same name, same clock); only the
+		// fresh registry needs re-wiring.
+		s.registry.SetTracer(s.tracer)
+	}
 	s.member.Start()
 	return s
 }
@@ -420,13 +465,21 @@ func (c *Cluster) Restart(name string) *Server {
 // endpoint on the fabric.
 func (c *Cluster) ProxyPlugin(addr string) *webtier.ProxyPlugin {
 	node := c.fix.net.Endpoint(addr)
-	return webtier.NewProxyPlugin(node, rmi.MemberView{Member: c.Servers[0].member}, nil)
+	p := webtier.NewProxyPlugin(node, rmi.MemberView{Member: c.Servers[0].member}, nil)
+	if t := c.newTracer(addr); t != nil {
+		p.SetTracer(t)
+	}
+	return p
 }
 
 // ExternalLB builds a Fig 3 appliance router.
 func (c *Cluster) ExternalLB(addr string) *webtier.ExternalLB {
 	node := c.fix.net.Endpoint(addr)
-	return webtier.NewExternalLB(node, rmi.MemberView{Member: c.Servers[0].member}, nil)
+	lb := webtier.NewExternalLB(node, rmi.MemberView{Member: c.Servers[0].member}, nil)
+	if t := c.newTracer(addr); t != nil {
+		lb.SetTracer(t)
+	}
+	return lb
 }
 
 // ExternalClient creates a tightly-coupled external client (§2.2) with its
@@ -435,6 +488,9 @@ func (c *Cluster) ExternalClient(addr string, refresh time.Duration) *rmi.Extern
 	node := c.fix.net.Endpoint(addr)
 	return rmi.NewExternalClient(node, c.fix.clock, refresh, c.Servers[0].endpoint.Addr())
 }
+
+// Traces returns the shared span ring (nil unless Options.TraceSample > 0).
+func (c *Cluster) Traces() *trace.Ring { return c.traces }
 
 // LeaseManagerAddrs returns the lease-manager addresses for singleton
 // hosting (empty without WithAdmin).
