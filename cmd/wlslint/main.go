@@ -1,16 +1,25 @@
 // Command wlslint runs the repository's static-analysis suite
 // (internal/lint) over module packages:
 //
-//	go run ./cmd/wlslint ./...              # whole module
-//	go run ./cmd/wlslint ./internal/bench   # one package
-//	go run ./cmd/wlslint -list              # describe the analyzers
+//	go run ./cmd/wlslint ./...                        # whole module
+//	go run ./cmd/wlslint ./internal/bench             # one package
+//	go run ./cmd/wlslint -list                        # describe the analyzers
+//	go run ./cmd/wlslint -json ./...                  # machine-readable output
+//	go run ./cmd/wlslint -baseline ./...              # tolerate baselined hotalloc debt
+//	go run ./cmd/wlslint -update-baseline ./...       # regenerate the debt ledger
 //
 // It prints one line per diagnostic (file:line:col: message [analyzer])
 // and exits 1 when any are found. See DESIGN.md "Determinism & lint
 // rules" for what the rules enforce and how to suppress a finding.
+//
+// The whole module is always analyzed regardless of the package patterns
+// — cross-package analyzers (lockorder, goleak, hotalloc, lockheld) need
+// facts from every dependency — but only diagnostics in the selected
+// packages are reported.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,10 +29,26 @@ import (
 	"wls/internal/lint"
 )
 
+// defaultBaseline is where the hotalloc debt ledger lives, relative to
+// the module root (the same file internal/lint/repo_test.go enforces).
+const defaultBaseline = "internal/lint/hotalloc_baseline.json"
+
+// jsonDiagnostic is the -json output shape, one object per finding.
+type jsonDiagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array instead of text lines")
+	useBaseline := flag.Bool("baseline", false, "filter hotalloc findings through "+defaultBaseline)
+	updateBaseline := flag.Bool("update-baseline", false, "rewrite "+defaultBaseline+" from the current findings and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: wlslint [-list] [packages]\n\npackages are ./-relative patterns; ./... (the default) means the whole module\n")
+		fmt.Fprintf(os.Stderr, "usage: wlslint [-list] [-json] [-baseline | -update-baseline] [packages]\n\npackages are ./-relative patterns; ./... (the default) means the whole module\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -57,25 +82,85 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	selected := pkgs[:0]
+	selectedDir := map[string]bool{}
+	nSelected := 0
 	for _, pkg := range pkgs {
 		if matchesAny(loader, cwd, pkg, patterns) {
-			selected = append(selected, pkg)
+			selectedDir[pkg.Dir] = true
+			nSelected++
 		}
 	}
 
-	diags := lint.Run(selected, analyzers)
-	for _, d := range diags {
-		pos := d.Pos
-		if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			pos.Filename = rel
+	// Facts flow across the whole module, so always analyze everything
+	// and filter the report to the requested packages afterwards.
+	all := lint.Run(pkgs, analyzers)
+	var diags []lint.Diagnostic
+	for _, d := range all {
+		if selectedDir[filepath.Dir(d.Pos.Filename)] {
+			diags = append(diags, d)
 		}
-		fmt.Printf("%s:%d:%d: %s [%s]\n", pos.Filename, pos.Line, pos.Column, d.Message, d.Analyzer)
+	}
+
+	baselinePath := filepath.Join(root, filepath.FromSlash(defaultBaseline))
+	if *updateBaseline {
+		// The ledger always covers the whole module, not the selection.
+		b := lint.NewBaseline(all, root)
+		if err := b.Save(baselinePath); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wlslint: wrote %s (%d accepted finding(s))\n", defaultBaseline, b.Count())
+		return
+	}
+	if *useBaseline {
+		baseline, err := lint.LoadBaseline(baselinePath)
+		if os.IsNotExist(err) {
+			baseline = &lint.Baseline{}
+		} else if err != nil {
+			fatal(err)
+		}
+		kept, _ := baseline.Filter(diags, root)
+		// Staleness is a whole-module property: with a narrow package
+		// selection, out-of-selection entries are not stale, just unselected.
+		_, stale := baseline.Filter(all, root)
+		diags = kept
+		for _, e := range stale {
+			fmt.Fprintf(os.Stderr, "wlslint: stale baseline entry (run -update-baseline): %s: %s (count %d)\n", e.File, e.Message, e.Count)
+		}
+	}
+
+	if *jsonOut {
+		out := make([]jsonDiagnostic, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiagnostic{
+				Analyzer: d.Analyzer,
+				File:     relTo(cwd, d.Pos.Filename),
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s:%d:%d: %s [%s]\n", relTo(cwd, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+		}
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "wlslint: %d diagnostic(s) in %d package(s)\n", len(diags), len(selected))
+		fmt.Fprintf(os.Stderr, "wlslint: %d diagnostic(s) in %d package(s)\n", len(diags), nSelected)
 		os.Exit(1)
 	}
+}
+
+// relTo renders filename relative to dir when it lies underneath it.
+func relTo(dir, filename string) string {
+	if rel, err := filepath.Rel(dir, filename); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return filename
 }
 
 // matchesAny reports whether pkg matches one of the ./-relative patterns.

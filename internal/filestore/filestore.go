@@ -48,6 +48,11 @@ type FileStore struct {
 	path string
 	reg  *metrics.Registry
 
+	// mu guards the in-memory image and the log file. Counters are
+	// bumped and recovery sessions walked while it is held.
+	//
+	//wls:lockorder filestore.FileStore.mu<metrics.Registry.mu
+	//wls:lockorder filestore.FileStore.mu<filestore.Session.mu
 	mu      sync.Mutex
 	f       *os.File
 	data    map[string]map[string][]byte // region → key → value

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -72,6 +73,10 @@ type Broker struct {
 	fs     *filestore.FileStore // nil = non-persistent
 	reg    *metrics.Registry
 
+	// mu guards the queue/topic tables. newQueue touches the filestore
+	// while it is held, so it sits above the store in the hierarchy.
+	//
+	//wls:lockorder jms.Broker.mu<filestore.FileStore.mu
 	mu     sync.Mutex
 	queues map[string]*Queue
 	topics map[string]*Topic
@@ -104,7 +109,7 @@ func (b *Broker) nextMsgID(queue string) string {
 	b.seq++
 	n := b.seq
 	b.mu.Unlock()
-	return fmt.Sprintf("%s/%s/m%d", b.server, queue, n)
+	return b.server + "/" + queue + "/m" + strconv.FormatUint(n, 10)
 }
 
 // Metrics returns the broker's metric registry.
@@ -471,6 +476,12 @@ type Forwarder struct {
 	timer   vclock.Timer
 	backoff time.Duration
 	stopped bool
+	// gen is the agent's epoch, bumped by Start and Stop. Timer callbacks
+	// and drain loops carry the epoch they were started under and go
+	// inert when it changes, so a drain already in flight when Stop lands
+	// cannot keep forwarding (and an old drain cannot overlap the next
+	// Start). Same pattern as the lease manager's sweep generation.
+	gen uint64
 }
 
 // SetTracer makes the agent start a root span per forwarded message (wire
@@ -497,14 +508,19 @@ func NewForwarder(local *Queue, node rmi.Node, remoteAddr, remoteQ string, clock
 func (f *Forwarder) Start() {
 	f.mu.Lock()
 	f.stopped = false
+	f.gen++
+	g := f.gen
 	f.mu.Unlock()
-	f.schedule(f.interval)
+	f.schedule(f.interval, g)
 }
 
-// Stop halts the agent (buffered messages stay in the local queue).
+// Stop halts the agent (buffered messages stay in the local queue). The
+// epoch bump makes any in-flight drain exit before its next message, so
+// after Stop returns at most the delivery already on the wire completes.
 func (f *Forwarder) Stop() {
 	f.mu.Lock()
 	f.stopped = true
+	f.gen++
 	t := f.timer
 	f.timer = nil
 	f.mu.Unlock()
@@ -513,25 +529,32 @@ func (f *Forwarder) Stop() {
 	}
 }
 
-func (f *Forwarder) schedule(d time.Duration) {
+func (f *Forwarder) schedule(d time.Duration, g uint64) {
 	f.mu.Lock()
-	if f.stopped {
+	if f.stopped || g != f.gen {
 		f.mu.Unlock()
 		return
 	}
-	f.timer = f.clock.AfterFunc(d, func() { go f.drain() })
+	f.timer = f.clock.AfterFunc(d, func() { go f.drain(g) })
 	f.mu.Unlock()
 }
 
+// current reports whether epoch g is still the live one.
+func (f *Forwarder) current(g uint64) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return !f.stopped && g == f.gen
+}
+
 // drain forwards as many messages as possible, then re-schedules.
-func (f *Forwarder) drain() {
-	for {
+func (f *Forwarder) drain(g uint64) {
+	for f.current(g) {
 		m, err := f.local.Receive()
 		if err != nil {
 			f.mu.Lock()
 			f.backoff = f.interval
 			f.mu.Unlock()
-			f.schedule(f.interval)
+			f.schedule(f.interval, g)
 			return
 		}
 		e := wire.NewEncoder(64 + len(m.Body))
@@ -568,7 +591,7 @@ func (f *Forwarder) drain() {
 			next := f.backoff
 			f.mu.Unlock()
 			f.local.b.reg.Counter("jms.saf_retries").Inc()
-			f.schedule(next)
+			f.schedule(next, g)
 			return
 		}
 		if span != nil {

@@ -14,6 +14,10 @@ type Topic struct {
 	b    *Broker
 	name string
 
+	// mu guards the subscriber table; Publish resolves durable
+	// subscriptions through Broker.Queue while holding it.
+	//
+	//wls:lockorder jms.Topic.mu<jms.Broker.mu
 	mu   sync.Mutex
 	subs map[string]*Queue
 }

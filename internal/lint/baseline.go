@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// BaselinedAnalyzers names the analyzers whose findings may be carried as
+// accepted debt in a baseline file. Only hotalloc qualifies: its findings
+// are candidate optimizations, not defects, so existing ones are ratcheted
+// down over time instead of blocking every build. Correctness analyzers
+// (lockheld, goleak, lockorder, ...) are never baselined — their findings
+// are fixed or explicitly //wls:nolint'ed with a reason.
+var BaselinedAnalyzers = map[string]bool{"hotalloc": true}
+
+// BaselineEntry is one accepted finding. Findings are keyed by analyzer,
+// module-relative file, and message — not line numbers — so unrelated
+// edits to a file don't invalidate the baseline; Count collapses repeats
+// of an identical message in one file (e.g. the same append idiom used
+// twice).
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+// Baseline is a checked-in set of accepted findings.
+type Baseline struct {
+	Entries []BaselineEntry `json:"entries"`
+}
+
+func baselineKey(analyzer, file, message string) string {
+	return analyzer + "\x00" + file + "\x00" + message
+}
+
+// baselineFile renders a diagnostic's filename relative to the module
+// root with forward slashes, the stable form used in baseline files.
+func baselineFile(root, filename string) string {
+	if rel, err := filepath.Rel(root, filename); err == nil && !filepath.IsAbs(rel) && rel != ".." && !hasDotDotPrefix(rel) {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(filename)
+}
+
+func hasDotDotPrefix(rel string) bool {
+	return len(rel) >= 3 && rel[:3] == ".."+string(filepath.Separator)
+}
+
+// LoadBaseline reads a baseline file. A missing file is an error; callers
+// that want "no baseline" semantics check os.IsNotExist.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// NewBaseline captures the baselineable findings among diags as a fresh
+// baseline; root anchors the relative file paths.
+func NewBaseline(diags []Diagnostic, root string) *Baseline {
+	counts := map[string]*BaselineEntry{}
+	for _, d := range diags {
+		if !BaselinedAnalyzers[d.Analyzer] {
+			continue
+		}
+		file := baselineFile(root, d.Pos.Filename)
+		key := baselineKey(d.Analyzer, file, d.Message)
+		if e, ok := counts[key]; ok {
+			e.Count++
+		} else {
+			counts[key] = &BaselineEntry{Analyzer: d.Analyzer, File: file, Message: d.Message, Count: 1}
+		}
+	}
+	b := &Baseline{}
+	for _, e := range counts {
+		b.Entries = append(b.Entries, *e)
+	}
+	sort.Slice(b.Entries, func(i, j int) bool {
+		a, c := b.Entries[i], b.Entries[j]
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// Save writes the baseline as deterministic, diff-friendly JSON.
+func (b *Baseline) Save(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Count returns the total number of accepted findings.
+func (b *Baseline) Count() int {
+	n := 0
+	for _, e := range b.Entries {
+		n += e.Count
+	}
+	return n
+}
+
+// Filter splits diags against the baseline: kept are the findings that
+// must be reported (everything not baselined, plus baselined-analyzer
+// findings beyond their accepted count), and stale are baseline entries
+// whose findings no longer occur — the debt was paid and the entry must
+// be dropped so the ratchet only ever tightens.
+func (b *Baseline) Filter(diags []Diagnostic, root string) (kept []Diagnostic, stale []BaselineEntry) {
+	remaining := map[string]int{}
+	for _, e := range b.Entries {
+		remaining[baselineKey(e.Analyzer, e.File, e.Message)] += e.Count
+	}
+	for _, d := range diags {
+		if !BaselinedAnalyzers[d.Analyzer] {
+			kept = append(kept, d)
+			continue
+		}
+		key := baselineKey(d.Analyzer, baselineFile(root, d.Pos.Filename), d.Message)
+		if remaining[key] > 0 {
+			remaining[key]--
+			continue
+		}
+		kept = append(kept, d)
+	}
+	for _, e := range b.Entries {
+		key := baselineKey(e.Analyzer, e.File, e.Message)
+		if n := remaining[key]; n > 0 {
+			left := e
+			left.Count = n
+			stale = append(stale, left)
+			remaining[key] = 0
+		}
+	}
+	return kept, stale
+}

@@ -34,7 +34,11 @@ type expectation struct {
 // TestAnalyzerFixtures runs each analyzer over its fixture package under
 // testdata/<name>/ and checks the diagnostics against the `// want`
 // annotations: every want must be produced, every diagnostic must be
-// wanted.
+// wanted. Subdirectories of a fixture dir are loaded as additional
+// packages (importable as wls/internal/lint/testdata/<name>/<sub>), so
+// fixtures can exercise cross-package fact flow; their own want comments
+// participate too. Diagnostics reported at a comment's position (dangling
+// directives) use an inline block comment: /* want "..." */.
 func TestAnalyzerFixtures(t *testing.T) {
 	loader, err := sharedLoader()
 	if err != nil {
@@ -44,33 +48,54 @@ func TestAnalyzerFixtures(t *testing.T) {
 		a := a
 		t.Run(a.Name, func(t *testing.T) {
 			dir := filepath.Join(loader.Root, "internal", "lint", "testdata", a.Name)
+			var pkgs []*Package
+			entries, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range entries {
+				if e.IsDir() {
+					sub, err := loader.LoadDir(filepath.Join(dir, e.Name()),
+						"wls/internal/lint/testdata/"+a.Name+"/"+e.Name())
+					if err != nil {
+						t.Fatal(err)
+					}
+					pkgs = append(pkgs, sub)
+				}
+			}
 			pkg, err := loader.LoadDir(dir, "wls/internal/lint/testdata/"+a.Name)
 			if err != nil {
 				t.Fatal(err)
 			}
-			diags := Run([]*Package{pkg}, []*Analyzer{a})
+			pkgs = append(pkgs, pkg)
+			diags := Run(pkgs, []*Analyzer{a})
 
 			var wants []*expectation
-			for _, f := range pkg.Files {
-				for _, cg := range f.Comments {
-					for _, c := range cg.List {
-						text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
-						rest, ok := strings.CutPrefix(text, "want ")
-						if !ok {
-							continue
-						}
-						pos := pkg.Fset.Position(c.Pos())
-						quoted := wantString.FindAllString(rest, -1)
-						if len(quoted) == 0 {
-							t.Errorf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
-							continue
-						}
-						for _, q := range quoted {
-							s, err := strconv.Unquote(q)
-							if err != nil {
-								t.Fatalf("%s:%d: %v", pos.Filename, pos.Line, err)
+			for _, p := range pkgs {
+				for _, f := range p.Files {
+					for _, cg := range f.Comments {
+						for _, c := range cg.List {
+							text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+							if rest, ok := strings.CutPrefix(text, "/*"); ok {
+								text = strings.TrimSpace(strings.TrimSuffix(rest, "*/"))
 							}
-							wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, substr: s})
+							rest, ok := strings.CutPrefix(text, "want ")
+							if !ok {
+								continue
+							}
+							pos := p.Fset.Position(c.Pos())
+							quoted := wantString.FindAllString(rest, -1)
+							if len(quoted) == 0 {
+								t.Errorf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+								continue
+							}
+							for _, q := range quoted {
+								s, err := strconv.Unquote(q)
+								if err != nil {
+									t.Fatalf("%s:%d: %v", pos.Filename, pos.Line, err)
+								}
+								wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, substr: s})
+							}
 						}
 					}
 				}

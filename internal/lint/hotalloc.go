@@ -1,0 +1,335 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotAlloc reports heap-allocation sites on the request hot path.
+//
+// A function is a hot-path root when its doc comment carries a
+// //wls:hotpath directive; the hot set is the transitive closure of the
+// roots over module-internal static calls, propagated cross-package
+// through hotallocFacts. Inside hot functions the analyzer flags the
+// allocation idioms that show up in request-path profiles:
+//
+//   - &T{...} composite literals and slice/map literals
+//   - make and new
+//   - append (may grow)
+//   - interface boxing: passing a concrete value where a parameter or
+//     conversion expects an interface
+//   - string <-> []byte / []rune conversions (copy + alloc)
+//   - fmt.* calls (format state, boxing, and result all allocate)
+//   - function literals (closure allocation)
+//
+// Not every finding is a real heap escape — the compiler stack-allocates
+// plenty of these — so hotalloc is the one analyzer wired to a baseline:
+// existing debt is recorded in hotalloc_baseline.json and the ratchet
+// test only lets the count go down. Diagnostic messages deliberately
+// contain no line numbers, so baselined findings survive unrelated edits
+// to the same file.
+//
+// Calls through function values and interfaces don't propagate hotness
+// (no static callee); annotate the concrete implementation instead.
+func HotAlloc() *Analyzer {
+	a := &Analyzer{
+		Name: "hotalloc",
+		Doc:  "flags allocation sites inside //wls:hotpath functions and their transitive callees",
+	}
+	a.Run = hotAllocRun
+	a.Finish = hotAllocFinish
+	return a
+}
+
+// AllocSite is one allocation inside a function body.
+type AllocSite struct {
+	Pos  token.Pos
+	What string // human-readable description, no positions (baseline-stable)
+}
+
+// hotallocFact summarizes one module function for the hot-closure walk.
+type hotallocFact struct {
+	Hot     bool // carries a //wls:hotpath annotation
+	Sites   []AllocSite
+	Callees []*types.Func // module-internal static callees, in source order
+}
+
+func (*hotallocFact) AFact() {}
+
+func hotAllocRun(pass *Pass) {
+	info := pass.Pkg.Info
+
+	for _, f := range pass.Pkg.Files {
+		// Any //wls:hotpath comment must be part of a function's doc
+		// comment; anywhere else it silently annotates nothing.
+		inDoc := map[*ast.Comment]bool{}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fd.Doc != nil {
+				for _, c := range fd.Doc.List {
+					inDoc[c] = true
+				}
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.HasPrefix(c.Text, "//wls:hotpath") && !inDoc[c] {
+					pass.Reportf(c.Pos(), "//wls:hotpath must appear in a function's doc comment to mark a hot-path root")
+				}
+			}
+		}
+
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fact := &hotallocFact{Hot: hasHotPathDoc(fd)}
+			collectAllocs(info, fd.Body, fact)
+			seen := map[*types.Func]bool{}
+			walkSkippingFuncLits(fd.Body, func(n ast.Node) {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return
+				}
+				if callee := moduleFunc(pass.Pkg.Module, calleeObject(info, call)); callee != nil && !seen[callee] {
+					seen[callee] = true
+					fact.Callees = append(fact.Callees, callee)
+				}
+			})
+			if fact.Hot || len(fact.Sites) > 0 || len(fact.Callees) > 0 {
+				pass.ExportObjectFact(fn, fact)
+			}
+		}
+	}
+}
+
+func hasHotPathDoc(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, "//wls:hotpath") {
+			return true
+		}
+	}
+	return false
+}
+
+// collectAllocs appends every allocation site in body (excluding nested
+// function literals, which are themselves sites) to fact.Sites.
+func collectAllocs(info *types.Info, body *ast.BlockStmt, fact *hotallocFact) {
+	short := func(t types.Type) string {
+		return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+	}
+	// Composite literals reported through their enclosing &x form get the
+	// bare literal suppressed so each site reports once.
+	handledLit := map[*ast.CompositeLit]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			fact.Sites = append(fact.Sites, AllocSite{Pos: n.Pos(), What: "function literal (closure allocation)"})
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if cl, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					handledLit[cl] = true
+					if tv, ok := info.Types[cl]; ok && tv.Type != nil {
+						fact.Sites = append(fact.Sites, AllocSite{Pos: n.Pos(), What: "&" + short(tv.Type) + "{...} composite literal"})
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			if handledLit[n] {
+				return true
+			}
+			tv, ok := info.Types[n]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				fact.Sites = append(fact.Sites, AllocSite{Pos: n.Pos(), What: short(tv.Type) + "{...} composite literal"})
+			}
+		case *ast.CallExpr:
+			allocsFromCall(info, n, short, fact)
+		}
+		return true
+	})
+}
+
+// allocsFromCall classifies one call expression: builtin allocators,
+// conversions, fmt calls, and interface boxing at argument positions.
+func allocsFromCall(info *types.Info, call *ast.CallExpr, short func(types.Type) string, fact *hotallocFact) {
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new":
+				what := b.Name()
+				if tv, ok := info.Types[call]; ok && tv.Type != nil {
+					what += " of " + short(tv.Type)
+				}
+				fact.Sites = append(fact.Sites, AllocSite{Pos: call.Pos(), What: what})
+			case "append":
+				fact.Sites = append(fact.Sites, AllocSite{Pos: call.Pos(), What: "append (may grow backing array)"})
+			}
+			return
+		}
+	}
+
+	// Conversions: T(x).
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type
+		srcTV, ok := info.Types[call.Args[0]]
+		if !ok || srcTV.Type == nil {
+			return
+		}
+		src := srcTV.Type
+		if isStringBytesConv(dst, src) {
+			fact.Sites = append(fact.Sites, AllocSite{Pos: call.Pos(),
+				What: short(src) + " to " + short(dst) + " conversion (copies)"})
+		} else if types.IsInterface(dst.Underlying()) && !types.IsInterface(src.Underlying()) && !isUntypedNil(srcTV) {
+			fact.Sites = append(fact.Sites, AllocSite{Pos: call.Pos(),
+				What: "boxing " + short(src) + " into " + short(dst)})
+		}
+		return
+	}
+
+	// fmt calls: one site for the whole call; the variadic boxing is part
+	// of the same problem, so argument boxing is not double-reported.
+	callee := calleeObject(info, call)
+	if pkgPathOf(callee) == "fmt" {
+		fact.Sites = append(fact.Sites, AllocSite{Pos: call.Pos(), What: "call to fmt." + callee.Name()})
+		return
+	}
+
+	// Interface boxing at argument positions.
+	funTV, ok := info.Types[call.Fun]
+	if !ok || funTV.Type == nil {
+		return
+	}
+	sig, ok := funTV.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	if params == nil {
+		return
+	}
+	// Ellipsis call (f(xs...)) passes a slice through unchanged.
+	if call.Ellipsis.IsValid() {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		if sig.Variadic() && i >= params.Len()-1 {
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		} else if i < params.Len() {
+			pt = params.At(i).Type()
+		} else {
+			break
+		}
+		if !types.IsInterface(pt.Underlying()) {
+			continue
+		}
+		argTV, ok := info.Types[arg]
+		if !ok || argTV.Type == nil || isUntypedNil(argTV) {
+			continue
+		}
+		if types.IsInterface(argTV.Type.Underlying()) {
+			continue
+		}
+		label := "a function"
+		if callee != nil {
+			if fn, ok := callee.(*types.Func); ok {
+				label = funcLabel(fn)
+			} else {
+				label = callee.Name()
+			}
+		}
+		fact.Sites = append(fact.Sites, AllocSite{Pos: arg.Pos(),
+			What: "boxing " + short(argTV.Type) + " into " + short(pt) + " passed to " + label})
+	}
+}
+
+func isStringBytesConv(dst, src types.Type) bool {
+	return (isString(dst) && isByteOrRuneSlice(src)) || (isByteOrRuneSlice(dst) && isString(src))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}
+
+func isUntypedNil(tv types.TypeAndValue) bool {
+	b, ok := tv.Type.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+func hotAllocFinish(g *GlobalPass) {
+	facts := map[*types.Func]*hotallocFact{}
+	var order []*types.Func
+	var roots []*types.Func
+	for _, of := range g.AllObjectFacts() {
+		fn, ok := of.Object.(*types.Func)
+		if !ok {
+			continue
+		}
+		fact, ok := of.Fact.(*hotallocFact)
+		if !ok {
+			continue
+		}
+		facts[fn] = fact
+		order = append(order, fn)
+		if fact.Hot {
+			roots = append(roots, fn)
+		}
+	}
+
+	// Hot closure: BFS from annotated roots over static module calls.
+	hot := map[*types.Func]bool{}
+	queue := append([]*types.Func{}, roots...)
+	for _, fn := range queue {
+		hot[fn] = true
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, callee := range facts[fn].Callees {
+			if !hot[callee] {
+				if _, known := facts[callee]; known {
+					hot[callee] = true
+					queue = append(queue, callee)
+				}
+			}
+		}
+	}
+
+	for _, fn := range order {
+		if !hot[fn] {
+			continue
+		}
+		for _, site := range facts[fn].Sites {
+			g.Reportf(site.Pos, "hot-path allocation in %s: %s", funcLabel(fn), site.What)
+		}
+	}
+}

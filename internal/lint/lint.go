@@ -1,13 +1,23 @@
 // Package lint is a stdlib-only static-analysis suite (go/parser, go/ast,
 // go/token, go/types — no x/tools) that enforces the determinism and
-// concurrency invariants the reproduction depends on:
+// concurrency invariants the reproduction depends on.
+//
+// Since PR 6 it is a whole-program, cross-package engine: packages are
+// analyzed in dependency order, analyzers export per-object facts (see
+// Fact) from each package and import them when analyzing dependents, and
+// an optional Finish phase runs once after every package for global
+// reporting (cycle detection, reachability closures).
+//
+// The analyzers:
 //
 //   - walltime:  cluster logic must run on vclock.Clock, never directly on
 //     the time package, or the deterministic failure simulations in
 //     EXPERIMENTS.md silently stop being deterministic.
 //   - lockheld:  a mutex held across a blocking operation (channel send or
-//     receive, select, Clock.Sleep, transport call) is a deadlock hazard
-//     in the cluster/lease/singleton protocols.
+//     receive, select, Clock.Sleep, transport call — directly or via a
+//     call to a function that blocks, tracked interprocedurally through
+//     facts) is a deadlock hazard in the cluster/lease/singleton
+//     protocols.
 //   - errdrop:   errors from the wire codec, the transport, the store, and
 //     transaction-log writes carry recovery obligations; discarding one on
 //     the floor breaks the crash-recovery story.
@@ -17,19 +27,35 @@
 //   - spanleak:  a trace span started and never Finished silently drops a
 //     hop from the trace, breaking the trace-derived assertions
 //     (ServersTouched, HopCount) the experiments rely on.
+//   - lockorder: builds the repo-wide mutex acquisition-order graph
+//     (interprocedural, via facts) and reports cycles as potential
+//     deadlocks; //wls:lockorder A<B asserts an intended hierarchy.
+//   - goleak:    flags go statements whose goroutine has no reachable
+//     termination path (an inescapable infinite loop or empty select,
+//     directly or through the functions it calls).
+//   - hotalloc:  flags allocation sites inside functions annotated
+//     //wls:hotpath and everything they transitively call within the
+//     module; pre-existing findings are tracked in a checked-in baseline
+//     (see Baseline) and ratcheted down, never added to.
 //
 // Diagnostics can be suppressed line-by-line with directives:
 //
 //	//wls:wallclock <reason>           – suppress walltime (reason required)
 //	//wls:nolint <a>[,<b>] -- <reason> – suppress the named analyzers
 //
-// A directive suppresses matching diagnostics on its own line and, when it
-// stands alone on a line, on the line directly below it.
+// Two further directives feed analyzers instead of suppressing them:
+//
+//	//wls:lockorder A<B   – assert that lock class A is acquired before B
+//	//wls:hotpath <why>   – mark the function declared below as a hot-path
+//	                        root for hotalloc
+//
+// A suppressing directive covers matching diagnostics on its own line and,
+// when it stands alone on a line, on the line directly below it.
 //
 // The suite is self-enforcing: internal/lint/repo_test.go runs every
 // analyzer over the whole module, so `go test ./...` fails on new
 // violations. The cmd/wlslint driver exposes the same checks on the
-// command line.
+// command line (with -json and -baseline output modes).
 package lint
 
 import (
@@ -41,7 +67,9 @@ import (
 	"strings"
 )
 
-// Analyzer is one lint rule.
+// Analyzer is one lint rule. Analyzers are stateless values: per-Run
+// accumulation lives in the Pass/GlobalPass State scratch area, so one
+// Analyzer instance may be reused across Runs.
 type Analyzer struct {
 	// Name is the rule's short identifier, used in output and in
 	// //wls:nolint directives.
@@ -49,7 +77,13 @@ type Analyzer struct {
 	// Doc is a one-line description.
 	Doc string
 	// Run inspects one package and reports findings through the pass.
+	// Packages are visited in dependency order (imports before
+	// importers), so facts exported for a package's objects are visible
+	// when its dependents run.
 	Run func(*Pass)
+	// Finish, if non-nil, runs once after every package's Run: the place
+	// for whole-program reporting over accumulated facts and state.
+	Finish func(*GlobalPass)
 }
 
 // Pass carries one package through one analyzer.
@@ -57,6 +91,8 @@ type Pass struct {
 	Fset     *token.FileSet
 	Pkg      *Package
 	analyzer *Analyzer
+	facts    *factStore
+	states   map[*Analyzer]any
 	sink     *[]Diagnostic
 }
 
@@ -82,18 +118,39 @@ func (d Diagnostic) String() string {
 
 // Default is the analyzer set cmd/wlslint and repo_test.go run.
 func Default() []*Analyzer {
-	return []*Analyzer{Walltime(), LockHeld(), ErrDrop(), AfterLoop(), SpanLeak()}
+	return []*Analyzer{
+		Walltime(), LockHeld(), ErrDrop(), AfterLoop(), SpanLeak(),
+		LockOrder(), GoLeak(), HotAlloc(),
+	}
 }
 
-// Run applies each analyzer to each package and returns the surviving
-// diagnostics (directive-suppressed ones removed), sorted by position.
+// Run applies each analyzer to each package — in dependency order, so
+// facts flow from imported packages to their importers — then runs each
+// analyzer's Finish phase, and returns the surviving diagnostics
+// (directive-suppressed ones removed), sorted by position.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
+	ordered := analysisOrder(pkgs)
+	facts := newFactStore()
+	states := map[*Analyzer]any{}
+	for _, pkg := range ordered {
 		for _, a := range analyzers {
-			pass := &Pass{Fset: pkg.Fset, Pkg: pkg, analyzer: a, sink: &diags}
+			pass := &Pass{Fset: pkg.Fset, Pkg: pkg, analyzer: a,
+				facts: facts, states: states, sink: &diags}
 			a.Run(pass)
 		}
+	}
+	var fset *token.FileSet
+	if len(ordered) > 0 {
+		fset = ordered[0].Fset
+	}
+	for _, a := range analyzers {
+		if a.Finish == nil {
+			continue
+		}
+		g := &GlobalPass{Fset: fset, Pkgs: ordered, analyzer: a,
+			facts: facts, states: states, sink: &diags}
+		a.Finish(g)
 	}
 	diags = applyDirectives(pkgs, diags)
 	sort.Slice(diags, func(i, j int) bool {
@@ -113,6 +170,37 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		return diags[i].Message < diags[j].Message
 	})
 	return diags
+}
+
+// analysisOrder sorts packages topologically (imports first) so facts
+// exported while analyzing a package exist before its dependents run.
+// Only dependencies that are themselves in pkgs matter; external imports
+// (the stdlib) are never analyzed. Ties preserve the incoming order,
+// which the loader already makes deterministic.
+func analysisOrder(pkgs []*Package) []*Package {
+	byTypes := make(map[*types.Package]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byTypes[p.Types] = p
+	}
+	ordered := make([]*Package, 0, len(pkgs))
+	visited := map[*Package]bool{}
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		if visited[p] {
+			return
+		}
+		visited[p] = true
+		for _, imp := range p.Types.Imports() {
+			if dep, ok := byTypes[imp]; ok {
+				visit(dep)
+			}
+		}
+		ordered = append(ordered, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return ordered
 }
 
 // directive is one parsed //wls: comment.
@@ -169,9 +257,23 @@ func parseDirectives(fset *token.FileSet, f *ast.File, known map[string]bool, re
 						Message: "//wls:nolint directive requires analyzer names and a reason (//wls:nolint <name>[,<name>] -- <why>)"})
 					continue
 				}
+			case "lockorder":
+				// Assertion, not suppression: consumed by the lockorder
+				// analyzer (see parseLockOrderAssertion). Validate the
+				// shape here so a typo'd assertion is loud.
+				if _, _, err := parseLockOrderAssertion(rest); err != nil {
+					report(Diagnostic{Analyzer: "directive", Pos: pos,
+						Message: fmt.Sprintf("malformed //wls:lockorder directive: %v (want //wls:lockorder A<B)", err)})
+				}
+				continue
+			case "hotpath":
+				// Annotation, not suppression: marks the function declared
+				// below as a hot-path root for hotalloc, which also
+				// verifies the comment is attached to a function.
+				continue
 			default:
 				report(Diagnostic{Analyzer: "directive", Pos: pos,
-					Message: fmt.Sprintf("unknown //wls: directive %q (want wallclock or nolint)", kind)})
+					Message: fmt.Sprintf("unknown //wls: directive %q (want wallclock, nolint, lockorder, or hotpath)", kind)})
 				continue
 			}
 			out = append(out, d)
@@ -283,4 +385,44 @@ func isErrorType(t types.Type) bool {
 		return false
 	}
 	return named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// moduleFunc returns obj as a *types.Func when it is a function or method
+// defined inside the analyzed module (the ones that carry facts), nil
+// otherwise. Interface methods are excluded: they have no body, so no
+// facts are ever exported for them.
+func moduleFunc(module string, obj types.Object) *types.Func {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	path := fn.Pkg().Path()
+	if path != module && !strings.HasPrefix(path, module+"/") {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if types.IsInterface(sig.Recv().Type()) {
+			return nil
+		}
+	}
+	return fn
+}
+
+// funcLabel renders a function for diagnostics: "pkg.Func" or
+// "pkg.Type.Method".
+func funcLabel(fn *types.Func) string {
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Name() + "."
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			return pkg + n.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return pkg + fn.Name()
 }

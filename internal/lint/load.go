@@ -18,6 +18,10 @@ import (
 type Package struct {
 	// Path is the import path ("wls", "wls/internal/bench", ...).
 	Path string
+	// Module is the module path of the loader that produced the package;
+	// analyzers use it to tell module-internal callees (which carry
+	// facts) from external ones.
+	Module string
 	// Dir is the absolute directory the sources came from.
 	Dir  string
 	Fset *token.FileSet
@@ -222,7 +226,7 @@ func (l *Loader) loadDir(dir, path string) (*Package, error) {
 	if len(typeErrs) > 0 {
 		return nil, fmt.Errorf("type-checking %s: %v (and %d more)", path, typeErrs[0], len(typeErrs)-1)
 	}
-	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	pkg := &Package{Path: path, Module: l.Module, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
 	l.checked[path] = pkg
 	return pkg, nil
 }

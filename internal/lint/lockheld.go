@@ -18,19 +18,26 @@ import (
 // function literals are analyzed independently (their bodies run on their
 // own goroutine/schedule). Use //wls:nolint lockheld -- <reason> for
 // deliberate exceptions.
+//
+// Blocking is interprocedural: every module function that may block —
+// directly or through its callees — exports a blocksFact, so a call to
+// it while a lock is held is flagged in any package, with the reason
+// chain ("call to jms.Broker.deliver (may block: transport.Send)") in
+// the message.
 func LockHeld() *Analyzer {
 	a := &Analyzer{
 		Name: "lockheld",
 		Doc:  "flags blocking operations while a sync mutex is held (deadlock hazard)",
 	}
 	a.Run = func(pass *Pass) {
+		local := blockSummaries(pass)
 		for _, f := range pass.Pkg.Files {
 			ast.Inspect(f, func(n ast.Node) bool {
 				fd, ok := n.(*ast.FuncDecl)
 				if !ok || fd.Body == nil {
 					return true
 				}
-				analyzeLockBody(pass, fd.Body)
+				analyzeLockBody(pass, fd.Body, local)
 				return false
 			})
 		}
@@ -38,20 +45,150 @@ func LockHeld() *Analyzer {
 	return a
 }
 
+// blocksFact marks a module function that may block; Why names the root
+// blocking operation (possibly through a short call chain).
+type blocksFact struct {
+	Why string
+}
+
+func (*blocksFact) AFact() {}
+
+// blockSummaries computes which functions of the current package may
+// block, exports blocksFacts for them, and returns the local summary map
+// used by this package's own lock walks.
+func blockSummaries(pass *Pass) map[*types.Func]string {
+	info := pass.Pkg.Info
+	type summary struct {
+		why     string
+		callees []*types.Func
+	}
+	summaries := map[*types.Func]*summary{}
+	var order []*types.Func
+
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sum := &summary{}
+
+			// Send/receive operations that are the comm clause of a
+			// select belong to the select's blocking decision (a select
+			// with a default never blocks), so they are not counted as
+			// direct blocking ops themselves.
+			commOp := map[ast.Node]bool{}
+			walkSkippingFuncLits(fd.Body, func(n ast.Node) {
+				sel, ok := n.(*ast.SelectStmt)
+				if !ok {
+					return
+				}
+				for _, c := range sel.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+						ast.Inspect(cc.Comm, func(m ast.Node) bool {
+							if m != nil {
+								commOp[m] = true
+							}
+							return true
+						})
+					}
+				}
+			})
+
+			walkSkippingFuncLits(fd.Body, func(n ast.Node) {
+				if sum.why != "" {
+					return
+				}
+				switch n := n.(type) {
+				case *ast.SendStmt:
+					if !commOp[n] {
+						sum.why = "channel send"
+					}
+				case *ast.UnaryExpr:
+					if n.Op == token.ARROW && !commOp[n] {
+						sum.why = "channel receive"
+					}
+				case *ast.SelectStmt:
+					hasDefault := false
+					for _, c := range n.Body.List {
+						if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+							hasDefault = true
+						}
+					}
+					if !hasDefault {
+						sum.why = "select"
+					}
+				case *ast.CallExpr:
+					if label, ok := knownBlockingCall(info, n); ok {
+						sum.why = label
+					} else if callee := moduleFunc(pass.Pkg.Module, calleeObject(info, n)); callee != nil {
+						sum.callees = append(sum.callees, callee)
+					}
+				}
+			})
+			summaries[fn] = sum
+			order = append(order, fn)
+		}
+	}
+
+	// Fixpoint over the in-package call graph; imports resolve through
+	// already-exported facts.
+	lookup := func(fn *types.Func) (string, bool) {
+		if sum, ok := summaries[fn]; ok {
+			return sum.why, sum.why != ""
+		}
+		var fact blocksFact
+		if pass.ImportObjectFact(fn, &fact) {
+			return fact.Why, true
+		}
+		return "", false
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range order {
+			sum := summaries[fn]
+			if sum.why != "" {
+				continue
+			}
+			for _, callee := range sum.callees {
+				if why, ok := lookup(callee); ok {
+					sum.why = funcLabel(callee) + " → " + why
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	local := map[*types.Func]string{}
+	for _, fn := range order {
+		if why := summaries[fn].why; why != "" {
+			local[fn] = why
+			pass.ExportObjectFact(fn, &blocksFact{Why: why})
+		}
+	}
+	return local
+}
+
 // analyzeLockBody runs the source-order lock walk on one function body,
 // then recurses into any function literals it contains with fresh state.
-func analyzeLockBody(pass *Pass, body *ast.BlockStmt) {
-	s := &lockWalk{pass: pass, held: map[string]token.Pos{}}
+func analyzeLockBody(pass *Pass, body *ast.BlockStmt, local map[*types.Func]string) {
+	s := &lockWalk{pass: pass, held: map[string]token.Pos{}, local: local}
 	s.stmts(body.List)
 	for _, lit := range s.lits {
-		analyzeLockBody(pass, lit.Body)
+		analyzeLockBody(pass, lit.Body, local)
 	}
 }
 
 type lockWalk struct {
-	pass *Pass
-	held map[string]token.Pos // mutex expr (rendered) -> Lock() position
-	lits []*ast.FuncLit       // literals to analyze independently
+	pass  *Pass
+	held  map[string]token.Pos   // mutex expr (rendered) -> Lock() position
+	lits  []*ast.FuncLit         // literals to analyze independently
+	local map[*types.Func]string // this package's may-block summaries
 }
 
 func (s *lockWalk) stmts(list []ast.Stmt) {
@@ -235,9 +372,30 @@ func (s *lockWalk) mutexOp(call *ast.CallExpr) (mutex, op string, ok bool) {
 	return types.ExprString(sel.X), sel.Sel.Name, true
 }
 
-// blockingCall reports whether call is a known blocking operation.
+// blockingCall reports whether call is a known blocking operation or a
+// call into a module function that may block (via its blocksFact).
 func (s *lockWalk) blockingCall(call *ast.CallExpr) (string, bool) {
-	obj := calleeObject(s.pass.Pkg.Info, call)
+	if label, ok := knownBlockingCall(s.pass.Pkg.Info, call); ok {
+		return label, true
+	}
+	callee := moduleFunc(s.pass.Pkg.Module, calleeObject(s.pass.Pkg.Info, call))
+	if callee == nil {
+		return "", false
+	}
+	if why, ok := s.local[callee]; ok {
+		return "call to " + funcLabel(callee) + " (may block: " + why + ")", true
+	}
+	var fact blocksFact
+	if s.pass.ImportObjectFact(callee, &fact) {
+		return "call to " + funcLabel(callee) + " (may block: " + fact.Why + ")", true
+	}
+	return "", false
+}
+
+// knownBlockingCall reports whether call is one of the primitive blocking
+// operations the analyzer recognizes by name.
+func knownBlockingCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	obj := calleeObject(info, call)
 	if obj == nil {
 		return "", false
 	}

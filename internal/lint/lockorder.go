@@ -1,0 +1,578 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds the repo-wide mutex acquisition-order graph and reports
+// cycles as potential deadlocks.
+//
+// Locks are grouped into classes by declaration site — "pkg.Type.field"
+// for a struct-field mutex, "pkg.var" for a package-level one — because a
+// static analysis cannot tell instances apart. Within one function a
+// source-order walk tracks which classes are held when another
+// Lock/RLock happens (a direct A→B edge); at every call site the callee's
+// exported acquiresFact supplies the classes it may take transitively, so
+// edges cross function and package boundaries (the go/analysis-style
+// facts layer). A cycle A→…→A in the resulting graph means two goroutines
+// can take the same classes in opposite orders — the classic cluster
+// deadlock.
+//
+// Intended hierarchies are asserted with
+//
+//	//wls:lockorder A<B
+//
+// meaning A is (always) acquired before B. An observed B→A edge then
+// fails the build even when no full cycle exists yet, and an assertion
+// naming a class the analysis never saw is itself reported, so stale
+// assertions cannot linger.
+//
+// Same-class edges (A while holding A) are deliberately not reported:
+// distinct instances of one class (two shards, two sessions) routinely
+// nest, and instance identity is invisible statically.
+func LockOrder() *Analyzer {
+	a := &Analyzer{
+		Name: "lockorder",
+		Doc:  "flags cycles in the cross-package mutex acquisition graph (potential deadlock)",
+	}
+	a.Run = lockOrderRun
+	a.Finish = lockOrderFinish
+	return a
+}
+
+// acquiresFact is exported for every module function that may acquire at
+// least one classed mutex, directly or via its callees.
+type acquiresFact struct {
+	Classes []string
+}
+
+func (*acquiresFact) AFact() {}
+
+// lockOrderEdge is one observed "B acquired while A held" pair.
+type lockOrderEdge struct {
+	from, to string
+	pos      token.Pos
+	via      string // callee label when the acquisition is interprocedural
+}
+
+// lockOrderAssertion is one parsed //wls:lockorder A<B directive.
+type lockOrderAssertion struct {
+	before, after string
+	pos           token.Pos
+}
+
+// lockOrderState accumulates the graph across packages.
+type lockOrderState struct {
+	edges      map[[2]string]lockOrderEdge // first observation per (from,to)
+	edgeOrder  [][2]string
+	classes    map[string]bool // every class ever acquired
+	assertions []lockOrderAssertion
+}
+
+func newLockOrderState() any {
+	return &lockOrderState{edges: map[[2]string]lockOrderEdge{}, classes: map[string]bool{}}
+}
+
+// parseLockOrderAssertion splits the payload of a //wls:lockorder
+// directive ("A<B", whitespace-tolerant) into its two class names.
+func parseLockOrderAssertion(rest string) (before, after string, err error) {
+	b, a, ok := strings.Cut(rest, "<")
+	b, a = strings.TrimSpace(b), strings.TrimSpace(a)
+	if !ok || b == "" || a == "" {
+		return "", "", fmt.Errorf("missing %q separator between two lock classes", "<")
+	}
+	return b, a, nil
+}
+
+// lockFuncSummary is the per-function intermediate before the in-package
+// fixpoint: classes acquired directly plus module callees.
+type lockFuncSummary struct {
+	direct  []string
+	callees []*types.Func
+}
+
+func lockOrderRun(pass *Pass) {
+	st := pass.State(newLockOrderState).(*lockOrderState)
+	info := pass.Pkg.Info
+
+	// Assertions can sit in any file of any package.
+	for _, f := range pass.Pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//wls:lockorder")
+				if !ok {
+					continue
+				}
+				before, after, err := parseLockOrderAssertion(strings.TrimSpace(text))
+				if err != nil {
+					continue // reported by the directive parser
+				}
+				st.assertions = append(st.assertions,
+					lockOrderAssertion{before: before, after: after, pos: c.Pos()})
+			}
+		}
+	}
+
+	// Pass 1: per-function summaries (direct acquires + module callees),
+	// excluding nested function literals — a literal runs on its own
+	// schedule, so its acquisitions are not part of the enclosing call's
+	// lock footprint. Literal bodies get their own edge walk below.
+	type declared struct {
+		fn   *types.Func
+		decl *ast.FuncDecl
+	}
+	var decls []declared
+	summaries := map[*types.Func]*lockFuncSummary{}
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sum := &lockFuncSummary{}
+			walkSkippingFuncLits(fd.Body, func(n ast.Node) {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return
+				}
+				if class, op, ok := lockAcquisition(info, call); ok {
+					if isAcquireOp(op) {
+						sum.direct = append(sum.direct, class)
+						st.classes[class] = true
+					}
+					return
+				}
+				if callee := moduleFunc(pass.Pkg.Module, calleeObject(info, call)); callee != nil {
+					sum.callees = append(sum.callees, callee)
+				}
+			})
+			summaries[fn] = sum
+			decls = append(decls, declared{fn: fn, decl: fd})
+		}
+	}
+
+	// Pass 2: in-package fixpoint over the call graph; cross-package
+	// callees contribute through their already-exported facts (imports
+	// are analyzed first).
+	acquires := map[*types.Func][]string{}
+	lookup := func(fn *types.Func) []string {
+		if cs, ok := acquires[fn]; ok {
+			return cs
+		}
+		var fact acquiresFact
+		if pass.ImportObjectFact(fn, &fact) {
+			return fact.Classes
+		}
+		return nil
+	}
+	for _, d := range decls {
+		acquires[d.fn] = dedupSorted(summaries[d.fn].direct)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, d := range decls {
+			merged := acquires[d.fn]
+			for _, callee := range summaries[d.fn].callees {
+				merged = append(merged, lookup(callee)...)
+			}
+			merged = dedupSorted(merged)
+			if len(merged) != len(acquires[d.fn]) {
+				acquires[d.fn] = merged
+				changed = true
+			}
+		}
+	}
+	for _, d := range decls {
+		if cs := acquires[d.fn]; len(cs) > 0 {
+			pass.ExportObjectFact(d.fn, &acquiresFact{Classes: cs})
+		}
+	}
+
+	// Pass 3: the edge walk. Function literals are walked with a fresh
+	// held set (own goroutine/schedule), declared functions with theirs.
+	transitive := func(fn *types.Func) []string {
+		if _, local := summaries[fn]; local {
+			return acquires[fn]
+		}
+		return lookup(fn)
+	}
+	for _, d := range decls {
+		w := &lockOrderWalk{pass: pass, st: st, held: map[string]int{}, transitive: transitive}
+		w.walkBody(d.decl.Body)
+	}
+}
+
+// lockOrderWalk tracks held lock classes in source order through one
+// function body, recording acquisition-order edges.
+type lockOrderWalk struct {
+	pass       *Pass
+	st         *lockOrderState
+	held       map[string]int
+	heldPos    []string // acquisition order, for deterministic edge froms
+	transitive func(*types.Func) []string
+	lits       []*ast.FuncLit
+}
+
+func (w *lockOrderWalk) walkBody(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.lits = append(w.lits, n)
+			return false
+		case *ast.DeferStmt:
+			// A deferred Unlock keeps the class held to the end of the
+			// body, which the "never released" state already models; a
+			// deferred acquiring call runs outside this walk's order.
+			return false
+		case *ast.CallExpr:
+			w.call(n)
+		}
+		return true
+	})
+	for _, lit := range w.lits {
+		inner := &lockOrderWalk{pass: w.pass, st: w.st, held: map[string]int{}, transitive: w.transitive}
+		inner.walkBody(lit.Body)
+	}
+}
+
+func (w *lockOrderWalk) call(call *ast.CallExpr) {
+	info := w.pass.Pkg.Info
+	if class, op, ok := lockAcquisition(info, call); ok {
+		switch {
+		case isAcquireOp(op):
+			w.edgeTo(class, call.Pos(), "")
+			if w.held[class] == 0 {
+				w.heldPos = append(w.heldPos, class)
+			}
+			w.held[class]++
+		case op == "Unlock" || op == "RUnlock":
+			if w.held[class] > 0 {
+				w.held[class]--
+				if w.held[class] == 0 {
+					w.heldPos = removeString(w.heldPos, class)
+				}
+			}
+		}
+		return
+	}
+	if callee := moduleFunc(w.pass.Pkg.Module, calleeObject(info, call)); callee != nil {
+		for _, class := range w.transitive(callee) {
+			w.edgeTo(class, call.Pos(), funcLabel(callee))
+		}
+	}
+}
+
+// edgeTo records from→to edges from every held class to the class being
+// acquired (directly or via a callee).
+func (w *lockOrderWalk) edgeTo(to string, pos token.Pos, via string) {
+	for _, from := range w.heldPos {
+		if from == to {
+			continue // instance identity is invisible; see analyzer doc
+		}
+		key := [2]string{from, to}
+		if _, seen := w.st.edges[key]; !seen {
+			w.st.edges[key] = lockOrderEdge{from: from, to: to, pos: pos, via: via}
+			w.st.edgeOrder = append(w.st.edgeOrder, key)
+		}
+	}
+}
+
+func lockOrderFinish(g *GlobalPass) {
+	st := g.State(newLockOrderState).(*lockOrderState)
+
+	// Assertion checks first: contradictions and stale names.
+	for _, as := range st.assertions {
+		for _, class := range []string{as.before, as.after} {
+			if !st.classes[class] {
+				g.Reportf(as.pos,
+					"//wls:lockorder assertion names lock class %q, which is never acquired anywhere in the module",
+					class)
+			}
+		}
+		if edge, ok := st.edges[[2]string{as.after, as.before}]; ok {
+			g.Reportf(edge.pos,
+				"lock order violation: %s acquired while %s is held%s, but //wls:lockorder asserts %s < %s",
+				edge.to, edge.from, viaSuffix(edge.via), as.before, as.after)
+		}
+	}
+
+	// Cycle detection over the class graph.
+	adj := map[string][]string{}
+	for _, key := range st.edgeOrder {
+		adj[key[0]] = append(adj[key[0]], key[1])
+	}
+	for _, succs := range adj {
+		sort.Strings(succs)
+	}
+	for _, cycle := range lockOrderCycles(adj) {
+		var steps []string
+		for i := range cycle {
+			from, to := cycle[i], cycle[(i+1)%len(cycle)]
+			edge := st.edges[[2]string{from, to}]
+			p := g.Fset.Position(edge.pos)
+			steps = append(steps, fmt.Sprintf("%s→%s%s at %s:%d",
+				from, to, viaSuffix(edge.via), p.Filename, p.Line))
+		}
+		first := st.edges[[2]string{cycle[0], cycle[1%len(cycle)]}]
+		g.Reportf(first.pos,
+			"potential deadlock: lock-order cycle %s (%s); break the cycle or document the hierarchy with //wls:lockorder",
+			strings.Join(append(append([]string{}, cycle...), cycle[0]), " → "),
+			strings.Join(steps, "; "))
+	}
+}
+
+// lockOrderCycles returns one representative cycle per strongly connected
+// component with more than one node, deterministically: components are
+// discovered in sorted node order and each cycle is a shortest loop from
+// its smallest node.
+func lockOrderCycles(adj map[string][]string) [][]string {
+	nodes := make([]string, 0, len(adj))
+	seen := map[string]bool{}
+	addNode := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			nodes = append(nodes, n)
+		}
+	}
+	for from, succs := range adj {
+		addNode(from)
+		for _, to := range succs {
+			addNode(to)
+		}
+	}
+	sort.Strings(nodes)
+
+	// Tarjan's SCC, iterative over sorted nodes for determinism.
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var sccs [][]string
+	next := 0
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, wn := range adj[v] {
+			if _, visited := index[wn]; !visited {
+				strongconnect(wn)
+				if low[wn] < low[v] {
+					low[v] = low[wn]
+				}
+			} else if onStack[wn] && index[wn] < low[v] {
+				low[v] = index[wn]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				wn := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[wn] = false
+				comp = append(comp, wn)
+				if wn == v {
+					break
+				}
+			}
+			if len(comp) > 1 {
+				sort.Strings(comp)
+				sccs = append(sccs, comp)
+			}
+		}
+	}
+	for _, n := range nodes {
+		if _, visited := index[n]; !visited {
+			strongconnect(n)
+		}
+	}
+
+	var cycles [][]string
+	for _, comp := range sccs {
+		inComp := map[string]bool{}
+		for _, n := range comp {
+			inComp[n] = true
+		}
+		start := comp[0]
+		// BFS from start within the component; the first edge back to
+		// start closes the shortest representative cycle.
+		parent := map[string]string{}
+		queue := []string{start}
+		visited := map[string]bool{start: true}
+		var closer string
+		for len(queue) > 0 && closer == "" {
+			v := queue[0]
+			queue = queue[1:]
+			for _, wn := range adj[v] {
+				if !inComp[wn] {
+					continue
+				}
+				if wn == start {
+					closer = v
+					break
+				}
+				if !visited[wn] {
+					visited[wn] = true
+					parent[wn] = v
+					queue = append(queue, wn)
+				}
+			}
+		}
+		if closer == "" {
+			continue // unreachable for a true SCC
+		}
+		var rev []string
+		for v := closer; v != start; v = parent[v] {
+			rev = append(rev, v)
+		}
+		cycle := []string{start}
+		for i := len(rev) - 1; i >= 0; i-- {
+			cycle = append(cycle, rev[i])
+		}
+		cycles = append(cycles, cycle)
+	}
+	return cycles
+}
+
+func viaSuffix(via string) string {
+	if via == "" {
+		return ""
+	}
+	return " (via call to " + via + ")"
+}
+
+// lockAcquisition reports whether call is a sync.Mutex/RWMutex lock-state
+// method on a classable mutex, returning the class and the method name.
+func lockAcquisition(info *types.Info, call *ast.CallExpr) (class, op string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "TryLock", "TryRLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	obj := calleeObject(info, call)
+	if pkgPathOf(obj) != "sync" {
+		return "", "", false
+	}
+	class, ok = lockClassOf(info, sel.X)
+	if !ok {
+		return "", "", false
+	}
+	return class, sel.Sel.Name, true
+}
+
+func isAcquireOp(op string) bool {
+	switch op {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		return true
+	}
+	return false
+}
+
+// lockClassOf maps a mutex expression to its declaration-site class:
+// "pkg.Type.field" for struct fields, "pkg.var" for package-level
+// variables, "pkg.Type" for a named type embedding the mutex. Local
+// mutex variables have no stable class and return ok=false.
+func lockClassOf(info *types.Info, x ast.Expr) (string, bool) {
+	switch x := ast.Unparen(x).(type) {
+	case *ast.SelectorExpr:
+		// recv.field
+		if selx, ok := info.Selections[x]; ok {
+			if fld, ok := selx.Obj().(*types.Var); ok && fld.IsField() {
+				if owner := namedOf(selx.Recv()); owner != nil {
+					return typeClass(owner) + "." + fld.Name(), true
+				}
+			}
+		}
+		// pkg.Var (qualified package-level mutex)
+		if obj, ok := info.Uses[x.Sel]; ok {
+			if v, ok := obj.(*types.Var); ok && !v.IsField() && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return v.Pkg().Name() + "." + v.Name(), true
+			}
+		}
+	case *ast.Ident:
+		obj := info.Uses[x]
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return "", false
+		}
+		if !v.IsField() && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Name() + "." + v.Name(), true
+		}
+		// A variable of a named type with an embedded mutex (s.Lock()):
+		// the type itself is the class.
+		if named := namedOf(v.Type()); named != nil && named.Obj().Pkg() != nil &&
+			named.Obj().Pkg().Path() != "sync" {
+			return typeClass(named), true
+		}
+	}
+	return "", false
+}
+
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+func typeClass(n *types.Named) string {
+	pkg := ""
+	if n.Obj().Pkg() != nil {
+		pkg = n.Obj().Pkg().Name() + "."
+	}
+	return pkg + n.Obj().Name()
+}
+
+// walkSkippingFuncLits visits every node of body except those inside
+// nested function literals.
+func walkSkippingFuncLits(body *ast.BlockStmt, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+func dedupSorted(in []string) []string {
+	if len(in) == 0 {
+		return nil
+	}
+	sort.Strings(in)
+	out := in[:1]
+	for _, s := range in[1:] {
+		if s != out[len(out)-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func removeString(in []string, s string) []string {
+	out := in[:0]
+	for _, v := range in {
+		if v != s {
+			out = append(out, v)
+		}
+	}
+	return out
+}

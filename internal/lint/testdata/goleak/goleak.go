@@ -1,0 +1,107 @@
+// Package goleak exercises the goroutine-leak analyzer: inescapable
+// loops and empty selects are flagged at the go statement; the idiomatic
+// worker shapes (select with a stop case, range over a channel, loops
+// that break, return, or panic) must pass untouched.
+package goleak
+
+import "wls/internal/lint/testdata/goleak/sub"
+
+// leakLoop spins forever with no escape.
+func leakLoop() {
+	for {
+	}
+}
+
+func spawnLoop() {
+	go leakLoop() // want "goroutine never terminates: goleak.leakLoop never returns"
+}
+
+func spawnLit() {
+	go func() { // want "infinite for loop with no break, return, or panic"
+		for {
+		}
+	}()
+}
+
+func spawnEmptySelect() {
+	go func() { // want "empty select blocks forever"
+		select {}
+	}()
+}
+
+// spin -> wrap -> go: non-termination travels two hops through the
+// statement-level call chain.
+func spin() {
+	for {
+	}
+}
+
+func wrap() {
+	spin()
+}
+
+func spawnWrapped() {
+	go wrap() // want "goleak.wrap never returns"
+}
+
+func spawnRemote() {
+	go sub.Forever() // want "sub.Forever never returns"
+}
+
+func spawnSuppressed() {
+	//wls:nolint goleak -- fixture: deliberate leak, suppression path under test
+	go leakLoop()
+}
+
+// okSelectLoop is the idiomatic worker: drains work until stop fires.
+// It must NOT be flagged — the select's stop case returns.
+func okSelectLoop(work chan int, stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-work:
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// okRange terminates when the channel is closed.
+func okRange(ch chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+// okBreak escapes its loop.
+func okBreak() {
+	go func() {
+		for {
+			break
+		}
+	}()
+}
+
+// okPanic ends the goroutine even though control never returns.
+func okPanic() {
+	go func() {
+		for {
+			panic("boom")
+		}
+	}()
+}
+
+// leakNestedBreak looks like it escapes, but the bare break only exits
+// the select: the loop itself is inescapable.
+func leakNestedBreak(ch chan int) {
+	go func() { // want "infinite for loop with no break, return, or panic"
+		for {
+			select {
+			case <-ch:
+				break
+			}
+		}
+	}()
+}

@@ -1,0 +1,54 @@
+// Package hotalloc exercises the hot-path allocation analyzer: one
+// annotated root, allocation idioms inside it, a transitive callee one
+// hop away, a cross-package callee two hops away, cold functions that
+// stay silent, and the suppression/dangling-directive paths.
+package hotalloc
+
+import (
+	"fmt"
+
+	"wls/internal/lint/testdata/hotalloc/sub"
+)
+
+type frame struct {
+	data []byte
+}
+
+type sink interface{ accept(any) }
+
+// handle is the annotated hot-path root.
+//
+//wls:hotpath
+func handle(s sink, n int) {
+	msg := fmt.Sprintf("n=%d", n) // want "call to fmt.Sprintf"
+	_ = msg
+	b := make([]byte, 16) // want "make of []byte"
+	b = append(b, 1)      // want "append"
+	_ = string(b)         // want "conversion"
+	s.accept(n)           // want "boxing int into any"
+	f := &frame{}         // want "composite literal"
+	_ = f.data
+	cb := func() {} // want "closure allocation"
+	cb()
+	//wls:nolint hotalloc -- fixture: accepted allocation, suppression path under test
+	_ = make([]int, n)
+	helper(n)
+}
+
+// helper is hot transitively (one hop from the root).
+func helper(n int) {
+	_ = []int{n} // want "composite literal"
+	sub.Encode(n)
+}
+
+// cold is never reached from a hot root: identical idioms, no findings.
+func cold(n int) {
+	_ = fmt.Sprintf("n=%d", n)
+	_ = make([]byte, 8)
+	sub.Cold()
+}
+
+// dangling directives annotate nothing and are reported where they sit.
+func misannotated() {
+	/* want "must appear in a function's doc comment" */ //wls:hotpath
+}

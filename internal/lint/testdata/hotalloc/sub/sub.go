@@ -1,0 +1,16 @@
+// Package sub is two static call hops from the hot root in the parent
+// fixture package: its allocation sites must still be reported, proving
+// hotness propagates across packages through facts.
+package sub
+
+// Encode is reached via hotalloc.handle -> hotalloc.helper -> sub.Encode.
+func Encode(n int) []byte {
+	buf := make([]byte, 0, 8)  // want "make of []byte"
+	buf = append(buf, byte(n)) // want "append"
+	return buf
+}
+
+// Cold is never called from a hot root; nothing here is reported.
+func Cold() []byte {
+	return make([]byte, 64)
+}

@@ -1,0 +1,102 @@
+// Package lockorder exercises the cross-package lock acquisition-order
+// analyzer: a deliberate two-lock cycle, an asserted hierarchy that gets
+// violated, an interprocedural edge through a fact from the sub package,
+// a stale assertion, and a suppressed cycle.
+package lockorder
+
+import (
+	"sync"
+
+	"wls/internal/lint/testdata/lockorder/sub"
+)
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+var (
+	a A
+	b B
+)
+
+// lockAB establishes the edge lockorder.A.mu → lockorder.B.mu. The cycle
+// diagnostic lands on the first edge of the cycle, which is this one.
+func lockAB() {
+	a.mu.Lock()
+	b.mu.Lock() // want "lock-order cycle lockorder.A.mu → lockorder.B.mu → lockorder.A.mu"
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// lockBA closes the cycle in the opposite direction.
+func lockBA() {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+type C struct{ mu sync.Mutex }
+
+type D struct{ mu sync.Mutex }
+
+var (
+	c C
+	d D
+)
+
+//wls:lockorder lockorder.C.mu<lockorder.D.mu
+
+// lockDC contradicts the asserted hierarchy without forming a cycle.
+func lockDC() {
+	d.mu.Lock()
+	c.mu.Lock() // want "lock order violation: lockorder.C.mu acquired while lockorder.D.mu is held"
+	c.mu.Unlock()
+	d.mu.Unlock()
+}
+
+// An assertion naming a class nobody acquires is stale and reported.
+/* want "never acquired" */ //wls:lockorder lockorder.Nope.mu<lockorder.C.mu
+
+type G struct{ mu sync.Mutex }
+
+var (
+	g     G
+	store sub.Store
+)
+
+//wls:lockorder sub.Store.mu<lockorder.G.mu
+
+// gThenStore violates the asserted cross-package hierarchy through a
+// call: the sub.Store.mu acquisition arrives via Put's exported fact.
+func gThenStore() {
+	g.mu.Lock()
+	store.Put(1) // want "lock order violation: sub.Store.mu acquired while lockorder.G.mu is held"
+	g.mu.Unlock()
+}
+
+type E struct{ mu sync.Mutex }
+
+type F struct{ mu sync.Mutex }
+
+var (
+	e E
+	f F
+)
+
+// lockEF and lockFE form a deliberate cycle whose report is accepted
+// with a //wls:nolint on the reporting edge; nothing may leak through.
+func lockEF() {
+	e.mu.Lock()
+	//wls:nolint lockorder -- fixture: deliberate cycle, suppression path under test
+	f.mu.Lock()
+	f.mu.Unlock()
+	e.mu.Unlock()
+}
+
+func lockFE() {
+	f.mu.Lock()
+	e.mu.Lock()
+	e.mu.Unlock()
+	f.mu.Unlock()
+}

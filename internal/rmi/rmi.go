@@ -95,6 +95,11 @@ type MethodSpec struct {
 type Service struct {
 	Name    string
 	Methods map[string]MethodSpec
+
+	// requests counts inbound calls for this service. Register resolves
+	// it once so the per-request path never rebuilds the metric name
+	// ("rmi.requests."+Name allocates on every call otherwise).
+	requests *metrics.Counter
 }
 
 // ---------------------------------------------------------------------------
@@ -183,6 +188,10 @@ type Registry struct {
 	// handler is installed, and frames may already be arriving).
 	tracer atomic.Pointer[trace.Tracer]
 
+	// requests counts all inbound calls; resolved once at construction
+	// to keep metric lookups off the per-request path.
+	requests *metrics.Counter
+
 	mu       sync.Mutex
 	services map[string]*Service
 }
@@ -198,6 +207,7 @@ func NewRegistry(node Node, member *cluster.Member, reg *metrics.Registry) *Regi
 		node:     node,
 		member:   member,
 		reg:      reg,
+		requests: reg.Counter("rmi.requests"),
 		services: make(map[string]*Service),
 	}
 	node.SetHandler(r.handle)
@@ -223,6 +233,9 @@ func (r *Registry) Tracer() *trace.Tracer { return r.tracer.Load() }
 
 // Register deploys a service on this server and advertises it.
 func (r *Registry) Register(s *Service) {
+	// Resolve the per-service counter before the service becomes
+	// reachable: handle reads it without holding r.mu.
+	s.requests = r.reg.Counter("rmi.requests." + s.Name)
 	r.mu.Lock()
 	r.services[s.Name] = s
 	r.mu.Unlock()
@@ -246,6 +259,8 @@ func (r *Registry) Deployed(name string) bool {
 }
 
 // handle is the node frame handler.
+//
+//wls:hotpath
 func (r *Registry) handle(from string, f wire.Frame) *wire.Frame {
 	if f.Kind != wire.KindRequest {
 		return nil
@@ -270,8 +285,8 @@ func (r *Registry) handle(from string, f wire.Frame) *wire.Frame {
 			Body: encodeResponse(respNoSuchService, self, "no such method: "+call.Service+"."+call.Method, nil)}
 	}
 
-	r.reg.Counter("rmi.requests").Inc()
-	r.reg.Counter("rmi.requests." + call.Service).Inc()
+	r.requests.Inc()
+	svc.requests.Inc()
 	ctx := context.Background()
 	var span *trace.Span
 	if tr := r.tracer.Load(); tr != nil && sc.Sampled {

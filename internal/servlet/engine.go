@@ -106,6 +106,8 @@ func (e *Engine) Serve(path, cookie string, body []byte) Response {
 // (the RMI surface's server span, typically), session replication and
 // fetch traffic runs under child spans and carries the trace to the
 // replica servers.
+//
+//wls:hotpath
 func (e *Engine) ServeCtx(ctx context.Context, path, cookie string, body []byte) Response {
 	// URL rewriting (§3.2): a cookie-less client may carry the session
 	// token in the path instead.
@@ -146,6 +148,8 @@ func (e *Engine) ServeCtx(ctx context.Context, path, cookie string, body []byte)
 }
 
 // handleRequest is the RMI surface used by the presentation tier.
+//
+//wls:hotpath
 func (e *Engine) handleRequest(ctx context.Context, c *rmi.Call) ([]byte, error) {
 	d := wire.NewDecoder(c.Args)
 	path := d.String()

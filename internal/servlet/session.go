@@ -21,6 +21,7 @@ import (
 	"context"
 	"encoding/base64"
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -156,7 +157,7 @@ func (sm *SessionManager) newID() string {
 	sm.seq++
 	n := sm.seq
 	sm.mu.Unlock()
-	return fmt.Sprintf("%s-sess-%d", sm.self(), n)
+	return sm.self() + "-sess-" + strconv.FormatUint(n, 10)
 }
 
 // ResidentSessions reports how many sessions (primary or replica) live in

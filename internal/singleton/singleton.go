@@ -102,6 +102,10 @@ type Host struct {
 	managers []string
 	retryIv  time.Duration
 
+	// mu guards activation state; ownership checks read the lease
+	// holder while it is held (Holder.Held only, never Acquire).
+	//
+	//wls:lockorder singleton.Host.mu<lease.Holder.mu
 	mu       sync.Mutex
 	active   bool
 	stopped  bool

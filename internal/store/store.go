@@ -88,6 +88,11 @@ type Store struct {
 	clock vclock.Clock
 	reg   *metrics.Registry
 
+	// mu guards tables/sessions/changes; expiry sweeps lock each
+	// Session and counters are bumped while it is held.
+	//
+	//wls:lockorder store.Store.mu<store.Session.mu
+	//wls:lockorder store.Store.mu<metrics.Registry.mu
 	mu       sync.Mutex
 	tables   map[string]map[string]Row
 	sessions map[string]*Session

@@ -27,6 +27,7 @@ package trace
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -149,7 +150,7 @@ func (s *Span) AnnotateInt(key string, v int) {
 	if s == nil {
 		return
 	}
-	s.Annotate(key, fmt.Sprintf("%d", v))
+	s.Annotate(key, strconv.Itoa(v))
 }
 
 // SetError records err on the span (the last one wins).

@@ -82,7 +82,7 @@ type Transport struct {
 	batchFrames, batchBytes *metrics.Histogram
 
 	mu     sync.Mutex
-	conns  map[string]*conn // primary conn per advertised remote address
+	conns  map[string]*conn   // primary conn per advertised remote address
 	extras map[*conn]struct{} // duplicate inbound conns, tracked so Close reaps them
 	closed bool
 	wg     sync.WaitGroup
@@ -277,6 +277,8 @@ func (t *Transport) getConn(ctx context.Context, to string) (*conn, error) {
 // Send transmits a one-way frame. The frame is copied into the
 // connection's send queue before Send returns, so the caller may reuse
 // f.Body (e.g. release it to a pool) immediately afterwards.
+//
+//wls:hotpath
 func (t *Transport) Send(ctx context.Context, to string, f wire.Frame) error {
 	c, err := t.getConn(ctx, to)
 	if err != nil {
@@ -287,6 +289,8 @@ func (t *Transport) Send(ctx context.Context, to string, f wire.Frame) error {
 
 // Call performs a request/response exchange, retrying once on a stale
 // cached connection. Like Send, f.Body is not retained past the return.
+//
+//wls:hotpath
 func (t *Transport) Call(ctx context.Context, to string, f wire.Frame) (wire.Frame, error) {
 	for attempt := 0; ; attempt++ {
 		c, err := t.getConn(ctx, to)
@@ -480,6 +484,8 @@ func (c *conn) close(reason error) {
 // handling outlives this loop iteration (responses handed to waiters,
 // requests dispatched to the pool) get their body copied out, while
 // heartbeats run inline on the zero-copy buffer.
+//
+//wls:hotpath
 func (c *conn) readLoop() {
 	fr := wire.NewFrameReader(bufio.NewReaderSize(c.nc, 64<<10))
 	fr.SetZeroCopy(true)

@@ -116,6 +116,10 @@ type Manager struct {
 	log    Log
 	reg    *metrics.Registry
 
+	// mu guards the transaction tables; state transitions annotate the
+	// per-transaction trace span while it is held.
+	//
+	//wls:lockorder tx.Manager.mu<trace.Span.mu
 	mu       sync.Mutex
 	nextID   uint64
 	active   map[string]*Tx

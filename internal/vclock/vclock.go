@@ -70,10 +70,14 @@ func (Real) Since(t time.Time) time.Duration { return time.Since(t) }
 // simulations. Time only moves when Advance is called; timers scheduled on
 // the clock fire synchronously, in timestamp order, inside Advance.
 type Virtual struct {
-	mu   sync.Mutex
-	now  time.Time
-	pq   timerHeap
-	seq  int64 // tie-break so equal deadlines fire FIFO
+	mu  sync.Mutex
+	now time.Time
+	pq  timerHeap
+	seq int64 // tie-break so equal deadlines fire FIFO
+	// gate serializes whole Advance calls and is always taken before mu
+	// (timer callbacks run with gate held, mu released).
+	//
+	//wls:lockorder vclock.Virtual.gate<vclock.Virtual.mu
 	gate sync.Mutex
 }
 

@@ -50,6 +50,10 @@ type ETL struct {
 	tables    map[string]bool // nil = all tables
 	reg       *metrics.Registry
 
+	// mu guards the extraction cursor; each tick reads the source
+	// store's LSN while holding it.
+	//
+	//wls:lockorder warehouse.ETL.mu<store.Store.mu
 	mu       sync.Mutex
 	sinceLSN uint64
 	timer    vclock.Timer

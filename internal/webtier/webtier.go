@@ -37,6 +37,8 @@ type View = rmi.View
 var ErrNoBackends = errors.New("webtier: no reachable servlet engine")
 
 // route invokes the servlet engine on a specific member.
+//
+//wls:hotpath
 func callEngine(ctx context.Context, node rmi.Node, addr, path, cookie string, body []byte) (servlet.Response, error) {
 	stub := rmi.NewStub(servlet.ServiceName, node, rmi.StaticView(addr))
 	res, err := stub.Invoke(ctx, "request", servlet.EncodeRequest(path, cookie, body))
@@ -86,6 +88,8 @@ func (p *ProxyPlugin) addrOf(server string) (string, bool) {
 
 // Route forwards one request: cookie-primary first, then cookie-secondary,
 // then round robin over live engines (session creation).
+//
+//wls:hotpath
 func (p *ProxyPlugin) Route(ctx context.Context, path, cookie string, body []byte) (servlet.Response, error) {
 	var span *trace.Span
 	if p.tracer != nil {
@@ -183,6 +187,8 @@ func (lb *ExternalLB) backends() []cluster.MemberInfo {
 // Route forwards a request for clientID, maintaining affinity. On target
 // failure, affinity switches to an arbitrary live member; the engine there
 // recovers the session from the secondary named in the cookie.
+//
+//wls:hotpath
 func (lb *ExternalLB) Route(ctx context.Context, clientID, path, cookie string, body []byte) (servlet.Response, error) {
 	var span *trace.Span
 	if lb.tracer != nil {
