@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-strict check bench bench-transport bench-trace chaos
+.PHONY: all build test race lint lint-strict check bench bench-transport bench-trace bench-overload chaos
 
 all: build test race lint
 
@@ -58,6 +58,12 @@ bench-transport:
 # BENCH_trace.json.
 bench-trace:
 	$(GO) run ./cmd/wlsbench -exp E29 -json BENCH_trace.json
+
+# Overload-protection numbers (E30): a static cluster vs the full
+# protection stack (budgets, admission, retry budget, breakers) under a
+# flash burst with a slow server, checked in as BENCH_overload.json.
+bench-overload:
+	$(GO) run ./cmd/wlsbench -exp E30 -json BENCH_overload.json
 
 # Extended chaos sweep (E28): 32 seeds at a longer horizon than the small
 # in-tree sweep TestChaosSweepSmall runs under `make test`. A failing seed

@@ -4,6 +4,7 @@
 // cmd/wlsadmin.
 //
 //	wlsd -servers 3 -http :7001 -admin :7002 [-data /var/wls] [-trace-sample 0.01]
+//	     [-queue-workers 8 -queue-len 64 -queue-deny] [-resilient]
 //
 // Then:
 //
@@ -28,6 +29,7 @@ import (
 	"strings"
 
 	"wls"
+	"wls/internal/core"
 	"wls/internal/ejb"
 	"wls/internal/metrics"
 	"wls/internal/rmi"
@@ -41,14 +43,29 @@ func main() {
 	adminAddr := flag.String("admin", ":7002", "admin HTTP address")
 	dataDir := flag.String("data", "", "data directory for middle-tier filestores (optional)")
 	traceSample := flag.Float64("trace-sample", 0, "fraction of requests to trace (0 disables, 1 traces all)")
+	queueWorkers := flag.Int("queue-workers", 0, "execute-queue workers per server (0 disables admission control)")
+	queueLen := flag.Int("queue-len", 64, "execute-queue capacity per server (with -queue-workers > 0)")
+	queueDeny := flag.Bool("queue-deny", true, "refuse requests when the execute queue is full (false blocks instead)")
+	resilient := flag.Bool("resilient", false, "enable client-side retry budget, backoff and per-server circuit breakers")
 	flag.Parse()
 
-	cluster, err := wls.New(wls.Options{
+	opts := wls.Options{
 		Servers:     *servers,
 		RealClock:   true,
 		DataDir:     *dataDir,
 		TraceSample: *traceSample,
-	})
+	}
+	if *queueWorkers > 0 {
+		policy := core.Degrade
+		if *queueDeny {
+			policy = core.Deny
+		}
+		opts.Admission = &core.QueueConfig{Workers: *queueWorkers, QueueLen: *queueLen, Policy: policy}
+	}
+	if *resilient {
+		opts.Resilience = &rmi.ResilienceConfig{}
+	}
+	cluster, err := wls.New(opts)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -2,7 +2,7 @@ package bench
 
 import (
 	"errors"
-
+	"fmt"
 	"sync"
 	"time"
 
@@ -16,8 +16,8 @@ import (
 func runE25() *Table {
 	t := &Table{ID: "E25", Title: "Admission under a peak load",
 		Source:  "§2.3",
-		Columns: []string{"config", "offered", "completed", "denied", "p99_sojourn", "final_workers"},
-		Notes:   "deny keeps latency flat by shedding the peak (the TP-monitor policy); degrade completes everything at high tail latency; self-tuning grows the pool and completes everything with a moderate tail"}
+		Columns: []string{"config", "offered", "completed", "accepted", "denied", "p99_sojourn", "final_workers"},
+		Notes:   "deny keeps latency flat by shedding the peak (the TP-monitor policy); degrade completes everything at high tail latency; self-tuning grows the pool and completes everything with a moderate tail. accepted/denied are the queue's own counters (queue.accepted / queue.denied)"}
 
 	const (
 		offered = 400
@@ -33,7 +33,8 @@ func runE25() *Table {
 		{"self-tuning", core.QueueConfig{Workers: 4, QueueLen: offered, Policy: core.Degrade,
 			SelfTuning: true, MaxWorkers: 32, TuneInterval: 5 * time.Millisecond}},
 	} {
-		q := core.NewExecuteQueue(c.q, vclock.System, nil)
+		reg := metrics.NewRegistry()
+		q := core.NewExecuteQueue(c.q, vclock.System, reg)
 		var hist metrics.Histogram
 		var wg sync.WaitGroup
 		denied := 0
@@ -55,7 +56,11 @@ func runE25() *Table {
 			wall.Sleep(200 * time.Microsecond)
 		}
 		wg.Wait()
-		t.AddRow(c.name, offered, hist.Count(), denied,
+		if got := reg.Counter("queue.denied").Value(); got != int64(denied) {
+			panic(fmt.Sprintf("E25 %s: queue.denied counter %d != %d observed denials", c.name, got, denied))
+		}
+		t.AddRow(c.name, offered, hist.Count(),
+			reg.Counter("queue.accepted").Value(), reg.Counter("queue.denied").Value(),
 			time.Duration(hist.P99()).Round(100*time.Microsecond), q.Workers())
 		q.Close()
 	}

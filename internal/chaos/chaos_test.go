@@ -10,15 +10,45 @@ import (
 // schedule — and therefore the rendered fault timeline — is a pure
 // function of (seed, Config).
 func TestScheduleDeterministic(t *testing.T) {
-	for seed := int64(1); seed <= 100; seed++ {
-		a := Generate(seed, Config{}).String()
-		b := Generate(seed, Config{}).String()
-		if a != b {
-			t.Fatalf("seed %d: schedules differ:\n%s\n---\n%s", seed, a, b)
+	for _, cfg := range []Config{{}, {Overload: true}} {
+		for seed := int64(1); seed <= 100; seed++ {
+			a := Generate(seed, cfg).String()
+			b := Generate(seed, cfg).String()
+			if a != b {
+				t.Fatalf("seed %d (overload=%v): schedules differ:\n%s\n---\n%s", seed, cfg.Overload, a, b)
+			}
+		}
+		if Generate(1, cfg).String() == Generate(2, cfg).String() {
+			t.Fatalf("different seeds produced identical schedules (overload=%v)", cfg.Overload)
 		}
 	}
-	if Generate(1, Config{}).String() == Generate(2, Config{}).String() {
-		t.Fatalf("different seeds produced identical schedules")
+	// The overload repertoire must actually be drawn on at least sometimes.
+	sawOverloadOp := false
+	for seed := int64(1); seed <= 20 && !sawOverloadOp; seed++ {
+		for _, st := range Generate(seed, Config{Overload: true}).Steps {
+			if st.Kind == OpSlow || st.Kind == OpBurst {
+				sawOverloadOp = true
+				break
+			}
+		}
+	}
+	if !sawOverloadOp {
+		t.Fatalf("overload schedules never used OpSlow/OpBurst in 20 seeds")
+	}
+}
+
+// TestScheduleOverloadGatingStable pins that turning the overload
+// repertoire OFF leaves schedules byte-identical to the pre-overload
+// generator: the regression seeds (7, 11) and every other default-config
+// timeline must not shift when the Overload flag is merely absent.
+func TestScheduleOverloadGatingStable(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		def := Generate(seed, Config{})
+		for _, st := range def.Steps {
+			if st.Kind == OpSlow || st.Kind == OpClearSlow || st.Kind == OpBurst {
+				t.Fatalf("seed %d: default config emitted overload op %s", seed, st)
+			}
+		}
 	}
 }
 
@@ -27,7 +57,7 @@ func TestScheduleDeterministic(t *testing.T) {
 // server is never faulted, and fault concurrency stays within MaxFaults.
 func TestScheduleHealsEverything(t *testing.T) {
 	for seed := int64(1); seed <= 200; seed++ {
-		cfg := Config{}.withDefaults()
+		cfg := Config{Overload: seed%2 == 0}.withDefaults()
 		sched := Generate(seed, cfg)
 		open := map[string]int{}
 		outstanding := 0
@@ -62,6 +92,10 @@ func TestScheduleHealsEverything(t *testing.T) {
 				note("drop"+st.A+st.B, +1)
 			case OpClearDrop:
 				note("drop"+st.A+st.B, -1)
+			case OpSlow:
+				note("slow"+st.A, +1)
+			case OpClearSlow:
+				note("slow"+st.A, -1)
 			}
 		}
 		if outstanding != 0 {
@@ -121,13 +155,32 @@ func TestChaosReplay(t *testing.T) {
 	if err != nil {
 		t.Fatalf("bad WLS_CHAOS_SEED %q: %v", env, err)
 	}
-	r, err := Run(seed, Config{})
+	r, err := Run(seed, Config{Overload: os.Getenv("WLS_CHAOS_OVERLOAD") != ""})
 	if err != nil {
 		t.Fatalf("seed %d: %v", seed, err)
 	}
 	t.Logf("seed %d: %d faults\ntimeline:\n%s", seed, r.Faults, r.Timeline)
 	if r.Failed() {
 		t.Fatalf("seed %d violations:\n  %v", seed, r.Violations)
+	}
+}
+
+// TestChaosOverloadSweep drives the overload-protection stack through the
+// fault generator: flash bursts against Deny admission, slow servers
+// against budgets and breakers. Three invariants ride on it — every
+// request reaches a terminal outcome, no response is delivered past its
+// deadline, and breakers re-close once the cluster heals.
+func TestChaosOverloadSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos overload sweep skipped in -short mode")
+	}
+	res, err := Sweep(1, 3, Config{Overload: true})
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	t.Logf("\n%s", res.Report())
+	if fails := res.Failures(); len(fails) > 0 {
+		t.Fatalf("%d seed(s) violated overload invariants:\n%s", len(fails), res.Report())
 	}
 }
 

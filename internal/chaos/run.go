@@ -7,7 +7,9 @@ import (
 	"time"
 
 	"wls"
+	"wls/internal/core"
 	"wls/internal/netsim"
+	"wls/internal/rmi"
 	"wls/internal/servlet"
 )
 
@@ -22,6 +24,10 @@ type State struct {
 	Fenced map[string]bool
 	Parts  map[string]bool // "a|b" partitioned
 	Drops  map[string]bool // "a|b" lossy
+	Slow   map[string]bool // latency-inflated (overload configs)
+	// Bursts counts pending flash crowds; the overload workload consumes
+	// them as oversized volleys.
+	Bursts int
 	// Restarted counts restarts per server: a restarted server is alive
 	// but has lost all in-memory state, which matters to the session
 	// workload's forgiveness rule.
@@ -35,6 +41,7 @@ func newState() *State {
 		Fenced:    map[string]bool{},
 		Parts:     map[string]bool{},
 		Drops:     map[string]bool{},
+		Slow:      map[string]bool{},
 		Restarted: map[string]int{},
 	}
 }
@@ -153,12 +160,26 @@ func (h *Harness) apply(s Step) {
 	case OpClearDrop:
 		c.Net().SetDropRate(h.Server(s.A).Addr(), h.Server(s.B).Addr(), 0)
 		delete(h.State.Drops, key)
+	case OpSlow:
+		c.Net().SetSlow(h.Server(s.A).Addr(), slowLatency)
+		h.State.Slow[s.A] = true
+	case OpClearSlow:
+		c.Net().SetSlow(h.Server(s.A).Addr(), 0)
+		delete(h.State.Slow, s.A)
+	case OpBurst:
+		h.State.Bursts++
 	}
 }
+
+// slowLatency is the per-link inflation a slow server suffers: large
+// against the default RMI hop, small against the budgets the overload
+// workload grants, so slow responses arrive late but inside the horizon.
+const slowLatency = 150 * time.Millisecond
 
 // Result is the outcome of one seeded run.
 type Result struct {
 	Seed     int64
+	Overload bool
 	Schedule *Schedule
 	// Timeline is the rendered schedule — byte-identical for identical
 	// (seed, Config).
@@ -173,11 +194,16 @@ type Result struct {
 func (r *Result) Failed() bool { return len(r.Violations) > 0 }
 
 // Replay returns the one-command reproduction for this run.
-func (r *Result) Replay() string { return ReplayCommand(r.Seed) }
+func (r *Result) Replay() string { return ReplayCommand(r.Seed, r.Overload) }
 
 // ReplayCommand renders the minimal command reproducing a seed's run.
-func ReplayCommand(seed int64) string {
-	return fmt.Sprintf("WLS_CHAOS_SEED=%d go test -run TestChaosReplay ./internal/chaos", seed)
+// Overload runs need the matching config, carried by a second env marker.
+func ReplayCommand(seed int64, overload bool) string {
+	env := fmt.Sprintf("WLS_CHAOS_SEED=%d", seed)
+	if overload {
+		env = "WLS_CHAOS_OVERLOAD=1 " + env
+	}
+	return env + " go test -run TestChaosReplay ./internal/chaos"
 }
 
 // Run executes one seeded scenario: boot a cluster with an admin server
@@ -193,13 +219,21 @@ func Run(seed int64, cfg Config) (*Result, error) {
 	}
 	defer os.RemoveAll(dir)
 
-	c, err := wls.New(wls.Options{
+	opts := wls.Options{
 		Servers:   cfg.Servers,
 		WithAdmin: true,
 		DataDir:   dir,
 		Sessions:  servlet.SessionsReplicated,
 		Seed:      seed,
-	})
+	}
+	if cfg.Overload {
+		// A deliberately small Deny queue so flash crowds actually shed, and
+		// the full client-side resilience stack so the invariants exercise
+		// budgets, retries and breakers together.
+		opts.Admission = &core.QueueConfig{Workers: 2, QueueLen: 8, Policy: core.Deny}
+		opts.Resilience = &rmi.ResilienceConfig{}
+	}
+	c, err := wls.New(opts)
 	if err != nil {
 		return nil, fmt.Errorf("chaos: boot: %w", err)
 	}
@@ -214,6 +248,9 @@ func Run(seed int64, cfg Config) (*Result, error) {
 		newTxWorkload(seed),
 		newJMSWorkload(seed),
 		newSessionWorkload(seed),
+	}
+	if cfg.Overload {
+		workloads = append(workloads, newOverloadWorkload(seed))
 	}
 	for _, w := range workloads {
 		if err := w.Setup(h); err != nil {
@@ -269,6 +306,7 @@ func Run(seed int64, cfg Config) (*Result, error) {
 
 	return &Result{
 		Seed:       seed,
+		Overload:   cfg.Overload,
 		Schedule:   sched,
 		Timeline:   sched.String(),
 		Faults:     int(faults.Load()),

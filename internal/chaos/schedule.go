@@ -11,6 +11,15 @@
 //   - JMS exactly-once delivery under store-and-forward (§4)
 //   - replicated-session survival of any single failure (§3.2)
 //
+// With Config.Overload, slow-server and flash-burst faults join the
+// schedule and three overload invariants join the checks (§2.3 + §2.1):
+//
+//   - every budgeted request reaches a terminal outcome (reply, BUSY,
+//     budget exhaustion, or application error) — nothing hangs
+//   - no response is delivered after its request's deadline
+//   - once every fault is healed and traffic flows again, every open
+//     circuit breaker re-closes
+//
 // Every run is reproducible from (seed, schedule): the schedule is a pure
 // function of the seed and the Config, so the rendered fault timeline is
 // byte-identical across runs, and a failing sweep prints the one-command
@@ -41,6 +50,12 @@ type Config struct {
 	// and recovery runs. Default 5s (covers the 1s lease TTL and the 16x
 	// SAF backoff with margin).
 	Quiesce time.Duration
+	// Overload adds the overload-protection faults to the generator's
+	// repertoire (slow servers, flash bursts), boots the cluster with
+	// admission control and client resilience, and installs the overload
+	// workload. Off by default so the schedules of pinned regression seeds
+	// stay byte-identical.
+	Overload bool
 }
 
 func (c Config) withDefaults() Config {
@@ -79,6 +94,13 @@ const (
 	OpHeal
 	OpDrop
 	OpClearDrop
+	// OpSlow inflates every link touching a server (a slow server that
+	// still answers, late); OpClearSlow heals it. Overload configs only.
+	OpSlow
+	OpClearSlow
+	// OpBurst is a momentary flash crowd: the overload workload issues a
+	// volley far above steady state. It has no heal. Overload configs only.
+	OpBurst
 )
 
 func (k OpKind) String() string {
@@ -105,6 +127,12 @@ func (k OpKind) String() string {
 		return "drop"
 	case OpClearDrop:
 		return "cleardrop"
+	case OpSlow:
+		return "slow"
+	case OpClearSlow:
+		return "clearslow"
+	case OpBurst:
+		return "burst"
 	default:
 		return fmt.Sprintf("op(%d)", int(k))
 	}
@@ -131,6 +159,8 @@ func (s Step) String() string {
 		return fmt.Sprintf("drop %s %s p=%.1f", s.A, s.B, s.P)
 	case OpClearDrop:
 		return fmt.Sprintf("cleardrop %s %s", s.A, s.B)
+	case OpBurst:
+		return "burst"
 	default:
 		return fmt.Sprintf("%s %s", s.Kind, s.A)
 	}
@@ -175,6 +205,8 @@ func (f fault) heal() Step {
 		return Step{Kind: OpUnfence, A: f.a}
 	case OpPartition:
 		return Step{Kind: OpHeal, A: f.a, B: f.b}
+	case OpSlow:
+		return Step{Kind: OpClearSlow, A: f.a}
 	default:
 		return Step{Kind: OpClearDrop, A: f.a, B: f.b}
 	}
@@ -207,7 +239,7 @@ func Generate(seed int64, cfg Config) *Schedule {
 		f := active[i]
 		active = append(active[:i], active[i+1:]...)
 		switch f.kind {
-		case OpCrash, OpFreeze, OpFence:
+		case OpCrash, OpFreeze, OpFence, OpSlow:
 			delete(srvBusy, f.a)
 		case OpPartition:
 			delete(pairs, pairKey(f.a, f.b))
@@ -230,6 +262,13 @@ func Generate(seed int64, cfg Config) *Schedule {
 
 	for round := 0; round < cfg.Steps; round++ {
 		steps = append(steps, Step{Kind: OpAdvance, D: cfg.Tick * time.Duration(1+rng.Intn(3))})
+
+		// Flash crowds are momentary (no heal, no fault slot), so they are
+		// drawn independently of the fault machinery. Gated on Overload so
+		// default-config schedules consume the RNG identically to before.
+		if cfg.Overload && rng.Float64() < 0.15 {
+			steps = append(steps, Step{Kind: OpBurst})
+		}
 
 		if len(active) >= cfg.MaxFaults {
 			f := removeActive(rng.Intn(len(active)))
@@ -283,6 +322,9 @@ func Generate(seed int64, cfg Config) *Schedule {
 				{2, serverOp(OpFence)},
 				{2, pairOp(OpPartition, pairs)},
 				{1, pairOp(OpDrop, drops)},
+			}
+			if cfg.Overload {
+				actions = append(actions, action{2, serverOp(OpSlow)})
 			}
 			total := 0
 			for _, a := range actions {

@@ -360,7 +360,8 @@ func (e *Elector) invoke(addr, method string, args []byte) ([]byte, error) {
 // service handles inbound vote requests and heartbeats.
 func (e *Elector) service() *rmi.Service {
 	return &rmi.Service{
-		Name: ServiceName,
+		Name:   ServiceName,
+		System: true,
 		Methods: map[string]rmi.MethodSpec{
 			"requestVote": {Idempotent: true, Handler: func(ctx context.Context, c *rmi.Call) ([]byte, error) {
 				d := wire.NewDecoder(c.Args)

@@ -108,6 +108,14 @@ type ExecuteQueue struct {
 	clock vclock.Clock
 	reg   *metrics.Registry
 
+	// Shedding must be observable (wlsadmin metrics, E25/E30): counters
+	// are resolved once at construction so the per-submit path is a bare
+	// atomic increment.
+	submitted *metrics.Counter
+	accepted  *metrics.Counter
+	denied    *metrics.Counter
+	depth     *metrics.Gauge // queued-but-unstarted tasks
+
 	tasks chan func()
 
 	mu      sync.Mutex
@@ -135,10 +143,14 @@ func NewExecuteQueue(cfg QueueConfig, clock vclock.Clock, reg *metrics.Registry)
 		reg = metrics.NewRegistry()
 	}
 	q := &ExecuteQueue{
-		cfg:   cfg,
-		clock: clock,
-		reg:   reg,
-		tasks: make(chan func(), cfg.QueueLen),
+		cfg:       cfg,
+		clock:     clock,
+		reg:       reg,
+		submitted: reg.Counter("queue.submitted"),
+		accepted:  reg.Counter("queue.accepted"),
+		denied:    reg.Counter("queue.denied"),
+		depth:     reg.Gauge("queue.depth"),
+		tasks:     make(chan func(), cfg.QueueLen),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		q.addWorker()
@@ -162,6 +174,7 @@ func (q *ExecuteQueue) addWorker() {
 				if !ok {
 					return
 				}
+				q.depth.Add(-1)
 				task()
 			case <-stop:
 				return
@@ -184,6 +197,8 @@ func (q *ExecuteQueue) removeWorker() {
 
 // Submit enqueues work. Under Deny it fails fast when the queue is full;
 // under Degrade it blocks until there is room.
+//
+//wls:hotpath
 func (q *ExecuteQueue) Submit(task func()) error {
 	q.mu.Lock()
 	closed := q.closed
@@ -191,17 +206,24 @@ func (q *ExecuteQueue) Submit(task func()) error {
 	if closed {
 		return ErrQueueClosed
 	}
-	q.reg.Counter("queue.submitted").Inc()
+	q.submitted.Inc()
+	// The depth gauge tracks waiting work (including Degrade submitters
+	// blocked on a full queue): +1 before the enqueue attempt, -1 when a
+	// worker dequeues the task or the submit is denied.
+	q.depth.Add(1)
 	if q.cfg.Policy == Deny {
 		select {
 		case q.tasks <- task:
+			q.accepted.Inc()
 			return nil
 		default:
-			q.reg.Counter("queue.denied").Inc()
+			q.depth.Add(-1)
+			q.denied.Inc()
 			return ErrDenied
 		}
 	}
 	q.tasks <- task
+	q.accepted.Inc()
 	return nil
 }
 
@@ -238,7 +260,11 @@ func (q *ExecuteQueue) scheduleTune() {
 	q.mu.Unlock()
 }
 
-// Close stops accepting work; queued tasks still run.
+// Close stops accepting work; queued tasks still run. The task channel is
+// deliberately never closed: a Submit racing Close must fail with
+// ErrQueueClosed (or at worst enqueue a task the drain below picks up),
+// never panic on a closed channel — the RMI registry submits from
+// transport goroutines that cannot be quiesced first.
 func (q *ExecuteQueue) Close() {
 	q.mu.Lock()
 	if q.closed {
@@ -248,11 +274,27 @@ func (q *ExecuteQueue) Close() {
 	q.closed = true
 	t := q.tuner
 	q.tuner = nil
+	stops := q.stops
+	q.stops = nil
+	q.workers = 0
 	q.mu.Unlock()
 	if t != nil {
 		t.Stop()
 	}
-	close(q.tasks)
+	for _, s := range stops {
+		close(s)
+	}
+	// Drain what the workers left behind: an accepted task may have a
+	// transport goroutine blocked on its completion.
+	for {
+		select {
+		case task := <-q.tasks:
+			q.depth.Add(-1)
+			task()
+		default:
+			return
+		}
+	}
 }
 
 // ---------------------------------------------------------------------------

@@ -11,6 +11,7 @@ import (
 
 	"wls/internal/core"
 	"wls/internal/filestore"
+	"wls/internal/metrics"
 	"wls/internal/simtest"
 	"wls/internal/singleton"
 	"wls/internal/vclock"
@@ -57,6 +58,46 @@ func TestDenyPolicyRejectsWhenFull(t *testing.T) {
 	err := q.Submit(func() {})
 	if !errors.Is(err, core.ErrDenied) {
 		t.Fatalf("want ErrDenied, got %v", err)
+	}
+}
+
+// TestQueueMetrics pins the admission observability contract: submitted /
+// accepted / denied counters and a depth gauge that returns to zero once
+// the backlog drains.
+func TestQueueMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	q := core.NewExecuteQueue(core.QueueConfig{Workers: 1, QueueLen: 2, Policy: core.Deny}, vclock.System, reg)
+	defer q.Close()
+	block := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(3)
+	q.Submit(func() { <-block; wg.Done() })
+	time.Sleep(10 * time.Millisecond) // let the worker dequeue the blocker
+	q.Submit(func() { wg.Done() })
+	q.Submit(func() { wg.Done() })
+	if err := q.Submit(func() {}); !errors.Is(err, core.ErrDenied) {
+		t.Fatalf("4th submit: want ErrDenied, got %v", err)
+	}
+	if got := reg.Counter("queue.submitted").Value(); got != 4 {
+		t.Fatalf("queue.submitted = %d, want 4", got)
+	}
+	if got := reg.Counter("queue.accepted").Value(); got != 3 {
+		t.Fatalf("queue.accepted = %d, want 3", got)
+	}
+	if got := reg.Counter("queue.denied").Value(); got != 1 {
+		t.Fatalf("queue.denied = %d, want 1", got)
+	}
+	if got := reg.Gauge("queue.depth").Value(); got != 2 {
+		t.Fatalf("queue.depth with backlog = %d, want 2", got)
+	}
+	close(block)
+	wg.Wait()
+	deadline := time.Now().Add(time.Second)
+	for reg.Gauge("queue.depth").Value() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue.depth never drained: %d", reg.Gauge("queue.depth").Value())
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 

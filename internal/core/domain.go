@@ -88,7 +88,8 @@ const AdminServiceName = "wls.admin"
 // AdminService exposes the domain configuration to booting servers.
 func (d *Domain) AdminService() *rmi.Service {
 	return &rmi.Service{
-		Name: AdminServiceName,
+		Name:   AdminServiceName,
+		System: true,
 		Methods: map[string]rmi.MethodSpec{
 			"getConfig": {Idempotent: true, Handler: func(ctx context.Context, c *rmi.Call) ([]byte, error) {
 				dec := wire.NewDecoder(c.Args)

@@ -158,7 +158,8 @@ const HealthServiceName = "wls.health"
 // grace-period protocol.
 func (h *HealthMonitor) Service() *rmi.Service {
 	return &rmi.Service{
-		Name: HealthServiceName,
+		Name:   HealthServiceName,
+		System: true,
 		Methods: map[string]rmi.MethodSpec{
 			"check": {Idempotent: true, Handler: func(ctx context.Context, c *rmi.Call) ([]byte, error) {
 				e := wire.NewEncoder(16)

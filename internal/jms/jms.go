@@ -348,7 +348,8 @@ func (b *Broker) RMIService() *rmi.Service {
 		}
 	}
 	return &rmi.Service{
-		Name: ServiceName,
+		Name:   ServiceName,
+		System: true,
 		Methods: map[string]rmi.MethodSpec{
 			// send: plain remote produce (client/server messaging).
 			"send": {Handler: func(ctx context.Context, c *rmi.Call) ([]byte, error) {

@@ -379,7 +379,8 @@ func (m *Manager) RMIService() *rmi.Service {
 		return e.Bytes()
 	}
 	return &rmi.Service{
-		Name: ServiceName,
+		Name:   ServiceName,
+		System: true,
 		Methods: map[string]rmi.MethodSpec{
 			"acquire": {Handler: func(ctx context.Context, c *rmi.Call) ([]byte, error) {
 				d := wire.NewDecoder(c.Args)

@@ -49,6 +49,7 @@ type Network struct {
 	endpoints   map[string]*Endpoint
 	partitioned map[linkKey]bool
 	latency     map[linkKey]time.Duration
+	slow        map[string]time.Duration // per-endpoint latency inflation
 	dropRate    map[linkKey]float64
 	fenced      map[string]bool
 	defLatency  time.Duration
@@ -67,7 +68,7 @@ type FaultEvent struct {
 	// At is the fabric clock time of the injection.
 	At time.Time
 	// Op names the action: "partition", "heal", "fence", "unfence",
-	// "freeze", "thaw", "stop", "restart", "droprate".
+	// "freeze", "thaw", "stop", "restart", "droprate", "slow".
 	Op string
 	// A is the affected endpoint; B is the peer for link-level ops.
 	A, B string
@@ -114,6 +115,7 @@ func New(clock vclock.Clock, seed int64) *Network {
 		endpoints:   make(map[string]*Endpoint),
 		partitioned: make(map[linkKey]bool),
 		latency:     make(map[linkKey]time.Duration),
+		slow:        make(map[string]time.Duration),
 		dropRate:    make(map[linkKey]float64),
 		fenced:      make(map[string]bool),
 	}
@@ -148,6 +150,21 @@ func (n *Network) SetLatency(a, b string, d time.Duration) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.latency[link(a, b)] = d
+}
+
+// SetSlow adds extra one-way latency to every link touching addr — a
+// "slow server" whose execute threads lag without the process being down,
+// the overload-protection stack's hardest case (it still answers, late).
+// extra <= 0 clears the inflation.
+func (n *Network) SetSlow(addr string, extra time.Duration) {
+	n.mu.Lock()
+	if extra <= 0 {
+		delete(n.slow, addr)
+	} else {
+		n.slow[addr] = extra
+	}
+	n.mu.Unlock()
+	n.recordFault("slow", addr, "", extra.Seconds())
 }
 
 // SetDropRate sets the probability (0..1) that a one-way frame between a and
@@ -289,6 +306,7 @@ func (n *Network) route(src, dst string, oneWay bool) (*Endpoint, time.Duration,
 	if !ok {
 		lat = n.defLatency
 	}
+	lat += n.slow[src] + n.slow[dst]
 	return ep, lat, nil
 }
 

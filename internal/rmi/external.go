@@ -22,7 +22,8 @@ const viewMethod = "view"
 // registerBuiltins deploys the cluster-view service.
 func (r *Registry) registerBuiltins() {
 	r.Register(&Service{
-		Name: ViewServiceName,
+		Name:   ViewServiceName,
+		System: true,
 		Methods: map[string]MethodSpec{
 			viewMethod: {
 				Idempotent: true,
@@ -168,14 +169,30 @@ func (c *ExternalClient) Stub(service string, opts ...StubOption) *Stub {
 // branch participant).
 func StaticView(addrs ...string) View { return staticView{addrs: addrs} }
 
+// NamedStaticView returns a single-member View with an explicit member
+// name. Client-side resilience keys breakers by candidate name, so
+// callers that dial a fixed address on a known member (routers, breaker
+// probes) use this to share breaker state with stubs built from live
+// views; plain StaticView candidates are named by their address.
+func NamedStaticView(name, addr string) View {
+	return staticView{addrs: []string{addr}, name: name}
+}
+
 // staticView lets the bootstrap query target a fixed address before any
 // view is known.
-type staticView struct{ addrs []string }
+type staticView struct {
+	addrs []string
+	name  string // optional member name (single-address views)
+}
 
 func (v staticView) Candidates(string) []cluster.MemberInfo {
 	out := make([]cluster.MemberInfo, 0, len(v.addrs))
 	for _, a := range v.addrs {
-		out = append(out, cluster.MemberInfo{Name: a, Addr: a, Services: []string{ViewServiceName}})
+		name := a
+		if v.name != "" {
+			name = v.name
+		}
+		out = append(out, cluster.MemberInfo{Name: name, Addr: a, Services: []string{ViewServiceName}})
 	}
 	return out
 }

@@ -1,0 +1,166 @@
+package rmi
+
+import (
+	"testing"
+	"time"
+
+	"wls/internal/metrics"
+	"wls/internal/vclock"
+)
+
+// White-box coverage of the resilience primitives: the breaker state
+// machine, the retry token bucket and the deterministic backoff jitter.
+
+func newTestResilience(cfg ResilienceConfig) (*Resilience, *vclock.Virtual, *metrics.Registry) {
+	clk := vclock.NewVirtualAtZero()
+	reg := metrics.NewRegistry()
+	return NewResilience(cfg, clk, reg), clk, reg
+}
+
+func TestBreakerStateMachine(t *testing.T) {
+	cfg := ResilienceConfig{BreakerThreshold: 3, BreakerCooldown: 100 * time.Millisecond}
+	r, clk, reg := newTestResilience(cfg)
+	const srv = "server-1"
+
+	// Closed: failures below the threshold keep admitting.
+	for i := 0; i < 2; i++ {
+		if !r.Allow(srv) {
+			t.Fatalf("closed breaker refused attempt %d", i)
+		}
+		r.recordFailure(srv)
+	}
+	if st := r.State(srv); st != BreakerClosed {
+		t.Fatalf("state after 2 failures = %v, want closed", st)
+	}
+
+	// Threshold failure opens it; open refuses until the cooldown elapses.
+	r.recordFailure(srv)
+	if st := r.State(srv); st != BreakerOpen {
+		t.Fatalf("state after threshold = %v, want open", st)
+	}
+	if got := reg.Counter("rmi.breaker.opened").Value(); got != 1 {
+		t.Fatalf("breaker.opened = %d, want 1", got)
+	}
+	if r.Allow(srv) {
+		t.Fatal("open breaker admitted before cooldown")
+	}
+
+	// Cooldown promotes to half-open with exactly one probe slot.
+	clk.Advance(cfg.BreakerCooldown)
+	if !r.Allow(srv) {
+		t.Fatal("cooled-down breaker refused the probe")
+	}
+	if st := r.State(srv); st != BreakerHalfOpen {
+		t.Fatalf("state after cooldown = %v, want half-open", st)
+	}
+	r.markAttempt(srv)
+	if r.Allow(srv) {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+
+	// Failed probe: back to open, cooldown restarts from the probe failure.
+	r.recordFailure(srv)
+	if st := r.State(srv); st != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", st)
+	}
+	clk.Advance(cfg.BreakerCooldown / 2)
+	if r.Allow(srv) {
+		t.Fatal("re-opened breaker admitted before a fresh cooldown")
+	}
+
+	// Successful probe re-closes and is counted.
+	clk.Advance(cfg.BreakerCooldown)
+	if !r.Allow(srv) {
+		t.Fatal("breaker refused the second probe")
+	}
+	r.markAttempt(srv)
+	r.recordSuccess(srv)
+	if st := r.State(srv); st != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", st)
+	}
+	if got := reg.Counter("rmi.breaker.closed").Value(); got != 1 {
+		t.Fatalf("breaker.closed = %d, want 1", got)
+	}
+}
+
+// TestBreakerOpenDoesNotRefreshOnFailure pins the anti-livelock rule:
+// failures recorded while already open (forced last-resort probes under a
+// total outage) must not postpone the half-open transition.
+func TestBreakerOpenDoesNotRefreshOnFailure(t *testing.T) {
+	cfg := ResilienceConfig{BreakerThreshold: 1, BreakerCooldown: 100 * time.Millisecond}
+	r, clk, _ := newTestResilience(cfg)
+	const srv = "server-1"
+	r.recordFailure(srv)
+	if st := r.State(srv); st != BreakerOpen {
+		t.Fatalf("state = %v, want open", st)
+	}
+	clk.Advance(90 * time.Millisecond)
+	r.recordFailure(srv) // while open: must not restart the cooldown
+	clk.Advance(10 * time.Millisecond)
+	if !r.Allow(srv) {
+		t.Fatal("failure while open postponed the half-open transition")
+	}
+}
+
+func TestRetryTokenBucket(t *testing.T) {
+	r, _, reg := newTestResilience(ResilienceConfig{RetryBudget: 2, RetryRatio: 0.5})
+	// Bucket starts full.
+	for i := 0; i < 2; i++ {
+		if !r.SpendRetry() {
+			t.Fatalf("spend %d refused with tokens banked", i)
+		}
+	}
+	if r.SpendRetry() {
+		t.Fatal("empty bucket granted a retry")
+	}
+	if got := reg.Counter("rmi.retry.denied").Value(); got != 1 {
+		t.Fatalf("retry.denied = %d, want 1", got)
+	}
+	// Successes earn fractional credit: two at ratio 0.5 bank one retry.
+	r.recordSuccess("server-1")
+	if r.SpendRetry() {
+		t.Fatal("half a token granted a retry")
+	}
+	r.recordSuccess("server-1")
+	if !r.SpendRetry() {
+		t.Fatal("earned token refused")
+	}
+	if got := reg.Counter("rmi.retries").Value(); got != 3 {
+		t.Fatalf("retries = %d, want 3", got)
+	}
+}
+
+func TestBackoffDeterministicAndBounded(t *testing.T) {
+	cfg := ResilienceConfig{Seed: 42, BackoffBase: 5 * time.Millisecond, BackoffMax: 250 * time.Millisecond}
+	a, _, _ := newTestResilience(cfg)
+	b, _, _ := newTestResilience(cfg)
+	other, _, _ := newTestResilience(ResilienceConfig{Seed: 43, BackoffBase: 5 * time.Millisecond, BackoffMax: 250 * time.Millisecond})
+
+	var seqA, seqB, seqO []time.Duration
+	for n := 1; n <= 12; n++ {
+		seqA = append(seqA, a.backoff(n))
+		seqB = append(seqB, b.backoff(n))
+		seqO = append(seqO, other.backoff(n))
+	}
+	differs := false
+	for n := 1; n <= 12; n++ {
+		da, db := seqA[n-1], seqB[n-1]
+		if da != db {
+			t.Fatalf("backoff(%d) not deterministic: %v vs %v", n, da, db)
+		}
+		if da != seqO[n-1] {
+			differs = true
+		}
+		// Uncapped growth is base<<(n-1); jitter scales into [0.5, 1.0).
+		exp := cfg.BackoffBase << (n - 1)
+		if exp > cfg.BackoffMax || exp <= 0 {
+			exp = cfg.BackoffMax
+		}
+		if da < exp/2 || da >= exp {
+			t.Fatalf("backoff(%d) = %v outside [%v, %v)", n, da, exp/2, exp)
+		}
+	}
+	if !differs {
+		t.Fatal("different seeds produced identical jitter sequences")
+	}
+}

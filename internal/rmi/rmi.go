@@ -20,10 +20,12 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"wls/internal/cluster"
 	"wls/internal/metrics"
 	"wls/internal/trace"
+	"wls/internal/vclock"
 	"wls/internal/wire"
 )
 
@@ -89,12 +91,21 @@ type MethodSpec struct {
 	// Idempotent declares that the method may be safely retried on another
 	// server even after it may have executed (§3.1).
 	Idempotent bool
+	// System exempts the method from execute-queue admission: cluster
+	// infrastructure (session replication, lease renewal, transaction
+	// coordination, health probes) is small, bounded work whose denial
+	// under load would destabilize the cluster rather than protect it —
+	// the equivalent of WebLogic's dedicated system execute queues.
+	System bool
 }
 
 // Service is a named set of methods.
 type Service struct {
 	Name    string
 	Methods map[string]MethodSpec
+	// System marks every method of the service as cluster infrastructure,
+	// exempt from execute-queue admission (see MethodSpec.System).
+	System bool
 
 	// requests counts inbound calls for this service. Register resolves
 	// it once so the per-request path never rebuilds the metric name
@@ -110,6 +121,7 @@ const (
 	respAppError
 	respSystemError
 	respNoSuchService // definitely no side effects: safe to fail over
+	respBusy          // admission refused (queue full / budget expired): no side effects
 )
 
 // encodeRequestTo writes c into e. The stub call path encodes into a
@@ -125,10 +137,11 @@ func encodeRequestTo(e *wire.Encoder, c *Call) {
 }
 
 // decodeRequest reads the fixed request fields, then the optional trailing
-// trace envelope. A request without the envelope (an old-version caller)
-// decodes to a zero SpanContext and is handled identically to before the
-// envelope existed.
-func decodeRequest(from string, b []byte) (*Call, trace.SpanContext, error) {
+// blocks: a deadline block first (remaining budget), then the trace
+// envelope. A request with neither (an old-version caller) decodes to a
+// zero SpanContext, no budget, and is handled identically to before the
+// blocks existed.
+func decodeRequest(from string, b []byte) (*Call, trace.SpanContext, time.Duration, bool, error) {
 	d := wire.NewDecoder(b)
 	c := &Call{
 		From:    from,
@@ -139,13 +152,17 @@ func decodeRequest(from string, b []byte) (*Call, trace.SpanContext, error) {
 		Args:    d.Bytes(),
 	}
 	if err := d.Err(); err != nil {
-		return nil, trace.SpanContext{}, err
+		return nil, trace.SpanContext{}, 0, false, err
+	}
+	remaining, hasBudget, err := parseDeadline(d)
+	if err != nil {
+		return nil, trace.SpanContext{}, 0, false, err
 	}
 	sc, err := trace.ParseEnvelope(d)
 	if err != nil {
-		return nil, trace.SpanContext{}, err
+		return nil, trace.SpanContext{}, 0, false, err
 	}
-	return c, sc, nil
+	return c, sc, remaining, hasBudget, nil
 }
 
 func encodeResponse(status byte, servedBy, errMsg string, body []byte) []byte {
@@ -178,19 +195,35 @@ func decodeResponse(b []byte) (response, error) {
 // ---------------------------------------------------------------------------
 // Registry (server side)
 
+// Admission is the execute-queue contract the registry dispatches
+// non-system requests through (an interface, not *core.ExecuteQueue,
+// because core sits above rmi in the import graph). Submit either accepts
+// the task for asynchronous execution or returns an error, which the
+// registry reports as a wire-level BUSY response: the request was refused
+// before any application code ran, so the caller may safely fail over.
+type Admission interface {
+	Submit(task func()) error
+}
+
 // Registry dispatches inbound invocations on one server and advertises its
 // services cluster-wide.
 type Registry struct {
 	node   Node
 	member *cluster.Member
 	reg    *metrics.Registry
+	clock  vclock.Clock
 	// tracer continues inbound traces (atomic: it is wired after the
 	// handler is installed, and frames may already be arriving).
 	tracer atomic.Pointer[trace.Tracer]
+	// admission, when set, is the execute queue all non-system requests
+	// pass through (atomic for the same wiring-order reason as tracer).
+	admission atomic.Pointer[Admission]
 
 	// requests counts all inbound calls; resolved once at construction
 	// to keep metric lookups off the per-request path.
 	requests *metrics.Counter
+	// busy counts BUSY responses sent (admission denials + expiries).
+	busy *metrics.Counter
 
 	mu       sync.Mutex
 	services map[string]*Service
@@ -207,7 +240,9 @@ func NewRegistry(node Node, member *cluster.Member, reg *metrics.Registry) *Regi
 		node:     node,
 		member:   member,
 		reg:      reg,
+		clock:    member.Clock(),
 		requests: reg.Counter("rmi.requests"),
+		busy:     reg.Counter("rmi.busy"),
 		services: make(map[string]*Service),
 	}
 	node.SetHandler(r.handle)
@@ -230,6 +265,16 @@ func (r *Registry) SetTracer(t *trace.Tracer) { r.tracer.Store(t) }
 
 // Tracer returns the installed tracer, or nil.
 func (r *Registry) Tracer() *trace.Tracer { return r.tracer.Load() }
+
+// SetAdmission routes all non-system inbound requests through q. A nil q
+// (the default) executes requests inline on the transport's goroutine.
+func (r *Registry) SetAdmission(q Admission) {
+	if q == nil {
+		r.admission.Store(nil)
+		return
+	}
+	r.admission.Store(&q)
+}
 
 // Register deploys a service on this server and advertises it.
 func (r *Registry) Register(s *Service) {
@@ -265,7 +310,7 @@ func (r *Registry) handle(from string, f wire.Frame) *wire.Frame {
 	if f.Kind != wire.KindRequest {
 		return nil
 	}
-	call, sc, err := decodeRequest(from, f.Body)
+	call, sc, remaining, hasBudget, err := decodeRequest(from, f.Body)
 	if err != nil {
 		return &wire.Frame{Kind: wire.KindResponse, Corr: f.Corr,
 			Body: encodeResponse(respSystemError, r.node.Addr(), "malformed request", nil)}
@@ -285,9 +330,75 @@ func (r *Registry) handle(from string, f wire.Frame) *wire.Frame {
 			Body: encodeResponse(respNoSuchService, self, "no such method: "+call.Service+"."+call.Method, nil)}
 	}
 
+	// Re-derive the caller's budget against this server's clock. Work that
+	// arrives already expired is refused before counting as a request: the
+	// caller stopped waiting, so executing it would be pure waste (and BUSY
+	// truthfully promises no side effects).
+	ctx := context.Background()
+	var budget Budget
+	if hasBudget {
+		if remaining <= 0 {
+			return r.busyFrame(f.Corr, self, "deadline expired on arrival")
+		}
+		budget = Budget{clock: r.clock, deadline: r.clock.Now().Add(remaining)}
+		ctx = context.WithValue(ctx, budgetKey{}, budget)
+	}
+
 	r.requests.Inc()
 	svc.requests.Inc()
-	ctx := context.Background()
+
+	if qp := r.admission.Load(); qp != nil && !m.System && !svc.System {
+		return r.dispatchQueued(ctx, *qp, f.Corr, self, call, sc, m, budget)
+	}
+	return r.execute(ctx, f.Corr, self, call, sc, m)
+}
+
+func (r *Registry) busyFrame(corr uint64, self, msg string) *wire.Frame {
+	r.busy.Inc()
+	return &wire.Frame{Kind: wire.KindResponse, Corr: corr,
+		Body: encodeResponse(respBusy, self, msg, nil)}
+}
+
+// dispatchQueued routes one admitted-or-refused request through the
+// server's execute queue (§2.3). The transport goroutine blocks for the
+// outcome; under a budget it stops waiting at the deadline, and an atomic
+// claim decides the request's fate exactly once — either a worker runs it,
+// or the timeout abandons it while still queued and BUSY's no-side-effects
+// promise stays truthful.
+func (r *Registry) dispatchQueued(ctx context.Context, q Admission, corr uint64,
+	self string, call *Call, sc trace.SpanContext, m MethodSpec, budget Budget) *wire.Frame {
+	done := make(chan *wire.Frame, 1)
+	var claimed atomic.Bool
+	err := q.Submit(func() {
+		if !claimed.CompareAndSwap(false, true) {
+			return // abandoned at deadline while queued: BUSY already sent
+		}
+		done <- r.execute(ctx, corr, self, call, sc, m)
+	})
+	if err != nil {
+		return r.busyFrame(corr, self, err.Error())
+	}
+	if budget.Valid() {
+		select {
+		case fr := <-done:
+			return fr
+		case <-budget.clock.After(budget.Remaining()):
+			if claimed.CompareAndSwap(false, true) {
+				return r.busyFrame(corr, self, "deadline expired in queue")
+			}
+			// A worker claimed it first: the handler is running, so report
+			// its true outcome (the caller's own deadline gate discards it).
+			return <-done
+		}
+	}
+	return <-done
+}
+
+// execute runs one request's handler and encodes the response.
+//
+//wls:hotpath
+func (r *Registry) execute(ctx context.Context, corr uint64, self string,
+	call *Call, sc trace.SpanContext, m MethodSpec) *wire.Frame {
 	var span *trace.Span
 	if tr := r.tracer.Load(); tr != nil && sc.Sampled {
 		ctx, span = tr.StartRemote(ctx, sc, "rmi.serve "+call.Service+"."+call.Method, trace.KindServer)
@@ -300,13 +411,13 @@ func (r *Registry) handle(from string, f wire.Frame) *wire.Frame {
 	}
 	switch {
 	case err == nil:
-		return &wire.Frame{Kind: wire.KindResponse, Corr: f.Corr,
+		return &wire.Frame{Kind: wire.KindResponse, Corr: corr,
 			Body: encodeResponse(respOK, self, "", body)}
 	case IsAppError(err):
-		return &wire.Frame{Kind: wire.KindResponse, Corr: f.Corr,
+		return &wire.Frame{Kind: wire.KindResponse, Corr: corr,
 			Body: encodeResponse(respAppError, self, err.Error(), nil)}
 	default:
-		return &wire.Frame{Kind: wire.KindResponse, Corr: f.Corr,
+		return &wire.Frame{Kind: wire.KindResponse, Corr: corr,
 			Body: encodeResponse(respSystemError, self, err.Error(), nil)}
 	}
 }

@@ -7,11 +7,13 @@ import (
 	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"wls/internal/cluster"
 	"wls/internal/netsim"
 	"wls/internal/trace"
 	"wls/internal/transport"
+	"wls/internal/vclock"
 	"wls/internal/wire"
 )
 
@@ -213,6 +215,9 @@ type Stub struct {
 	node    Node
 	view    View
 	policy  Policy
+	// res is the shared overload protection (nil: retry instantly and
+	// endlessly within the candidate list, the pre-resilience behaviour).
+	res *Resilience
 	// idempotent lists methods declared idempotent in the deployment
 	// descriptor mirrored into the stub.
 	idempotent map[string]bool
@@ -223,6 +228,15 @@ type StubOption func(*Stub)
 
 // WithPolicy overrides the load-balancing policy (default DefaultPolicy).
 func WithPolicy(p Policy) StubOption { return func(s *Stub) { s.policy = p } }
+
+// WithResilience attaches shared client-side overload protection: failover
+// retries draw from r's token bucket, wait out its jittered backoff, and
+// skip servers whose circuit breaker is open. NewStub additionally wraps
+// whatever policy is configured in a BreakerPolicy so open servers sort
+// last (regardless of option order).
+func WithResilience(r *Resilience) StubOption {
+	return func(s *Stub) { s.res = r }
+}
 
 // WithIdempotent declares methods that may be retried after possible side
 // effects.
@@ -245,6 +259,9 @@ func NewStub(service string, node Node, view View, opts ...StubOption) *Stub {
 	}
 	for _, o := range opts {
 		o(s)
+	}
+	if s.res != nil {
+		s.policy = BreakerPolicy{Next: s.policy, R: s.res}
 	}
 	return s
 }
@@ -280,6 +297,10 @@ func (s *Stub) invoke(ctx context.Context, method string, args []byte, txID, con
 	if len(cands) == 0 {
 		return nil, fmt.Errorf("%w: %s", ErrNoServers, s.service)
 	}
+	budget, hasBudget := BudgetFrom(ctx)
+	if hasBudget && budget.Expired() {
+		return nil, fmt.Errorf("%w: before %s.%s", ErrBudgetExceeded, s.service, method)
+	}
 	ordered := s.policy.Order(ctx, s.view.LocalName(), cands)
 	// One client span for the logical invocation, one child per attempt:
 	// failover retries become distinct, inspectable children. The span name
@@ -291,27 +312,89 @@ func (s *Stub) invoke(ctx context.Context, method string, args []byte, txID, con
 		defer span.Finish()
 	}
 	var lastErr error
+	attempts := 0
 	for i, cand := range ordered {
+		// A cancelled caller must not keep dialing the remaining
+		// candidates: the work it wanted is moot.
+		if err := ctx.Err(); err != nil {
+			err = fmt.Errorf("rmi: %s.%s abandoned before attempt %d: %w", s.service, method, i+1, err)
+			span.SetError(err)
+			return nil, errJoin(err, lastErr)
+		}
+		if hasBudget && budget.Expired() {
+			err := fmt.Errorf("%w: at %s.%s attempt %d", ErrBudgetExceeded, s.service, method, i+1)
+			span.SetError(err)
+			return nil, errJoin(err, lastErr)
+		}
+		if s.res != nil {
+			// Breaker gate. If every candidate is refused (all breakers
+			// open, none cooled down), the last candidate is attempted
+			// anyway: total lockout would otherwise be unrecoverable for
+			// callers that arrive between cooldowns.
+			if !s.res.Allow(cand.Name) && !(attempts == 0 && i == len(ordered)-1) {
+				continue
+			}
+			if attempts > 0 {
+				// Failover retry: pay a token and back off before re-dialing.
+				if !s.res.SpendRetry() {
+					err := fmt.Errorf("rmi: retry budget exhausted for %s.%s: %w", s.service, method, lastErr)
+					span.SetError(err)
+					return nil, err
+				}
+				d := s.res.backoff(attempts)
+				if hasBudget {
+					if rem := budget.Remaining(); d > rem {
+						d = rem
+					}
+				}
+				if err := sleepCtx(ctx, s.res.clock, d); err != nil {
+					span.SetError(err)
+					return nil, errJoin(err, lastErr)
+				}
+				if hasBudget && budget.Expired() {
+					err := fmt.Errorf("%w: during backoff before %s.%s attempt %d", ErrBudgetExceeded, s.service, method, i+1)
+					span.SetError(err)
+					return nil, errJoin(err, lastErr)
+				}
+			}
+			s.res.markAttempt(cand.Name)
+		}
+		attempts++
 		attemptCtx := ctx
 		var att *trace.Span
 		if span != nil {
 			attemptCtx, att = span.NewChild(ctx, "rmi.attempt", trace.KindClient)
 			att.Annotate("target", cand.Name)
-			att.AnnotateInt("attempt", i+1)
+			att.AnnotateInt("attempt", attempts)
+			if s.res != nil {
+				att.Annotate("breaker", s.res.State(cand.Name).String())
+			}
 		}
 		res, err := s.callOne(attemptCtx, cand.Addr, method, args, txID, convID)
 		if err == nil {
+			if s.res != nil {
+				s.res.recordSuccess(cand.Name)
+			}
 			if att != nil {
 				att.Annotate("final", "true")
 				att.Finish()
-				if i > 0 {
-					span.AnnotateInt("failovers", i)
+				if attempts > 1 {
+					span.AnnotateInt("failovers", attempts-1)
 				}
 			}
 			return res, nil
 		}
+		if s.res != nil {
+			// Application errors mean the server executed the request: it
+			// is healthy, just unhappy. Everything else trips the breaker.
+			if IsAppError(err) {
+				s.res.recordSuccess(cand.Name)
+			} else {
+				s.res.recordFailure(cand.Name)
+			}
+		}
 		lastErr = err
-		failover := s.mayFailOver(method, err)
+		failover := s.mayFailOver(method, err) && !errors.Is(err, ErrBudgetExceeded)
 		if att != nil {
 			att.SetError(err)
 			if !failover || i == len(ordered)-1 {
@@ -330,6 +413,29 @@ func (s *Stub) invoke(ctx context.Context, method string, args []byte, txID, con
 	return nil, err
 }
 
+// errJoin wraps a terminal condition (cancellation, budget expiry) with the
+// last attempt error when there is one, so callers see both why the stub
+// stopped and what the cluster last said.
+func errJoin(terminal, last error) error {
+	if last == nil {
+		return terminal
+	}
+	return fmt.Errorf("%w (last attempt: %v)", terminal, last)
+}
+
+// sleepCtx waits d on the given clock unless ctx is cancelled first.
+func sleepCtx(ctx context.Context, clock vclock.Clock, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	select {
+	case <-clock.After(d):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // InvokeOn calls the method on a specific server, bypassing load balancing.
 // Conversational stubs are "hardwired to the chosen server so requests are
 // naturally routed to the right place" (§3.2).
@@ -344,9 +450,30 @@ type retryableErr struct{ err error }
 func (e *retryableErr) Error() string { return e.err.Error() }
 func (e *retryableErr) Unwrap() error { return e.err }
 
+// BusyError is a wire-level BUSY response: the server refused the request
+// at admission (execute queue full, or the budget had already expired), so
+// no application code ran and failing over is always safe.
+type BusyError struct {
+	// Server is the refusing server's name.
+	Server string
+	// Msg says why (queue full vs expired).
+	Msg string
+}
+
+func (e *BusyError) Error() string { return "rmi: " + e.Server + " busy: " + e.Msg }
+
+// IsBusy reports whether err is a server's admission refusal.
+func IsBusy(err error) bool {
+	var be *BusyError
+	return errors.As(err, &be)
+}
+
 func (s *Stub) mayFailOver(method string, err error) bool {
 	if IsAppError(err) {
 		return false // the request executed; the application said no
+	}
+	if IsBusy(err) {
+		return true // refused at admission: guaranteed no side effects
 	}
 	if s.idempotent[method] {
 		return true
@@ -371,11 +498,32 @@ func (s *Stub) callOne(ctx context.Context, addr, method string, args []byte, tx
 	enc := wire.AcquireEncoder()
 	defer enc.Release()
 	encodeRequestTo(enc, req)
+	budget, hasBudget := BudgetFrom(ctx)
+	if hasBudget {
+		remaining := budget.Remaining()
+		if remaining <= 0 {
+			return nil, fmt.Errorf("%w: before dialing %s", ErrBudgetExceeded, addr)
+		}
+		appendDeadline(enc, remaining)
+		// Stop waiting at the deadline even if the server (frozen, slow,
+		// partitioned-away) never answers: cancel the transport call when
+		// the budget runs out.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithCancel(ctx)
+		t := budget.clock.AfterFunc(remaining, cancel)
+		defer t.Stop()
+		defer cancel()
+	}
 	if sp := trace.FromContext(ctx); sp != nil {
 		trace.AppendEnvelope(enc, sp.Context())
 	}
 	frame := wire.Frame{Kind: wire.KindRequest, Body: enc.Bytes()}
 	respFrame, err := s.node.Call(ctx, addr, frame)
+	if hasBudget && budget.Expired() {
+		// Whatever came back (or didn't) arrived after the caller's
+		// deadline: never deliver a late response.
+		return nil, fmt.Errorf("%w: no response from %s within budget", ErrBudgetExceeded, addr)
+	}
 	if err != nil {
 		if requestNeverSent(err) {
 			return nil, &retryableErr{err}
@@ -395,6 +543,8 @@ func (s *Stub) callOne(ctx context.Context, addr, method string, args []byte, tx
 		// The service is not deployed there (stale view); certainly no side
 		// effects, so failover is always safe.
 		return nil, &retryableErr{errors.New(resp.errMsg)}
+	case respBusy:
+		return nil, &BusyError{Server: resp.servedBy, Msg: resp.errMsg}
 	default:
 		return nil, fmt.Errorf("%w: %s", ErrNotRetryable, resp.errMsg)
 	}

@@ -259,6 +259,13 @@ func FuzzRequestBody(f *testing.F) {
 	f.Add(append(base, 0x00, 0x01, 0x02)) // garbage tail
 	f.Add([]byte{})                       // empty body
 	f.Add([]byte{0xFF, 0xFF, 0xFF})       // garbage body
+	f.Add(append(base, 0xD9))             // truncated deadline block
+	f.Add(append(base, 0xD9, 0x02))       // unknown deadline version
+	f.Add(append(base, 0xD9, 0x01, 0x80)) // truncated remaining varint
+	withDeadline := append(append([]byte(nil), base...), 0xD9, 0x01, 0x00)
+	f.Add(withDeadline)                     // expired on arrival
+	f.Add(append(withDeadline, 0xC7))       // valid deadline, truncated envelope
+	f.Add(append(withDeadline, 0xC7, 0x01)) // both tails, still truncated
 	f.Fuzz(func(t *testing.T, body []byte) {
 		fx := simtest.New(simtest.Options{Servers: 1})
 		defer fx.Stop()

@@ -71,10 +71,14 @@ func NewEngine(registry *rmi.Registry, cfg Config) *Engine {
 		Name: ServiceName,
 		Methods: map[string]rmi.MethodSpec{
 			"request": {Handler: e.handleRequest},
-			"session.update": {Handler: func(ctx context.Context, c *rmi.Call) ([]byte, error) {
+			// Session replication is cluster infrastructure: denying a
+			// primary's ship under load would silently strand secondaries,
+			// so replication bypasses admission (System) while the "request"
+			// path above is subject to it.
+			"session.update": {System: true, Handler: func(ctx context.Context, c *rmi.Call) ([]byte, error) {
 				return nil, e.sessions.handleUpdate(c.Args)
 			}},
-			"session.fetch": {Handler: func(ctx context.Context, c *rmi.Call) ([]byte, error) {
+			"session.fetch": {System: true, Handler: func(ctx context.Context, c *rmi.Call) ([]byte, error) {
 				return e.sessions.handleFetch(c.Args)
 			}},
 		},

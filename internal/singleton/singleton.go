@@ -147,7 +147,8 @@ func handoffServiceName(service string) string { return "wls.singleton." + servi
 // releases before replying.
 func (h *Host) handoffService() *rmi.Service {
 	return &rmi.Service{
-		Name: handoffServiceName(h.cfg.Service),
+		Name:   handoffServiceName(h.cfg.Service),
+		System: true,
 		Methods: map[string]rmi.MethodSpec{
 			"handoff": {Handler: func(ctx context.Context, c *rmi.Call) ([]byte, error) {
 				d := wire.NewDecoder(c.Args)

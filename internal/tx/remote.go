@@ -114,7 +114,8 @@ func (m *Manager) Service() *rmi.Service {
 		return d.String()
 	}
 	return &rmi.Service{
-		Name: ServiceName,
+		Name:   ServiceName,
+		System: true,
 		Methods: map[string]rmi.MethodSpec{
 			"prepare": {Handler: func(ctx context.Context, c *rmi.Call) ([]byte, error) {
 				id := txIDOf(c)

@@ -36,16 +36,55 @@ type View = rmi.View
 // ErrNoBackends means no servlet engine is reachable.
 var ErrNoBackends = errors.New("webtier: no reachable servlet engine")
 
-// route invokes the servlet engine on a specific member.
+// route invokes the servlet engine on a specific member. A non-nil
+// resilience layer records the outcome (feeding the router's per-server
+// breakers) and annotates attempt spans with breaker state.
 //
 //wls:hotpath
-func callEngine(ctx context.Context, node rmi.Node, addr, path, cookie string, body []byte) (servlet.Response, error) {
-	stub := rmi.NewStub(servlet.ServiceName, node, rmi.StaticView(addr))
+func callEngine(ctx context.Context, node rmi.Node, r *rmi.Resilience, name, addr, path, cookie string, body []byte) (servlet.Response, error) {
+	// Breakers are keyed by member name: dialing through a named view keeps
+	// the per-call stub's outcome recording aligned with demoteOpen.
+	var stub *rmi.Stub
+	if r != nil {
+		stub = rmi.NewStub(servlet.ServiceName, node, rmi.NamedStaticView(name, addr), rmi.WithResilience(r))
+	} else {
+		stub = rmi.NewStub(servlet.ServiceName, node, rmi.StaticView(addr))
+	}
 	res, err := stub.Invoke(ctx, "request", servlet.EncodeRequest(path, cookie, body))
 	if err != nil {
 		return servlet.Response{}, err
 	}
 	return servlet.DecodeResponse(res.Body)
+}
+
+// demoteOpen stable-partitions backends so servers whose breaker is open
+// sort last: the router still reaches them when everything else is down
+// (the stub's last-candidate probe), but healthy members absorb the load
+// while a tripped server cools off.
+func demoteOpen(r *rmi.Resilience, in []cluster.MemberInfo) []cluster.MemberInfo {
+	if r == nil {
+		return in
+	}
+	anyOpen := false
+	for _, m := range in {
+		if r.State(m.Name) == rmi.BreakerOpen {
+			anyOpen = true
+			break
+		}
+	}
+	if !anyOpen {
+		return in
+	}
+	out := make([]cluster.MemberInfo, 0, len(in))
+	var open []cluster.MemberInfo
+	for _, m := range in {
+		if r.State(m.Name) == rmi.BreakerOpen {
+			open = append(open, m)
+		} else {
+			out = append(out, m)
+		}
+	}
+	return append(out, open...)
 }
 
 // ---------------------------------------------------------------------------
@@ -58,11 +97,17 @@ type ProxyPlugin struct {
 	rr     atomic.Uint64
 	reg    *metrics.Registry
 	tracer *trace.Tracer
+	res    *rmi.Resilience
 }
 
 // SetTracer makes the plug-in start a root span per routed request (wire
 // it before serving traffic).
 func (p *ProxyPlugin) SetTracer(t *trace.Tracer) { p.tracer = t }
+
+// SetResilience gives the plug-in a client-side resilience layer: engine
+// calls feed its per-server breakers, and load-balancing demotes servers
+// whose breaker is open (wire it before serving traffic).
+func (p *ProxyPlugin) SetResilience(r *rmi.Resilience) { p.res = r }
 
 // NewProxyPlugin creates a plug-in front end using the given node (its own
 // endpoint in the presentation tier) and cluster view.
@@ -112,7 +157,7 @@ func (p *ProxyPlugin) Route(ctx context.Context, path, cookie string, body []byt
 		if !ok {
 			continue // not in the current view (failed): try next
 		}
-		resp, err := callEngine(ctx, p.node, addr, path, cookie, body)
+		resp, err := callEngine(ctx, p.node, p.res, target, addr, path, cookie, body)
 		if err == nil {
 			p.reg.Counter("webtier.routed").Inc()
 			if span != nil {
@@ -133,10 +178,16 @@ func (p *ProxyPlugin) Route(ctx context.Context, path, cookie string, body []byt
 		return servlet.Response{}, ErrNoBackends
 	}
 	start := int(p.rr.Add(1)-1) % len(backs)
-	var lastErr error
+	// Rotate for round-robin fairness, then demote tripped servers to the
+	// back of the attempt order.
+	order := make([]cluster.MemberInfo, 0, len(backs))
 	for i := 0; i < len(backs); i++ {
-		b := backs[(start+i)%len(backs)]
-		resp, err := callEngine(ctx, p.node, b.Addr, path, cookie, body)
+		order = append(order, backs[(start+i)%len(backs)])
+	}
+	order = demoteOpen(p.res, order)
+	var lastErr error
+	for _, b := range order {
+		resp, err := callEngine(ctx, p.node, p.res, b.Name, b.Addr, path, cookie, body)
 		if err == nil {
 			p.reg.Counter("webtier.routed").Inc()
 			if span != nil {
@@ -163,6 +214,7 @@ type ExternalLB struct {
 	rr     atomic.Uint64
 	reg    *metrics.Registry
 	tracer *trace.Tracer
+	res    *rmi.Resilience
 
 	mu       sync.Mutex
 	affinity map[string]string // clientID → server name
@@ -171,6 +223,10 @@ type ExternalLB struct {
 // SetTracer makes the appliance start a root span per routed request
 // (wire it before serving traffic).
 func (lb *ExternalLB) SetTracer(t *trace.Tracer) { lb.tracer = t }
+
+// SetResilience gives the appliance a client-side resilience layer (see
+// ProxyPlugin.SetResilience).
+func (lb *ExternalLB) SetResilience(r *rmi.Resilience) { lb.res = r }
 
 // NewExternalLB creates an appliance front end.
 func NewExternalLB(node rmi.Node, view View, reg *metrics.Registry) *ExternalLB {
@@ -210,7 +266,7 @@ func (lb *ExternalLB) Route(ctx context.Context, clientID, path, cookie string, 
 	tryServer := func(name string) (servlet.Response, bool) {
 		for _, b := range backs {
 			if b.Name == name {
-				resp, err := callEngine(ctx, lb.node, b.Addr, path, cookie, body)
+				resp, err := callEngine(ctx, lb.node, lb.res, b.Name, b.Addr, path, cookie, body)
 				if err == nil {
 					lb.mu.Lock()
 					lb.affinity[clientID] = name
@@ -238,10 +294,15 @@ func (lb *ExternalLB) Route(ctx context.Context, clientID, path, cookie string, 
 			span.Annotate("failover-from", target)
 		}
 	}
-	// Pick an arbitrary member (round robin) and stick to it.
+	// Pick an arbitrary member (round robin) and stick to it, preferring
+	// members whose breaker is not open.
 	start := int(lb.rr.Add(1)-1) % len(backs)
+	order := make([]cluster.MemberInfo, 0, len(backs))
 	for i := 0; i < len(backs); i++ {
-		b := backs[(start+i)%len(backs)]
+		order = append(order, backs[(start+i)%len(backs)])
+	}
+	order = demoteOpen(lb.res, order)
+	for _, b := range order {
 		if resp, ok := tryServer(b.Name); ok {
 			if span != nil {
 				span.Annotate("decision", "arbitrary-member")
@@ -302,7 +363,7 @@ func (d *DNSClients) Route(ctx context.Context, clientID, path, cookie string, b
 		b := backs[int(d.rr.Add(1)-1)%len(backs)]
 		name, addr = b.Name, b.Addr
 	}
-	resp, err := callEngine(ctx, d.node, addr, path, cookie, body)
+	resp, err := callEngine(ctx, d.node, nil, name, addr, path, cookie, body)
 	if err != nil {
 		// Client notices the dead server and re-resolves on the next call.
 		d.mu.Lock()

@@ -398,6 +398,16 @@ func (d *Decoder) Byte() byte {
 // Bool reads one byte as a boolean.
 func (d *Decoder) Bool() bool { return d.Byte() != 0 }
 
+// Peek returns the next byte without consuming it. It reports ok=false at
+// the end of the buffer or after an earlier decoding error, letting callers
+// dispatch between optional trailing blocks by magic byte.
+func (d *Decoder) Peek() (b byte, ok bool) {
+	if d.err != nil || d.off >= len(d.buf) {
+		return 0, false
+	}
+	return d.buf[d.off], true
+}
+
 // Float64 reads 8 bytes as an IEEE-754 float.
 func (d *Decoder) Float64() float64 {
 	if d.err != nil {

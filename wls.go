@@ -81,6 +81,16 @@ type Options struct {
 	TraceSample float64
 	// TraceBuffer is the shared span ring capacity (default 4096).
 	TraceBuffer int
+	// Admission, when set, gives every server an execute queue (§2.3) that
+	// all non-system RMI requests pass through; with Policy core.Deny a
+	// full queue refuses requests with a wire-level BUSY response that
+	// stubs treat as side-effect-free and fail over from.
+	Admission *core.QueueConfig
+	// Resilience, when set, gives every server a shared client-side
+	// overload-protection layer — retry token bucket, capped jittered
+	// backoff, per-server circuit breakers — which Server.Stub wires into
+	// every stub it creates (routers built from the cluster get their own).
+	Resilience *rmi.ResilienceConfig
 }
 
 // Cluster is a running group of application servers plus the shared
@@ -110,7 +120,10 @@ type Server struct {
 	member   *cluster2Member
 	registry *rmi.Registry
 	reg      *metrics.Registry
-	tracer   *trace.Tracer // nil unless Options.TraceSample > 0
+	tracer   *trace.Tracer      // nil unless Options.TraceSample > 0
+	queue    *core.ExecuteQueue // nil unless Options.Admission
+	res      *rmi.Resilience    // nil unless Options.Resilience
+	resSeed  int64              // per-server jitter seed (survives Restart)
 
 	// Tx is the server's transaction manager.
 	Tx *tx.Manager
@@ -276,7 +289,39 @@ func (c *Cluster) newServer(i int, name string, isAdmin bool) (*Server, error) {
 	if s.tracer = c.newTracer(name); s.tracer != nil {
 		registry.SetTracer(s.tracer)
 	}
+	if c.opts.Admission != nil {
+		s.queue = core.NewExecuteQueue(*c.opts.Admission, fix.clock, reg)
+		registry.SetAdmission(s.queue)
+	}
+	if c.opts.Resilience != nil {
+		rc := *c.opts.Resilience
+		s.resSeed = seedFor(c.seedBase(rc.Seed), name)
+		rc.Seed = s.resSeed
+		s.res = rmi.NewResilience(rc, fix.clock, reg)
+	}
 	return s, nil
+}
+
+// seedBase picks the base jitter seed: an explicit ResilienceConfig.Seed
+// wins, otherwise the cluster seed.
+func (c *Cluster) seedBase(explicit int64) int64 {
+	if explicit != 0 {
+		return explicit
+	}
+	return c.opts.Seed
+}
+
+// seedFor de-correlates backoff jitter across callers deterministically:
+// each server/router mixes its name into the base seed, so concurrent
+// retry waves de-synchronize while every (cluster seed, name) pair stays
+// reproducible.
+func seedFor(base int64, name string) int64 {
+	h := uint64(14695981039346656037) // FNV-1a offset basis
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return base ^ int64(h)
 }
 
 // newTracer builds a tracer exporting into the cluster's shared ring, or
@@ -315,8 +360,20 @@ func (s *Server) Metrics() *metrics.Registry { return s.reg }
 // Use it to start roots for internal-client work on this server.
 func (s *Server) Tracer() *trace.Tracer { return s.tracer }
 
-// Stub creates an internal-client stub for a clustered service.
+// Queue returns the server's execute queue (nil unless Options.Admission).
+func (s *Server) Queue() *core.ExecuteQueue { return s.queue }
+
+// Resilience returns the server's shared client-side resilience layer (nil
+// unless Options.Resilience).
+func (s *Server) Resilience() *rmi.Resilience { return s.res }
+
+// Stub creates an internal-client stub for a clustered service. With
+// Options.Resilience set, the stub shares the server's retry budget and
+// breakers; explicit options may still override.
 func (s *Server) Stub(service string, opts ...rmi.StubOption) *rmi.Stub {
+	if s.res != nil {
+		opts = append([]rmi.StubOption{rmi.WithResilience(s.res)}, opts...)
+	}
 	return rmi.NewStub(service, s.endpoint, rmi.MemberView{Member: s.member}, opts...)
 }
 
@@ -440,8 +497,24 @@ func (c *Cluster) Restart(name string) *Server {
 	}
 	ep := c.fix.net.Restart(s.endpoint.Addr())
 	s.endpoint = ep
+	if s.queue != nil {
+		s.queue.Close()
+		s.queue = nil
+	}
 	s.reg = metrics.NewRegistry()
 	s.registry = rmi.NewRegistry(ep, s.member, s.reg)
+	if c.opts.Admission != nil {
+		s.queue = core.NewExecuteQueue(*c.opts.Admission, c.fix.clock, s.reg)
+		s.registry.SetAdmission(s.queue)
+	}
+	if c.opts.Resilience != nil {
+		// A rebooted server has no memory of old breaker state or banked
+		// retry tokens; the jitter seed survives so timelines stay
+		// reproducible.
+		rc := *c.opts.Resilience
+		rc.Seed = s.resSeed
+		s.res = rmi.NewResilience(rc, c.fix.clock, s.reg)
+	}
 	s.Tx = tx.NewManager(s.Name, c.fix.clock, nil, s.reg)
 	s.EJB = ejb.NewContainer(s.registry, s.Tx, c.DB, c.fix.bus)
 	s.Web = servlet.NewEngine(s.registry, servlet.Config{Sessions: c.opts.Sessions, DB: c.DB})
@@ -469,7 +542,22 @@ func (c *Cluster) ProxyPlugin(addr string) *webtier.ProxyPlugin {
 	if t := c.newTracer(addr); t != nil {
 		p.SetTracer(t)
 	}
+	if r := c.newRouterResilience(addr); r != nil {
+		p.SetResilience(r)
+	}
 	return p
+}
+
+// newRouterResilience builds a router-owned resilience layer (nil when
+// Options.Resilience is unset). Routers do not share the servers' budgets:
+// a router's view of a backend's health is its own.
+func (c *Cluster) newRouterResilience(addr string) *rmi.Resilience {
+	if c.opts.Resilience == nil {
+		return nil
+	}
+	rc := *c.opts.Resilience
+	rc.Seed = seedFor(c.seedBase(rc.Seed), addr)
+	return rmi.NewResilience(rc, c.fix.clock, nil)
 }
 
 // ExternalLB builds a Fig 3 appliance router.
@@ -478,6 +566,9 @@ func (c *Cluster) ExternalLB(addr string) *webtier.ExternalLB {
 	lb := webtier.NewExternalLB(node, rmi.MemberView{Member: c.Servers[0].member}, nil)
 	if t := c.newTracer(addr); t != nil {
 		lb.SetTracer(t)
+	}
+	if r := c.newRouterResilience(addr); r != nil {
+		lb.SetResilience(r)
 	}
 	return lb
 }
@@ -510,6 +601,9 @@ func (c *Cluster) Stop() {
 	for _, s := range all {
 		s.member.Stop()
 		s.endpoint.Close()
+		if s.queue != nil {
+			s.queue.Close()
+		}
 		s.Naming.Close()
 		if s.Files != nil {
 			_ = s.Files.Close() // shutdown path; store is done either way
