@@ -65,6 +65,12 @@ bench-trace:
 bench-overload:
 	$(GO) run ./cmd/wlsbench -exp E30 -json BENCH_overload.json
 
+# Zero-alloc request-path numbers (E31): allocations per request through
+# webtier/servlet before (recorded seed) and after pooling, plus the
+# concurrency sweep at 1/64/1024 callers, checked in as BENCH_alloc.json.
+bench-alloc:
+	$(GO) run ./cmd/wlsbench -exp E31 -json BENCH_alloc.json
+
 # Extended chaos sweep (E28): 32 seeds at a longer horizon than the small
 # in-tree sweep TestChaosSweepSmall runs under `make test`. A failing seed
 # prints a one-command replay (see DESIGN.md "Chaos sweep").

@@ -1,0 +1,126 @@
+package wls_test
+
+// Allocation gates for the zero-alloc request path (E31). Each test pins
+// the allocations/request of one tier boundary with testing.AllocsPerRun;
+// the pooled request/response/session objects, reused encoders, and the
+// no-alloc routing decision are what keep these numbers single-digit. The
+// pins carry a little slack over the measured values (6.0 full echo, 0.0
+// direct echo at the time of writing) so GC noise does not flake the
+// suite, but a pooling regression of even a few allocs/request trips them.
+
+import (
+	"context"
+	"testing"
+
+	"wls"
+	"wls/internal/servlet"
+)
+
+func allocGateCluster(t *testing.T) *wls.Cluster {
+	t.Helper()
+	c, err := wls.New(wls.Options{Servers: 3, RealClock: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	for _, s := range c.Servers {
+		s.Web.Handle("/echo", func(r *servlet.Request) servlet.Response {
+			return servlet.Response{Body: r.Body}
+		})
+		s.Web.Handle("/count", func(r *servlet.Request) servlet.Response {
+			r.Session.Set("n", "1")
+			return servlet.Response{Body: []byte("ok")}
+		})
+	}
+	c.Settle(2)
+	return c
+}
+
+// TestAllocGateWebtierEcho pins the full path — proxy plug-in routing, the
+// RMI hop, the servlet engine, and session resolution — at no more than 10
+// allocations per request with tracing disabled (the tentpole target).
+func TestAllocGateWebtierEcho(t *testing.T) {
+	c := allocGateCluster(t)
+	proxy := c.ProxyPlugin("webserver:80")
+	ctx := context.Background()
+	body := []byte("hello")
+	cookie := ""
+	for i := 0; i < 64; i++ {
+		r, err := proxy.Route(ctx, "/echo", cookie, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cookie = r.Cookie
+	}
+	n := testing.AllocsPerRun(300, func() {
+		r, err := proxy.Route(ctx, "/echo", cookie, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cookie = r.Cookie
+	})
+	t.Logf("webtier full path (echo): %.1f allocs/request", n)
+	if n > 10 {
+		t.Fatalf("webtier echo path allocates %.1f/request, gate is 10", n)
+	}
+}
+
+// TestAllocGateWebtierSessionWrite pins the same path with a session write,
+// which adds the synchronous batched replication flush to the secondary.
+func TestAllocGateWebtierSessionWrite(t *testing.T) {
+	c := allocGateCluster(t)
+	proxy := c.ProxyPlugin("webserver:80")
+	ctx := context.Background()
+	cookie := ""
+	for i := 0; i < 64; i++ {
+		r, err := proxy.Route(ctx, "/count", cookie, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cookie = r.Cookie
+	}
+	n := testing.AllocsPerRun(300, func() {
+		r, err := proxy.Route(ctx, "/count", cookie, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cookie = r.Cookie
+	})
+	t.Logf("webtier full path (session write + replication): %.1f allocs/request", n)
+	if n > 18 {
+		t.Fatalf("webtier session-write path allocates %.1f/request, gate is 18", n)
+	}
+}
+
+// TestAllocGateServletDirect pins the engine boundary on its own — no
+// webtier, no RMI hop. The echo path must be allocation-free; the
+// session-write path pays only for the replication delta.
+func TestAllocGateServletDirect(t *testing.T) {
+	c := allocGateCluster(t)
+	eng := c.Servers[0].Web
+	body := []byte("hello")
+
+	resp := eng.Serve("/echo", "", body)
+	cookie := resp.Cookie
+	for i := 0; i < 64; i++ {
+		cookie = eng.Serve("/echo", cookie, body).Cookie
+	}
+	n := testing.AllocsPerRun(300, func() {
+		cookie = eng.Serve("/echo", cookie, body).Cookie
+	})
+	t.Logf("servlet direct (echo): %.1f allocs/request", n)
+	if n > 2 {
+		t.Fatalf("servlet echo path allocates %.1f/request, gate is 2", n)
+	}
+
+	for i := 0; i < 64; i++ {
+		cookie = eng.Serve("/count", cookie, nil).Cookie
+	}
+	n = testing.AllocsPerRun(300, func() {
+		cookie = eng.Serve("/count", cookie, nil).Cookie
+	})
+	t.Logf("servlet direct (session write + replication): %.1f allocs/request", n)
+	if n > 12 {
+		t.Fatalf("servlet session-write path allocates %.1f/request, gate is 12", n)
+	}
+}

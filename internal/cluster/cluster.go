@@ -178,6 +178,15 @@ type Member struct {
 	hbTimer   vclock.Timer
 	sweep     vclock.Timer
 	unsub     func()
+
+	// version counts view-visible membership changes (join, fail, service
+	// advertisement). The request path consults the view on every call, so
+	// OffersOf memoizes its result per version: between membership changes
+	// the same shared slice is returned with no cloning or sorting.
+	version     uint64
+	cacheVer    uint64
+	aliveCache  []MemberInfo
+	offersCache map[string][]MemberInfo
 }
 
 type peerState struct {
@@ -212,6 +221,7 @@ func (m *Member) Start() {
 	m.started = true
 	m.stopped = false
 	m.self.Incarnation++
+	m.version++
 	m.mu.Unlock()
 
 	m.unsub = m.bus.Subscribe(m.topic(), m.onHeartbeat)
@@ -245,6 +255,15 @@ func (m *Member) Self() MemberInfo {
 	return m.self.clone()
 }
 
+// Name returns this member's server name without cloning the full info —
+// the request path asks for the local name on every call, and Self()'s
+// deep copy was a measurable per-request allocation.
+func (m *Member) Name() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.self.Name
+}
+
 // Config returns the cluster configuration.
 func (m *Member) Config() Config { return m.cfg }
 
@@ -262,6 +281,7 @@ func (m *Member) Advertise(service string) {
 	if !m.self.OffersService(service) {
 		m.self.Services = append(m.self.Services, service)
 		sort.Strings(m.self.Services)
+		m.version++
 	}
 	stopped := m.stopped || !m.started
 	m.mu.Unlock()
@@ -280,6 +300,7 @@ func (m *Member) Withdraw(service string) {
 		}
 	}
 	m.self.Services = out
+	m.version++
 	stopped := m.stopped || !m.started
 	m.mu.Unlock()
 	if !stopped {
@@ -337,6 +358,7 @@ func (m *Member) sweepOnce() {
 	for _, p := range m.peers {
 		if !p.failed && now.Sub(p.lastHeard) > m.cfg.FailureTimeout {
 			p.failed = true
+			m.version++
 			events = append(events, Event{Kind: EventFailed, Member: p.info.clone()})
 		}
 	}
@@ -365,17 +387,20 @@ func (m *Member) onHeartbeat(msg gossip.Message) {
 	switch {
 	case !ok:
 		m.peers[info.Name] = &peerState{info: info, lastHeard: m.clock.Now()}
+		m.version++
 		events = append(events, Event{Kind: EventJoined, Member: info.clone()})
 	case p.failed || info.Incarnation > p.info.Incarnation:
 		p.info = info
 		p.failed = false
 		p.lastHeard = m.clock.Now()
+		m.version++
 		events = append(events, Event{Kind: EventJoined, Member: info.clone()})
 	case info.Incarnation == p.info.Incarnation:
 		changed := !equalStrings(p.info.Services, info.Services)
 		p.info = info
 		p.lastHeard = m.clock.Now()
 		if changed {
+			m.version++
 			events = append(events, Event{Kind: EventUpdated, Member: info.clone()})
 		}
 	default:
@@ -443,16 +468,46 @@ func (m *Member) Lookup(name string) (MemberInfo, bool) {
 	return MemberInfo{}, false
 }
 
-// OffersOf returns the names of live members offering the given service,
-// in ring (name) order.
+// OffersOf returns the live members offering the given service, in ring
+// (name) order. The result is memoized per membership version and SHARED:
+// callers must treat the slice and the MemberInfo values in it (including
+// their Services slices) as read-only snapshots. Every consumer on the
+// request path — stub policies, routers, the secondary-selection ring —
+// copies before reordering, which is what makes the routing decision
+// allocation-free between membership changes.
 func (m *Member) OffersOf(service string) []MemberInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.refreshCacheLocked()
+	if out, ok := m.offersCache[service]; ok {
+		return out
+	}
 	var out []MemberInfo
-	for _, mi := range m.Alive() {
+	for _, mi := range m.aliveCache {
 		if mi.OffersService(service) {
 			out = append(out, mi)
 		}
 	}
+	m.offersCache[service] = out
 	return out
+}
+
+// refreshCacheLocked rebuilds the memoized live view after a membership
+// change. Caller holds m.mu.
+func (m *Member) refreshCacheLocked() {
+	if m.cacheVer == m.version && m.aliveCache != nil {
+		return
+	}
+	out := []MemberInfo{m.self.clone()}
+	for _, p := range m.peers {
+		if !p.failed {
+			out = append(out, p.info.clone())
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	m.aliveCache = out
+	m.offersCache = make(map[string][]MemberInfo)
+	m.cacheVer = m.version
 }
 
 // ChooseSecondary picks the server to host this member's secondaries using

@@ -36,11 +36,13 @@ import (
 type Container struct {
 	registry *rmi.Registry
 	member   *cluster.Member
-	clock    vclock.Clock
-	txm      *tx.Manager
-	db       *store.Store
-	bus      gossip.Bus
-	reg      *metrics.Registry
+	// serverName caches the (immutable) hosting server's name.
+	serverName string
+	clock      vclock.Clock
+	txm        *tx.Manager
+	db         *store.Store
+	bus        gossip.Bus
+	reg        *metrics.Registry
 
 	mu        sync.Mutex
 	stateless map[string]*statelessPool
@@ -52,22 +54,23 @@ type Container struct {
 // manager, backend database and cluster bus.
 func NewContainer(registry *rmi.Registry, txm *tx.Manager, db *store.Store, bus gossip.Bus) *Container {
 	c := &Container{
-		registry:  registry,
-		member:    registry.Member(),
-		clock:     registry.Member().Clock(),
-		txm:       txm,
-		db:        db,
-		bus:       bus,
-		reg:       registry.Metrics(),
-		stateless: make(map[string]*statelessPool),
-		stateful:  make(map[string]*statefulStore),
-		entities:  make(map[string]*EntityHome),
+		registry:   registry,
+		member:     registry.Member(),
+		serverName: registry.Member().Name(),
+		clock:      registry.Member().Clock(),
+		txm:        txm,
+		db:         db,
+		bus:        bus,
+		reg:        registry.Metrics(),
+		stateless:  make(map[string]*statelessPool),
+		stateful:   make(map[string]*statefulStore),
+		entities:   make(map[string]*EntityHome),
 	}
 	return c
 }
 
 // ServerName returns the hosting server's name.
-func (c *Container) ServerName() string { return c.member.Self().Name }
+func (c *Container) ServerName() string { return c.serverName }
 
 // Tx returns the container's transaction manager.
 func (c *Container) Tx() *tx.Manager { return c.txm }
@@ -128,6 +131,36 @@ func (p *statelessPool) checkout(ctx context.Context) (any, error) {
 
 func (p *statelessPool) checkin(inst any) { p.free <- inst }
 
+// statelessHandler is the deploy-time-resolved invoke root for one
+// stateless method: the span name is precomputed and the metrics counter
+// resolved once, so the per-call path does neither string concatenation
+// nor a counter-name map lookup.
+type statelessHandler struct {
+	pool     *statelessPool
+	impl     StatelessMethod
+	spanName string
+	calls    *metrics.Counter
+}
+
+//wls:hotpath
+func (sh *statelessHandler) invoke(ctx context.Context, call *rmi.Call) ([]byte, error) {
+	var span *trace.Span
+	if parent := trace.FromContext(ctx); parent != nil {
+		ctx, span = parent.NewChild(ctx, sh.spanName, trace.KindInternal)
+		defer span.Finish()
+	}
+	inst, err := sh.pool.checkout(ctx)
+	if err != nil {
+		span.SetError(err)
+		return nil, err
+	}
+	defer sh.pool.checkin(inst)
+	sh.calls.Inc()
+	body, err := sh.impl(ctx, inst, call)
+	span.SetError(err)
+	return body, err
+}
+
 // DeployStateless deploys and advertises a stateless session bean. Returns
 // the clustered service name to create stubs against.
 func (c *Container) DeployStateless(spec StatelessSpec) string {
@@ -140,29 +173,16 @@ func (c *Container) DeployStateless(spec StatelessSpec) string {
 	for _, m := range spec.Idempotent {
 		idem[m] = true
 	}
+	calls := c.reg.Counter("ejb.stateless.calls")
 	methods := make(map[string]rmi.MethodSpec, len(spec.Methods))
 	for name, impl := range spec.Methods {
-		name, impl := name, impl
-		methods[name] = rmi.MethodSpec{
-			Idempotent: idem[name],
-			Handler: func(ctx context.Context, call *rmi.Call) ([]byte, error) {
-				var span *trace.Span
-				if parent := trace.FromContext(ctx); parent != nil {
-					ctx, span = parent.NewChild(ctx, "ejb "+spec.Name+"."+name, trace.KindInternal)
-					defer span.Finish()
-				}
-				inst, err := pool.checkout(ctx)
-				if err != nil {
-					span.SetError(err)
-					return nil, err
-				}
-				defer pool.checkin(inst)
-				c.reg.Counter("ejb.stateless.calls").Inc()
-				body, err := impl(ctx, inst, call)
-				span.SetError(err)
-				return body, err
-			},
+		sh := &statelessHandler{
+			pool:     pool,
+			impl:     impl,
+			spanName: "ejb " + spec.Name + "." + name,
+			calls:    calls,
 		}
+		methods[name] = rmi.MethodSpec{Idempotent: idem[name], Handler: sh.invoke}
 	}
 	c.registry.Register(&rmi.Service{Name: spec.Name, Methods: methods})
 	return spec.Name

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"wls/internal/cluster"
+	"wls/internal/metrics"
 	"wls/internal/rmi"
 	"wls/internal/trace"
 	"wls/internal/wire"
@@ -85,6 +86,11 @@ type beanState struct {
 type statefulStore struct {
 	c    *Container
 	spec StatefulSpec
+	// spanNames precomputes "ejb <bean>.<method>" per declared method so
+	// the invoke root does no per-call concatenation.
+	spanNames map[string]string
+	// Deploy-time-resolved counters (metric-name lookups allocate).
+	calls, creates, deltas, replicaUpdates, promotions *metrics.Counter
 
 	mu    sync.Mutex
 	beans map[string]*beanState // primaries and replicas
@@ -99,10 +105,19 @@ type statefulStore struct {
 // DeployStateful deploys a stateful session bean and returns its home.
 func (c *Container) DeployStateful(spec StatefulSpec) *StatefulHome {
 	ss := &statefulStore{
-		c:     c,
-		spec:  spec,
-		beans: make(map[string]*beanState),
-		paged: make(map[string][]byte),
+		c:              c,
+		spec:           spec,
+		spanNames:      make(map[string]string, len(spec.Methods)),
+		calls:          c.reg.Counter("ejb.stateful.calls"),
+		creates:        c.reg.Counter("ejb.stateful.creates"),
+		deltas:         c.reg.Counter("ejb.stateful.deltas"),
+		replicaUpdates: c.reg.Counter("ejb.stateful.replica_updates"),
+		promotions:     c.reg.Counter("ejb.stateful.promotions"),
+		beans:          make(map[string]*beanState),
+		paged:          make(map[string][]byte),
+	}
+	for name := range spec.Methods {
+		ss.spanNames[name] = "ejb " + spec.Name + "." + name
 	}
 	c.mu.Lock()
 	c.stateful[spec.Name] = ss
@@ -124,7 +139,7 @@ func (c *Container) DeployStateful(spec StatefulSpec) *StatefulHome {
 // current primary and secondary, so client handles rewrite themselves the
 // way §3.2's session cookies do.
 func respEnvelope(primary, secondary string, body []byte) []byte {
-	e := wire.NewEncoder(64 + len(body))
+	e := wire.MakeEncoder(64 + len(body))
 	e.String(primary)
 	e.String(secondary)
 	e.Bytes2(body)
@@ -141,9 +156,9 @@ func (ss *statefulStore) handleCreate(ctx context.Context, call *rmi.Call) ([]by
 	ss.mu.Lock()
 	ss.beans[id] = b
 	ss.mu.Unlock()
-	ss.c.reg.Counter("ejb.stateful.creates").Inc()
+	ss.creates.Inc()
 
-	e := wire.NewEncoder(64)
+	e := wire.MakeEncoder(64)
 	e.String(id)
 	return respEnvelope(self, b.secondary, e.Bytes()), nil
 }
@@ -187,7 +202,7 @@ func (ss *statefulStore) ship(b *beanState, delta map[string]string) {
 		ss.chooseSecondaryAndReship(b)
 		return
 	}
-	e := wire.NewEncoder(128)
+	e := wire.AcquireEncoder()
 	e.String(b.id)
 	e.Uint64(gen)
 	e.Int(len(delta))
@@ -196,10 +211,12 @@ func (ss *statefulStore) ship(b *beanState, delta map[string]string) {
 		e.String(v)
 	}
 	stub := rmi.NewStub(ss.spec.Name, ss.c.registry.Node(), rmi.StaticView(info.Addr))
-	if _, err := stub.Invoke(context.Background(), "replica.update", e.Bytes()); err != nil {
+	_, err := stub.Invoke(context.Background(), "replica.update", e.Bytes())
+	e.Release()
+	if err != nil {
 		ss.chooseSecondaryAndReship(b)
 	}
-	ss.c.reg.Counter("ejb.stateful.deltas").Inc()
+	ss.deltas.Inc()
 }
 
 func (ss *statefulStore) chooseSecondaryAndReship(b *beanState) {
@@ -219,7 +236,7 @@ func (ss *statefulStore) chooseSecondaryAndReship(b *beanState) {
 		return
 	}
 	b.gen++
-	e := wire.NewEncoder(256)
+	e := wire.AcquireEncoder()
 	e.String(b.id)
 	e.Uint64(b.gen)
 	e.Int(len(b.state))
@@ -229,78 +246,98 @@ func (ss *statefulStore) chooseSecondaryAndReship(b *beanState) {
 	}
 	stub := rmi.NewStub(ss.spec.Name, ss.c.registry.Node(), rmi.StaticView(info.Addr))
 	_, _ = stub.Invoke(context.Background(), "replica.update", e.Bytes())
+	e.Release()
 }
 
-// handleReplicaUpdate applies a delta on the secondary.
+// handleReplicaUpdate applies a delta on the secondary. Keys and values
+// decode without copying; strings materialize only when the replica's map
+// does not already hold the value (steady-state repeat updates of the same
+// pairs allocate nothing).
+//
+//wls:hotpath
 func (ss *statefulStore) handleReplicaUpdate(ctx context.Context, call *rmi.Call) ([]byte, error) {
 	d := wire.NewDecoder(call.Args)
-	id := d.String()
+	idB := d.BytesNoCopy()
 	gen := d.Uint64()
 	n := d.Int()
 	if err := d.Err(); err != nil {
 		return nil, err
 	}
-	delta := make(map[string]string, n)
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	b, ok := ss.beans[string(idB)]
+	if !ok {
+		b = &beanState{id: string(idB), state: make(map[string]string)}
+		ss.beans[b.id] = b
+	}
+	apply := !(gen <= b.gen && b.gen != 0) // stale delta from a deposed primary
+	if apply {
+		b.gen = gen
+	}
+	// Pairs are always consumed (wire framing) even when the delta is stale.
 	for i := 0; i < n; i++ {
-		k := d.String()
-		v := d.String()
-		delta[k] = v
+		kb := d.BytesNoCopy()
+		vb := d.BytesNoCopy()
+		if !apply {
+			continue
+		}
+		if cur, exists := b.state[string(kb)]; !exists || cur != string(vb) {
+			b.state[string(kb)] = string(vb)
+		}
 	}
 	if err := d.Err(); err != nil {
 		return nil, err
 	}
-	ss.mu.Lock()
-	defer ss.mu.Unlock()
-	b, ok := ss.beans[id]
-	if !ok {
-		b = &beanState{id: id, state: make(map[string]string)}
-		ss.beans[id] = b
+	if !apply {
+		return nil, nil
 	}
-	if gen <= b.gen && b.gen != 0 {
-		return nil, nil // stale delta from a deposed primary
-	}
-	b.gen = gen
-	for k, v := range delta {
-		b.state[k] = v
-	}
-	ss.c.reg.Counter("ejb.stateful.replica_updates").Inc()
+	ss.replicaUpdates.Inc()
 	return nil, nil
 }
 
 // handleInvoke runs a business method; if this server holds only the
-// replica, it promotes itself first (failover).
+// replica, it promotes itself first (failover). The id and method decode
+// without copying — both resolve through no-alloc map lookups, and the
+// payload aliases the frame body (valid for the duration of the call; the
+// response envelope is serialized before return).
+//
+//wls:hotpath
 func (ss *statefulStore) handleInvoke(ctx context.Context, call *rmi.Call) ([]byte, error) {
 	d := wire.NewDecoder(call.Args)
-	id := d.String()
-	method := d.String()
-	payload := d.Bytes()
+	idB := d.BytesNoCopy()
+	methB := d.BytesNoCopy()
+	payload := d.BytesNoCopy()
 	if err := d.Err(); err != nil {
 		return nil, err
 	}
 	var span *trace.Span
 	if parent := trace.FromContext(ctx); parent != nil {
-		_, span = parent.NewChild(ctx, "ejb "+ss.spec.Name+"."+method, trace.KindInternal)
-		span.Annotate("bean", id)
+		spanName, cached := ss.spanNames[string(methB)]
+		if !cached {
+			spanName = "ejb " + ss.spec.Name + "." + string(methB)
+		}
+		_, span = parent.NewChild(ctx, spanName, trace.KindInternal)
+		span.Annotate("bean", string(idB))
 		defer span.Finish()
 	}
-	impl, ok := ss.spec.Methods[method]
+	impl, ok := ss.spec.Methods[string(methB)]
 	if !ok {
-		err := &rmi.AppError{Msg: "no such method: " + method}
+		err := &rmi.AppError{Msg: "no such method: " + string(methB)}
 		span.SetError(err)
 		return nil, err
 	}
 
 	ss.mu.Lock()
-	b, found := ss.beans[id]
+	b, found := ss.beans[string(idB)]
 	if !found {
-		if raw, paged := ss.paged[id]; paged {
-			b = ss.activate(id, raw)
+		if raw, paged := ss.paged[string(idB)]; paged {
+			b = ss.activate(string(idB), raw)
 			found = true
 		}
 	}
 	if !found {
 		ss.mu.Unlock()
-		err := &rmi.AppError{Msg: "no such bean: " + id}
+		err := &rmi.AppError{Msg: "no such bean: " + string(idB)}
 		span.SetError(err)
 		return nil, err
 	}
@@ -310,7 +347,7 @@ func (ss *statefulStore) handleInvoke(ctx context.Context, call *rmi.Call) ([]by
 		b.primary = true
 		ss.mu.Unlock()
 		ss.chooseSecondaryAndReship(b)
-		ss.c.reg.Counter("ejb.stateful.promotions").Inc()
+		ss.promotions.Inc()
 		ss.mu.Lock()
 	}
 	sc := &StatefulCtx{bean: b, store: ss, dirty: make(map[string]bool)}
@@ -319,9 +356,6 @@ func (ss *statefulStore) handleInvoke(ctx context.Context, call *rmi.Call) ([]by
 	out, err := impl(sc, payload)
 	if err != nil {
 		span.SetError(err)
-		if !rmi.IsAppError(err) {
-			return nil, err
-		}
 		return nil, err
 	}
 	// Transaction boundary: ship accumulated dirty keys.
@@ -332,7 +366,7 @@ func (ss *statefulStore) handleInvoke(ctx context.Context, call *rmi.Call) ([]by
 		}
 		ss.ship(b, delta)
 	}
-	ss.c.reg.Counter("ejb.stateful.calls").Inc()
+	ss.calls.Inc()
 	return respEnvelope(ss.c.ServerName(), b.secondary, out), nil
 }
 
@@ -488,7 +522,8 @@ func (h *Handle) Secondary() string { return h.secondary }
 // Invoke calls a business method on the primary, failing over to the
 // secondary when the primary is unreachable.
 func (h *Handle) Invoke(ctx context.Context, method string, args []byte) ([]byte, error) {
-	e := wire.NewEncoder(64 + len(args))
+	e := wire.AcquireEncoder()
+	defer e.Release()
 	e.String(h.id)
 	e.String(method)
 	e.Bytes2(args)

@@ -335,9 +335,10 @@ func (r *txReceive) Rollback(string) error {
 // store-and-forward agents.
 const ServiceName = "wls.jms"
 
-// RMIService exposes the broker. The "deliver" method is the SAF receiving
-// end: it deduplicates by message ID (persistently when a filestore is
-// attached), making redelivery after lost ACKs harmless.
+// RMIService exposes the broker. The "deliver" and "deliver.batch" methods
+// are the SAF receiving end: they deduplicate by message ID (persistently
+// when a filestore is attached), making redelivery after lost ACKs
+// harmless.
 func (b *Broker) RMIService() *rmi.Service {
 	const dedupRegion = "jms.dedup"
 	seen := make(map[string]bool)
@@ -346,6 +347,27 @@ func (b *Broker) RMIService() *rmi.Service {
 		for _, id := range b.fs.Keys(dedupRegion) {
 			seen[id] = true
 		}
+	}
+	// deliverOne deduplicates and enqueues one SAF message; reports whether
+	// the message was accepted (false = dedup drop).
+	deliverOne := func(queue string, m Message) (bool, error) {
+		seenMu.Lock()
+		dup := seen[m.ID]
+		if !dup {
+			seen[m.ID] = true
+		}
+		seenMu.Unlock()
+		if dup {
+			b.reg.Counter("jms.dedup_drops").Inc()
+			return false, nil
+		}
+		if b.fs != nil {
+			_ = b.fs.Put(dedupRegion, m.ID, nil)
+		}
+		if _, err := b.Queue(queue).Send(m); err != nil {
+			return false, err
+		}
+		return true, nil
 	}
 	return &rmi.Service{
 		Name:   ServiceName,
@@ -363,7 +385,7 @@ func (b *Broker) RMIService() *rmi.Service {
 				if err != nil {
 					return nil, err
 				}
-				e := wire.NewEncoder(32)
+				e := wire.MakeEncoder(32)
 				e.String(id)
 				return e.Bytes(), nil
 			}},
@@ -376,28 +398,47 @@ func (b *Broker) RMIService() *rmi.Service {
 				if err != nil {
 					return nil, err
 				}
-				seenMu.Lock()
-				dup := seen[m.ID]
-				if !dup {
-					seen[m.ID] = true
-				}
-				seenMu.Unlock()
+				accepted, err := deliverOne(queue, m)
 				if sp := trace.FromContext(ctx); sp != nil {
-					if dup {
-						sp.Annotate("dedup", "drop")
-					} else {
+					if accepted {
 						sp.Annotate("dedup", "accept")
+					} else {
+						sp.Annotate("dedup", "drop")
 					}
 				}
-				if dup {
-					b.reg.Counter("jms.dedup_drops").Inc()
-					return nil, nil
-				}
-				if b.fs != nil {
-					_ = b.fs.Put(dedupRegion, m.ID, nil)
-				}
-				if _, err := b.Queue(queue).Send(m); err != nil {
+				return nil, err
+			}},
+			// deliver.batch: one RPC carrying a whole drain batch, grouped
+			// the way the transport's loopyWriter groups frames per
+			// connection flush. Dedup stays per message, so a batch retry
+			// that partially landed is still exactly-once.
+			"deliver.batch": {Idempotent: true, Handler: func(ctx context.Context, c *rmi.Call) ([]byte, error) {
+				d := wire.NewDecoder(c.Args)
+				queue := d.String()
+				if err := d.Err(); err != nil {
 					return nil, err
+				}
+				accepted, dropped := 0, 0
+				for d.Remaining() > 0 {
+					m, err := decodeMessageTail(d)
+					if err != nil {
+						return nil, err
+					}
+					ok, err := deliverOne(queue, m)
+					if err != nil {
+						return nil, err
+					}
+					if ok {
+						accepted++
+					} else {
+						dropped++
+					}
+				}
+				if sp := trace.FromContext(ctx); sp != nil {
+					sp.AnnotateInt("accepted", accepted)
+					if dropped > 0 {
+						sp.AnnotateInt("deduped", dropped)
+					}
 				}
 				return nil, nil
 			}},
@@ -458,10 +499,17 @@ func ReceiveRemote(ctx context.Context, node rmi.Node, addr, queue string) (Mess
 // ---------------------------------------------------------------------------
 // Store-and-forward (§4)
 
+// safBatchMax bounds how many messages one deliver.batch RPC carries.
+const safBatchMax = 32
+
 // Forwarder drains a local buffer queue to a remote destination,
 // "buffering work to handle temporarily disconnected or overloaded
-// systems". Delivery uses the deliver RPC: the response is the ACK; no
-// response → retry with backoff; the receiver deduplicates.
+// systems". A drain groups up to safBatchMax buffered messages into one
+// deliver.batch RPC (the per-connection flush batching the transport's
+// loopyWriter applies to frames); the response is the ACK; no response →
+// retry with backoff; the receiver deduplicates per message. Peers that
+// predate deliver.batch are detected via NotDeployedError and drained one
+// deliver RPC at a time.
 type Forwarder struct {
 	local      *Queue
 	node       rmi.Node
@@ -470,6 +518,11 @@ type Forwarder struct {
 	clock      vclock.Clock
 	interval   time.Duration
 	maxBackoff time.Duration
+	// stub is built once: the destination is fixed for the agent's life.
+	stub *rmi.Stub
+	// forwarded/retries are resolved once: metric-name lookups allocate.
+	forwarded *metrics.Counter
+	retries   *metrics.Counter
 
 	tracer *trace.Tracer
 
@@ -477,6 +530,9 @@ type Forwarder struct {
 	timer   vclock.Timer
 	backoff time.Duration
 	stopped bool
+	// noBatch is set when the remote rejects deliver.batch as not deployed
+	// (mixed-version cluster): fall back to per-message delivery for good.
+	noBatch bool
 	// gen is the agent's epoch, bumped by Start and Stop. Timer callbacks
 	// and drain loops carry the epoch they were started under and go
 	// inert when it changes, so a drain already in flight when Stop lands
@@ -501,6 +557,9 @@ func NewForwarder(local *Queue, node rmi.Node, remoteAddr, remoteQ string, clock
 		clock:      clock,
 		interval:   interval,
 		maxBackoff: interval * 16,
+		stub:       rmi.NewStub(ServiceName, node, rmi.StaticView(remoteAddr)),
+		forwarded:  local.b.reg.Counter("jms.saf_forwarded"),
+		retries:    local.b.reg.Counter("jms.saf_retries"),
 		backoff:    interval,
 	}
 }
@@ -547,59 +606,111 @@ func (f *Forwarder) current(g uint64) bool {
 	return !f.stopped && g == f.gen
 }
 
+// batchLimit reports how many messages the next delivery may group.
+func (f *Forwarder) batchLimit() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.noBatch {
+		return 1
+	}
+	return safBatchMax
+}
+
+// deliver ships one drain batch. A single message goes out over the
+// original "deliver" method, so a lightly-loaded agent is byte-for-byte
+// (and trace-for-trace) identical to the unbatched one; only when the
+// buffer has a backlog does "deliver.batch" flush the group in one RPC.
+func (f *Forwarder) deliver(msgs []Message) error {
+	e := wire.AcquireEncoder()
+	defer e.Release()
+	e.String(f.remoteQ)
+	for _, m := range msgs {
+		e.String(m.ID)
+		e.String(m.Key)
+		e.Bytes2(m.Body)
+	}
+	method := "deliver"
+	if len(msgs) > 1 {
+		method = "deliver.batch"
+	}
+	sctx := context.Background()
+	var span *trace.Span
+	if f.tracer != nil {
+		// Each SAF hop is its own trace root: the forwarder runs in the
+		// background, detached from whatever request produced the message.
+		sctx, span = f.tracer.StartRoot(sctx, "jms.saf "+f.remoteQ, trace.KindJMS)
+		span.Annotate("msg", msgs[0].ID)
+		span.Annotate("to", f.remoteAddr)
+		if len(msgs) > 1 {
+			span.AnnotateInt("batched", len(msgs))
+		}
+	}
+	ctx, cancel := context.WithTimeout(sctx, 2*time.Second)
+	_, err := f.stub.Invoke(ctx, method, e.Bytes())
+	cancel()
+	if span != nil {
+		if err != nil {
+			span.Annotate("outcome", "retry")
+			span.SetError(err)
+		} else {
+			span.Annotate("outcome", "ack")
+		}
+		span.Finish()
+	}
+	return err
+}
+
 // drain forwards as many messages as possible, then re-schedules.
 func (f *Forwarder) drain(g uint64) {
+	var msgs []Message
 	for f.current(g) {
-		m, err := f.local.Receive()
-		if err != nil {
+		msgs = msgs[:0]
+		limit := f.batchLimit()
+		for len(msgs) < limit {
+			m, err := f.local.Receive()
+			if err != nil {
+				break
+			}
+			msgs = append(msgs, m)
+		}
+		if len(msgs) == 0 {
 			f.mu.Lock()
 			f.backoff = f.interval
 			f.mu.Unlock()
 			f.schedule(f.interval, g)
 			return
 		}
-		e := wire.NewEncoder(64 + len(m.Body))
-		e.String(f.remoteQ)
-		e.String(m.ID)
-		e.String(m.Key)
-		e.Bytes2(m.Body)
-		sctx := context.Background()
-		var span *trace.Span
-		if f.tracer != nil {
-			// Each SAF hop is its own trace root: the forwarder runs in the
-			// background, detached from whatever request produced the message.
-			sctx, span = f.tracer.StartRoot(sctx, "jms.saf "+f.remoteQ, trace.KindJMS)
-			span.Annotate("msg", m.ID)
-			span.Annotate("to", f.remoteAddr)
-		}
-		stub := rmi.NewStub(ServiceName, f.node, rmi.StaticView(f.remoteAddr))
-		ctx, cancel := context.WithTimeout(sctx, 2*time.Second)
-		_, err = stub.Invoke(ctx, "deliver", e.Bytes())
-		cancel()
-		if err != nil {
-			// No ACK: message back to the buffer, back off, retry later.
-			if span != nil {
-				span.Annotate("outcome", "retry")
-				span.SetError(err)
-				span.Finish()
+		err := f.deliver(msgs)
+		if err == nil {
+			for _, m := range msgs {
+				_ = f.local.Ack(m.ID)
+				f.forwarded.Inc()
 			}
-			f.local.Nack(m.ID)
+			continue
+		}
+		// Nack in reverse so the batch returns to the queue front in its
+		// original order (Nack prepends).
+		for i := len(msgs) - 1; i >= 0; i-- {
+			f.local.Nack(msgs[i].ID)
+		}
+		if len(msgs) > 1 && rmi.IsNotDeployed(err) {
+			// Mixed-version peer without deliver.batch: drop to per-message
+			// delivery permanently and retry the batch right away.
 			f.mu.Lock()
-			f.backoff *= 2
-			if f.backoff > f.maxBackoff {
-				f.backoff = f.maxBackoff
-			}
-			next := f.backoff
+			f.noBatch = true
 			f.mu.Unlock()
-			f.local.b.reg.Counter("jms.saf_retries").Inc()
-			f.schedule(next, g)
-			return
+			continue
 		}
-		if span != nil {
-			span.Annotate("outcome", "ack")
-			span.Finish()
+		// No ACK: messages back to the buffer, back off, retry later.
+		f.mu.Lock()
+		f.backoff *= 2
+		if f.backoff > f.maxBackoff {
+			f.backoff = f.maxBackoff
 		}
-		_ = f.local.Ack(m.ID)
-		f.local.b.reg.Counter("jms.saf_forwarded").Inc()
+		next := f.backoff
+		f.mu.Unlock()
+		f.retries.Inc()
+		f.schedule(next, g)
+		return
 	}
 }

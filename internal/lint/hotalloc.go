@@ -24,6 +24,22 @@ import (
 //   - fmt.* calls (format state, boxing, and result all allocate)
 //   - function literals (closure allocation)
 //
+// Types whose instances are recycled through a sync.Pool carry a
+// //wls:pooled directive on their declaration. Two of the idioms above
+// escalate for pooled objects, because beyond the allocation they are
+// use-after-release hazards: boxing a pooled object into an interface
+// (the interface value may outlive the request and observe the object
+// after recycling) and a closure capturing a pooled object (same escape,
+// via the environment). Both report a distinct "pooled" message so the
+// baseline tracks them separately from plain boxing/closure findings.
+//
+// Idioms the gc compiler is known to perform without allocating are not
+// reported: boxing a pointer-shaped or zero-size value into a non-pooled
+// interface (the data word holds it directly), and a []byte-to-string
+// conversion used only as a map-read key, an == / != operand, or a
+// switch tag (the temporary never outlives the operation). Map writes
+// m[string(b)] = v still allocate and are still flagged.
+//
 // Not every finding is a real heap escape — the compiler stack-allocates
 // plenty of these — so hotalloc is the one analyzer wired to a baseline:
 // existing debt is recorded in hotalloc_baseline.json and the ratchet
@@ -58,21 +74,84 @@ type hotallocFact struct {
 
 func (*hotallocFact) AFact() {}
 
+// pooledFact marks a named type whose instances are pool-recycled
+// (//wls:pooled on the declaration).
+type pooledFact struct{}
+
+func (*pooledFact) AFact() {}
+
 func hotAllocRun(pass *Pass) {
 	info := pass.Pkg.Info
 
+	// First pass: collect //wls:pooled type annotations so the allocation
+	// walk below can recognize pooled objects defined in this package (ones
+	// from imported packages already have facts: dependency order).
 	for _, f := range pass.Pkg.Files {
-		// Any //wls:hotpath comment must be part of a function's doc
-		// comment; anywhere else it silently annotates nothing.
-		inDoc := map[*ast.Comment]bool{}
 		for _, d := range f.Decls {
-			fd, ok := d.(*ast.FuncDecl)
-			if !ok {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
 				continue
 			}
-			if fd.Doc != nil {
-				for _, c := range fd.Doc.List {
-					inDoc[c] = true
+			declPooled := hasPooledDoc(gd.Doc)
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if !declPooled && !hasPooledDoc(ts.Doc) {
+					continue
+				}
+				if tn, ok := info.Defs[ts.Name].(*types.TypeName); ok {
+					pass.ExportObjectFact(tn, &pooledFact{})
+				}
+			}
+		}
+	}
+	// pooled reports whether t (or the type it points to) carries a
+	// //wls:pooled annotation.
+	pooled := func(t types.Type) bool {
+		if t == nil {
+			return false
+		}
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return false
+		}
+		return pass.ImportObjectFact(named.Obj(), &pooledFact{})
+	}
+
+	for _, f := range pass.Pkg.Files {
+		// Any //wls:hotpath comment must be part of a function's doc
+		// comment, and any //wls:pooled comment part of a type
+		// declaration's; anywhere else they silently annotate nothing.
+		inDoc := map[*ast.Comment]bool{}
+		inTypeDoc := map[*ast.Comment]bool{}
+		for _, d := range f.Decls {
+			switch d := d.(type) {
+			case *ast.FuncDecl:
+				if d.Doc != nil {
+					for _, c := range d.Doc.List {
+						inDoc[c] = true
+					}
+				}
+			case *ast.GenDecl:
+				if d.Tok != token.TYPE {
+					continue
+				}
+				if d.Doc != nil {
+					for _, c := range d.Doc.List {
+						inTypeDoc[c] = true
+					}
+				}
+				for _, spec := range d.Specs {
+					if ts, ok := spec.(*ast.TypeSpec); ok && ts.Doc != nil {
+						for _, c := range ts.Doc.List {
+							inTypeDoc[c] = true
+						}
+					}
 				}
 			}
 		}
@@ -80,6 +159,9 @@ func hotAllocRun(pass *Pass) {
 			for _, c := range cg.List {
 				if strings.HasPrefix(c.Text, "//wls:hotpath") && !inDoc[c] {
 					pass.Reportf(c.Pos(), "//wls:hotpath must appear in a function's doc comment to mark a hot-path root")
+				}
+				if strings.HasPrefix(c.Text, "//wls:pooled") && !inTypeDoc[c] {
+					pass.Reportf(c.Pos(), "//wls:pooled must appear in a type declaration's doc comment to mark a pooled type")
 				}
 			}
 		}
@@ -94,7 +176,7 @@ func hotAllocRun(pass *Pass) {
 				continue
 			}
 			fact := &hotallocFact{Hot: hasHotPathDoc(fd)}
-			collectAllocs(info, fd.Body, fact)
+			collectAllocs(info, fd.Body, fact, pooled)
 			seen := map[*types.Func]bool{}
 			walkSkippingFuncLits(fd.Body, func(n ast.Node) {
 				call, ok := n.(*ast.CallExpr)
@@ -125,19 +207,70 @@ func hasHotPathDoc(fd *ast.FuncDecl) bool {
 	return false
 }
 
+func hasPooledDoc(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(c.Text, "//wls:pooled") {
+			return true
+		}
+	}
+	return false
+}
+
+// capturedPooled returns the rendered type of a pooled variable the
+// function literal captures from its environment ("" when none): an
+// identifier used inside the literal but declared outside it whose type is
+// pooled. Such a closure is more than an allocation — its environment may
+// outlive the request and observe the pooled object after recycling.
+func capturedPooled(info *types.Info, lit *ast.FuncLit, pooled func(types.Type) bool, short func(types.Type) string) string {
+	found := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		vr, ok := info.Uses[id].(*types.Var)
+		if !ok || vr.IsField() {
+			return true
+		}
+		// Declared outside the literal = captured (parameters and locals of
+		// the literal itself sit inside its extent).
+		if vr.Pos() >= lit.Pos() && vr.Pos() <= lit.End() {
+			return true
+		}
+		if pooled(vr.Type()) {
+			found = short(vr.Type())
+			return false
+		}
+		return true
+	})
+	return found
+}
+
 // collectAllocs appends every allocation site in body (excluding nested
 // function literals, which are themselves sites) to fact.Sites.
-func collectAllocs(info *types.Info, body *ast.BlockStmt, fact *hotallocFact) {
+func collectAllocs(info *types.Info, body *ast.BlockStmt, fact *hotallocFact, pooled func(types.Type) bool) {
 	short := func(t types.Type) string {
 		return types.TypeString(t, func(p *types.Package) string { return p.Name() })
 	}
+	freeConv := freeConvs(info, body)
 	// Composite literals reported through their enclosing &x form get the
 	// bare literal suppressed so each site reports once.
 	handledLit := map[*ast.CompositeLit]bool{}
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit:
-			fact.Sites = append(fact.Sites, AllocSite{Pos: n.Pos(), What: "function literal (closure allocation)"})
+			if cap := capturedPooled(info, n, pooled, short); cap != "" {
+				fact.Sites = append(fact.Sites, AllocSite{Pos: n.Pos(),
+					What: "closure captures pooled " + cap + " (environment may retain it past pool release)"})
+			} else {
+				fact.Sites = append(fact.Sites, AllocSite{Pos: n.Pos(), What: "function literal (closure allocation)"})
+			}
 			return false
 		case *ast.UnaryExpr:
 			if n.Op == token.AND {
@@ -161,15 +294,109 @@ func collectAllocs(info *types.Info, body *ast.BlockStmt, fact *hotallocFact) {
 				fact.Sites = append(fact.Sites, AllocSite{Pos: n.Pos(), What: short(tv.Type) + "{...} composite literal"})
 			}
 		case *ast.CallExpr:
-			allocsFromCall(info, n, short, fact)
+			allocsFromCall(info, n, short, fact, pooled, freeConv)
 		}
 		return true
 	})
 }
 
+// freeConvs returns the []byte-to-string conversions in body that the
+// compiler performs without allocating: a conversion used directly as a
+// map-read key (m[string(b)]), as an operand of == or !=, or as a switch
+// tag. The temporary string never outlives the operation, so gc elides
+// the copy. Map writes keep their key alive and still allocate, so
+// assignment targets are excluded.
+func freeConvs(info *types.Info, body *ast.BlockStmt) map[*ast.CallExpr]bool {
+	free := map[*ast.CallExpr]bool{}
+	conv := func(e ast.Expr) *ast.CallExpr {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return nil
+		}
+		tv, ok := info.Types[call.Fun]
+		if !ok || !tv.IsType() || !isString(tv.Type) {
+			return nil
+		}
+		srcTV, ok := info.Types[call.Args[0]]
+		if !ok || srcTV.Type == nil || !isByteSlice(srcTV.Type) {
+			return nil
+		}
+		return call
+	}
+	mark := func(e ast.Expr) {
+		if c := conv(e); c != nil {
+			free[c] = true
+		}
+	}
+	written := map[ast.Expr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, l := range as.Lhs {
+				written[ast.Unparen(l)] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IndexExpr:
+			if written[n] {
+				return true
+			}
+			if xtv, ok := info.Types[n.X]; ok && xtv.Type != nil {
+				if _, isMap := xtv.Type.Underlying().(*types.Map); isMap {
+					mark(n.Index)
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.EQL || n.Op == token.NEQ {
+				mark(n.X)
+				mark(n.Y)
+			}
+		case *ast.SwitchStmt:
+			if n.Tag != nil {
+				mark(n.Tag)
+			}
+		}
+		return true
+	})
+	return free
+}
+
+// boxingIsFree reports whether converting a value of type t to an
+// interface allocates nothing: pointer-shaped values (pointers, channels,
+// maps, funcs, unsafe.Pointer) are stored directly in the interface data
+// word, and zero-size values share the runtime's zerobase.
+func boxingIsFree(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		if u.Kind() == types.UnsafePointer {
+			return true
+		}
+	}
+	return isZeroSize(t)
+}
+
+func isZeroSize(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if !isZeroSize(u.Field(i).Type()) {
+				return false
+			}
+		}
+		return true
+	case *types.Array:
+		return u.Len() == 0 || isZeroSize(u.Elem())
+	}
+	return false
+}
+
 // allocsFromCall classifies one call expression: builtin allocators,
 // conversions, fmt calls, and interface boxing at argument positions.
-func allocsFromCall(info *types.Info, call *ast.CallExpr, short func(types.Type) string, fact *hotallocFact) {
+func allocsFromCall(info *types.Info, call *ast.CallExpr, short func(types.Type) string, fact *hotallocFact, pooled func(types.Type) bool, freeConv map[*ast.CallExpr]bool) {
 	// Builtins.
 	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
 		if b, ok := info.Uses[id].(*types.Builtin); ok {
@@ -196,11 +423,20 @@ func allocsFromCall(info *types.Info, call *ast.CallExpr, short func(types.Type)
 		}
 		src := srcTV.Type
 		if isStringBytesConv(dst, src) {
-			fact.Sites = append(fact.Sites, AllocSite{Pos: call.Pos(),
-				What: short(src) + " to " + short(dst) + " conversion (copies)"})
+			if !freeConv[call] {
+				fact.Sites = append(fact.Sites, AllocSite{Pos: call.Pos(),
+					What: short(src) + " to " + short(dst) + " conversion (copies)"})
+			}
 		} else if types.IsInterface(dst.Underlying()) && !types.IsInterface(src.Underlying()) && !isUntypedNil(srcTV) {
-			fact.Sites = append(fact.Sites, AllocSite{Pos: call.Pos(),
-				What: "boxing " + short(src) + " into " + short(dst)})
+			if pooled(src) {
+				// Pooled escalation is about retention, not allocation, so
+				// it fires even for allocation-free pointer boxing.
+				fact.Sites = append(fact.Sites, AllocSite{Pos: call.Pos(),
+					What: "boxing pooled " + short(src) + " into " + short(dst) + " (interface may retain it past pool release)"})
+			} else if !boxingIsFree(src) {
+				fact.Sites = append(fact.Sites, AllocSite{Pos: call.Pos(),
+					What: "boxing " + short(src) + " into " + short(dst)})
+			}
 		}
 		return
 	}
@@ -257,8 +493,15 @@ func allocsFromCall(info *types.Info, call *ast.CallExpr, short func(types.Type)
 				label = callee.Name()
 			}
 		}
-		fact.Sites = append(fact.Sites, AllocSite{Pos: arg.Pos(),
-			What: "boxing " + short(argTV.Type) + " into " + short(pt) + " passed to " + label})
+		// sync.Pool.Put IS the release: handing a pooled object back to its
+		// pool is the mechanism, not an escape.
+		if pooled(argTV.Type) && pkgPathOf(callee) != "sync" {
+			fact.Sites = append(fact.Sites, AllocSite{Pos: arg.Pos(),
+				What: "boxing pooled " + short(argTV.Type) + " into " + short(pt) + " passed to " + label + " (callee may retain it past pool release)"})
+		} else if !boxingIsFree(argTV.Type) {
+			fact.Sites = append(fact.Sites, AllocSite{Pos: arg.Pos(),
+				What: "boxing " + short(argTV.Type) + " into " + short(pt) + " passed to " + label})
+		}
 	}
 }
 
@@ -269,6 +512,15 @@ func isStringBytesConv(dst, src types.Type) bool {
 func isString(t types.Type) bool {
 	b, ok := t.Underlying().(*types.Basic)
 	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8)
 }
 
 func isByteOrRuneSlice(t types.Type) bool {

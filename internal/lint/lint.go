@@ -43,11 +43,15 @@
 //	//wls:wallclock <reason>           – suppress walltime (reason required)
 //	//wls:nolint <a>[,<b>] -- <reason> – suppress the named analyzers
 //
-// Two further directives feed analyzers instead of suppressing them:
+// Three further directives feed analyzers instead of suppressing them:
 //
 //	//wls:lockorder A<B   – assert that lock class A is acquired before B
 //	//wls:hotpath <why>   – mark the function declared below as a hot-path
 //	                        root for hotalloc
+//	//wls:pooled <why>    – mark the type declared below as pool-recycled;
+//	                        hotalloc then flags interface boxing of its
+//	                        instances and closures capturing them on hot
+//	                        paths (escape → use-after-release hazards)
 //
 // A suppressing directive covers matching diagnostics on its own line and,
 // when it stands alone on a line, on the line directly below it.
@@ -271,9 +275,14 @@ func parseDirectives(fset *token.FileSet, f *ast.File, known map[string]bool, re
 				// below as a hot-path root for hotalloc, which also
 				// verifies the comment is attached to a function.
 				continue
+			case "pooled":
+				// Annotation, not suppression: marks the type declared below
+				// as pool-recycled for hotalloc, which also verifies the
+				// comment is attached to a type declaration.
+				continue
 			default:
 				report(Diagnostic{Analyzer: "directive", Pos: pos,
-					Message: fmt.Sprintf("unknown //wls: directive %q (want wallclock, nolint, lockorder, or hotpath)", kind)})
+					Message: fmt.Sprintf("unknown //wls: directive %q (want wallclock, nolint, lockorder, hotpath, or pooled)", kind)})
 				continue
 			}
 			out = append(out, d)

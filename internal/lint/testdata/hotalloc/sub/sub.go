@@ -14,3 +14,12 @@ func Encode(n int) []byte {
 func Cold() []byte {
 	return make([]byte, 64)
 }
+
+// Buf is recycled through a pool by the parent fixture package: boxing it
+// or capturing it in a closure on a hot path must escalate there, proving
+// pooled facts propagate across packages.
+//
+//wls:pooled
+type Buf struct {
+	Data []byte
+}

@@ -395,41 +395,72 @@ func (e *Endpoint) waitThaw(ctx context.Context) error {
 	}
 }
 
-// deliver runs the handler for an inbound frame after the link latency.
-func (e *Endpoint) deliver(ctx context.Context, from string, f wire.Frame, lat time.Duration, reply chan<- *wire.Frame) {
-	run := func() {
-		go func() {
-			if err := e.waitThaw(ctx); err != nil {
-				if reply != nil {
-					select {
-					case reply <- nil:
-					default:
-					}
-				}
-				return
+// delivery carries one inbound frame to its handler goroutine. Deliveries
+// are pooled: the closure pair the old code allocated per message (timer
+// thunk + goroutine body) was a measurable share of hot-path allocations.
+//
+//wls:pooled
+type delivery struct {
+	ep    *Endpoint
+	ctx   context.Context
+	from  string
+	f     wire.Frame
+	reply chan *wire.Frame
+}
+
+var deliveryPool = sync.Pool{New: func() any { return new(delivery) }}
+
+// spawn starts the handler goroutine; it is the AfterFunc target for
+// links with latency.
+func (d *delivery) spawn() { go d.process() }
+
+func (d *delivery) process() {
+	// Copy everything to locals and recycle the struct up front: the
+	// handler below may block arbitrarily long (frozen endpoint), and the
+	// pooled object must not sit hostage to it.
+	ep, ctx, from, f, reply := d.ep, d.ctx, d.from, d.f, d.reply
+	*d = delivery{}
+	deliveryPool.Put(d)
+
+	if err := ep.waitThaw(ctx); err != nil {
+		if reply != nil {
+			select {
+			case reply <- nil:
+			default:
 			}
-			e.mu.Lock()
-			h := e.handler
-			closed := e.closed
-			e.mu.Unlock()
-			var resp *wire.Frame
-			if h != nil && !closed {
-				resp = h(from, f)
-			}
-			if reply != nil {
-				select {
-				case reply <- resp:
-				default:
-				}
-			}
-		}()
+		}
+		return
 	}
-	if lat > 0 {
-		e.net.clock.AfterFunc(lat, run)
-	} else {
-		run()
+	ep.mu.Lock()
+	h := ep.handler
+	closed := ep.closed
+	ep.mu.Unlock()
+	var resp *wire.Frame
+	if h != nil && !closed {
+		resp = h(from, f)
+	}
+	if reply != nil {
+		select {
+		case reply <- resp:
+		default:
+		}
 	}
 }
+
+// deliver runs the handler for an inbound frame after the link latency.
+func (e *Endpoint) deliver(ctx context.Context, from string, f wire.Frame, lat time.Duration, reply chan *wire.Frame) {
+	d := deliveryPool.Get().(*delivery)
+	*d = delivery{ep: e, ctx: ctx, from: from, f: f, reply: reply}
+	if lat > 0 {
+		e.net.clock.AfterFunc(lat, d.spawn)
+	} else {
+		d.spawn()
+	}
+}
+
+// replyPool recycles Call reply channels (buffered, capacity 1). Only the
+// receive path returns them; abandoned channels fall to the GC.
+var replyPool = sync.Pool{New: func() any { return make(chan *wire.Frame, 1) }}
 
 // cloneBody detaches f's body from the caller's buffer. Like the TCP
 // transport, the fabric copies frame bodies on entry so callers may reuse
@@ -482,10 +513,16 @@ func (e *Endpoint) Call(ctx context.Context, to string, f wire.Frame) (wire.Fram
 	if err != nil {
 		return wire.Frame{}, err
 	}
-	reply := make(chan *wire.Frame, 1)
+	// Reply channels are pooled. Each delivery sends at most once, so once
+	// this side has received, no sender remains and the channel may be
+	// recycled. The abandonment path (ctx done before the reply arrives)
+	// must NOT recycle: a late handler may still deposit its response, and
+	// a recycled channel would leak that stale frame into a future call.
+	reply := replyPool.Get().(chan *wire.Frame)
 	dst.deliver(ctx, e.addr, f, lat, reply)
 	select {
 	case resp := <-reply:
+		replyPool.Put(reply)
 		if resp == nil {
 			return wire.Frame{}, ErrUnreachable
 		}

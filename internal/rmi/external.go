@@ -167,7 +167,7 @@ func (c *ExternalClient) Stub(service string, opts ...StubOption) *Stub {
 // offer every service. It is used to bootstrap before any live view is
 // known and to address a specific server directly (e.g. a transaction
 // branch participant).
-func StaticView(addrs ...string) View { return staticView{addrs: addrs} }
+func StaticView(addrs ...string) View { return makeStaticView("", addrs) }
 
 // NamedStaticView returns a single-member View with an explicit member
 // name. Client-side resilience keys breakers by candidate name, so
@@ -175,26 +175,30 @@ func StaticView(addrs ...string) View { return staticView{addrs: addrs} }
 // probes) use this to share breaker state with stubs built from live
 // views; plain StaticView candidates are named by their address.
 func NamedStaticView(name, addr string) View {
-	return staticView{addrs: []string{addr}, name: name}
+	return makeStaticView(name, []string{addr})
 }
 
 // staticView lets the bootstrap query target a fixed address before any
-// view is known.
+// view is known. Its candidate list is fixed, so it is built once at
+// construction and shared read-only with every Candidates caller —
+// consumers of View.Candidates must not reorder results in place (the
+// load-balancing policies all copy before permuting).
 type staticView struct {
-	addrs []string
-	name  string // optional member name (single-address views)
+	cands []cluster.MemberInfo
 }
 
-func (v staticView) Candidates(string) []cluster.MemberInfo {
-	out := make([]cluster.MemberInfo, 0, len(v.addrs))
-	for _, a := range v.addrs {
-		name := a
-		if v.name != "" {
-			name = v.name
+func makeStaticView(name string, addrs []string) staticView {
+	out := make([]cluster.MemberInfo, 0, len(addrs))
+	for _, a := range addrs {
+		n := a
+		if name != "" {
+			n = name
 		}
-		out = append(out, cluster.MemberInfo{Name: name, Addr: a, Services: []string{ViewServiceName}})
+		out = append(out, cluster.MemberInfo{Name: n, Addr: a, Services: []string{ViewServiceName}})
 	}
-	return out
+	return staticView{cands: out}
 }
+
+func (v staticView) Candidates(string) []cluster.MemberInfo { return v.cands }
 
 func (v staticView) LocalName() string { return "" }

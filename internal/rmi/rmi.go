@@ -20,7 +20,6 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"wls/internal/cluster"
 	"wls/internal/metrics"
@@ -34,7 +33,11 @@ import (
 //
 // Contract: Send and Call must not retain f.Body after returning (both
 // implementations copy it into their delivery path), which lets stubs
-// encode requests into pooled buffers.
+// encode requests into pooled buffers. Symmetrically, the Body of the
+// frame Call returns is owned by the caller: the transport clones
+// response bodies out of its read buffer before delivery, and netsim
+// hands over the handler's freshly encoded response buffer. Stubs rely
+// on this to decode responses without copying.
 type Node interface {
 	Addr() string
 	Send(ctx context.Context, to string, f wire.Frame) error
@@ -64,7 +67,29 @@ func IsAppError(err error) bool {
 	return errors.As(err, &ae)
 }
 
+// NotDeployedError reports that the target server answered but does not
+// deploy the requested service or method. The request definitely had no
+// side effects, so stubs fail over freely; callers that speak optional
+// methods (e.g. batched SAF delivery to a mixed-version peer) use
+// IsNotDeployed to fall back to the older protocol instead of retrying.
+type NotDeployedError struct{ Msg string }
+
+func (e *NotDeployedError) Error() string { return e.Msg }
+
+// IsNotDeployed reports whether err means the remote answered
+// "no such service/method".
+func IsNotDeployed(err error) bool {
+	var nd *NotDeployedError
+	return errors.As(err, &nd)
+}
+
 // Call carries one inbound invocation to a service method.
+//
+// The registry recycles Call objects through a pool: a handler must not
+// retain the *Call, its Args, or any sub-slice of Args after it returns
+// (copy what must outlive the call). Args aliases the inbound frame body.
+//
+//wls:pooled
 type Call struct {
 	// From is the advertised address of the calling server (or client).
 	From string
@@ -97,6 +122,11 @@ type MethodSpec struct {
 	// under load would destabilize the cluster rather than protect it —
 	// the equivalent of WebLogic's dedicated system execute queues.
 	System bool
+
+	// name is the canonical method name, resolved at Register time so the
+	// dispatch path can populate Call.Method without converting the wire
+	// bytes to a fresh string.
+	name string
 }
 
 // Service is a named set of methods.
@@ -124,49 +154,26 @@ const (
 	respBusy          // admission refused (queue full / budget expired): no side effects
 )
 
-// encodeRequestTo writes c into e. The stub call path encodes into a
-// pooled encoder (wire.AcquireEncoder) and releases it once the node has
-// copied the frame into its send queue, so steady-state invocations do not
-// allocate a request buffer.
-func encodeRequestTo(e *wire.Encoder, c *Call) {
-	e.String(c.Service)
-	e.String(c.Method)
-	e.String(c.TxID)
-	e.String(c.ConvID)
-	e.Bytes2(c.Args)
-}
+// The request wire format is: service, method, txID, convID as
+// length-prefixed strings, then the args payload, then the optional
+// deadline block and trace envelope. Stub.callOne encodes it field by
+// field into a pooled encoder; handle decodes it in place below.
 
-// decodeRequest reads the fixed request fields, then the optional trailing
-// blocks: a deadline block first (remaining budget), then the trace
-// envelope. A request with neither (an old-version caller) decodes to a
-// zero SpanContext, no budget, and is handled identically to before the
-// blocks existed.
-func decodeRequest(from string, b []byte) (*Call, trace.SpanContext, time.Duration, bool, error) {
-	d := wire.NewDecoder(b)
-	c := &Call{
-		From:    from,
-		Service: d.String(),
-		Method:  d.String(),
-		TxID:    d.String(),
-		ConvID:  d.String(),
-		Args:    d.Bytes(),
-	}
-	if err := d.Err(); err != nil {
-		return nil, trace.SpanContext{}, 0, false, err
-	}
-	remaining, hasBudget, err := parseDeadline(d)
-	if err != nil {
-		return nil, trace.SpanContext{}, 0, false, err
-	}
-	sc, err := trace.ParseEnvelope(d)
-	if err != nil {
-		return nil, trace.SpanContext{}, 0, false, err
-	}
-	return c, sc, remaining, hasBudget, nil
+// callPool recycles server-side Call objects. handle acquires one per
+// request and releases it after the handler's response frame is built
+// (handlers must not retain the Call — see the Call doc comment).
+var callPool = sync.Pool{New: func() any { return new(Call) }}
+
+func releaseCall(c *Call) {
+	*c = Call{}
+	callPool.Put(c)
 }
 
 func encodeResponse(status byte, servedBy, errMsg string, body []byte) []byte {
-	e := wire.NewEncoder(32 + len(body))
+	// A fresh (non-pooled) buffer on purpose: the response body is handed
+	// to the node, and Node.Call's ownership contract promises the caller
+	// an owned body. A value encoder makes that one allocation, not two.
+	e := wire.MakeEncoder(32 + len(body))
 	e.Byte(status)
 	e.String(servedBy)
 	e.String(errMsg)
@@ -181,14 +188,21 @@ type response struct {
 	body     []byte
 }
 
+// serverNames interns the servedBy field of responses: a client talks to a
+// bounded set of servers, so after warmup every response resolves its
+// server name without allocating.
+var serverNames = wire.NewInterner(512)
+
+// decodeResponse decodes without copying: body aliases b, which is safe
+// because Node.Call hands the caller an owned response body (see the Node
+// contract). errMsg is empty on the happy path, where converting the empty
+// slice does not allocate.
 func decodeResponse(b []byte) (response, error) {
 	d := wire.NewDecoder(b)
-	r := response{
-		status:   d.Byte(),
-		servedBy: d.String(),
-		errMsg:   d.String(),
-		body:     d.Bytes(),
-	}
+	r := response{status: d.Byte()}
+	r.servedBy = serverNames.Intern(d.BytesNoCopy())
+	r.errMsg = d.String()
+	r.body = d.BytesNoCopy()
 	return r, d.Err()
 }
 
@@ -219,6 +233,10 @@ type Registry struct {
 	// pass through (atomic for the same wiring-order reason as tracer).
 	admission atomic.Pointer[Admission]
 
+	// selfName caches the (immutable) local server name; Member.Self()
+	// deep-copies the whole MemberInfo, which is too expensive per request.
+	selfName string
+
 	// requests counts all inbound calls; resolved once at construction
 	// to keep metric lookups off the per-request path.
 	requests *metrics.Counter
@@ -241,6 +259,7 @@ func NewRegistry(node Node, member *cluster.Member, reg *metrics.Registry) *Regi
 		member:   member,
 		reg:      reg,
 		clock:    member.Clock(),
+		selfName: member.Name(),
 		requests: reg.Counter("rmi.requests"),
 		busy:     reg.Counter("rmi.busy"),
 		services: make(map[string]*Service),
@@ -281,6 +300,12 @@ func (r *Registry) Register(s *Service) {
 	// Resolve the per-service counter before the service becomes
 	// reachable: handle reads it without holding r.mu.
 	s.requests = r.reg.Counter("rmi.requests." + s.Name)
+	// Resolve canonical method names so dispatch can fill Call.Method
+	// without allocating a string from the wire bytes.
+	for k, ms := range s.Methods {
+		ms.name = k
+		s.Methods[k] = ms
+	}
 	r.mu.Lock()
 	r.services[s.Name] = s
 	r.mu.Unlock()
@@ -303,31 +328,50 @@ func (r *Registry) Deployed(name string) bool {
 	return ok
 }
 
-// handle is the node frame handler.
+// handle is the node frame handler. The request fields are decoded
+// in place: service and method resolve through no-allocation map lookups
+// on the raw wire bytes, the Call comes from a pool, and its Args alias
+// the frame body (both node implementations hand the handler an owned
+// body for the duration of the call, and handlers must not retain it).
 //
 //wls:hotpath
 func (r *Registry) handle(from string, f wire.Frame) *wire.Frame {
 	if f.Kind != wire.KindRequest {
 		return nil
 	}
-	call, sc, remaining, hasBudget, err := decodeRequest(from, f.Body)
-	if err != nil {
-		return &wire.Frame{Kind: wire.KindResponse, Corr: f.Corr,
+	self := r.selfName
+	d := wire.NewDecoder(f.Body)
+	svcB := d.BytesNoCopy()
+	methB := d.BytesNoCopy()
+	txB := d.BytesNoCopy()
+	convB := d.BytesNoCopy()
+	argsB := d.BytesNoCopy()
+	if d.Err() != nil {
+		return &wire.Frame{Kind: wire.KindResponse, Corr: f.Corr, //wls:nolint hotalloc -- malformed-request reply, never taken on healthy traffic
 			Body: encodeResponse(respSystemError, r.node.Addr(), "malformed request", nil)}
 	}
-	self := r.member.Self().Name
+	remaining, hasBudget, err := parseDeadline(d)
+	if err != nil {
+		return &wire.Frame{Kind: wire.KindResponse, Corr: f.Corr, //wls:nolint hotalloc -- malformed-request reply, never taken on healthy traffic
+			Body: encodeResponse(respSystemError, r.node.Addr(), "malformed request", nil)}
+	}
+	sc, err := trace.ParseEnvelope(d)
+	if err != nil {
+		return &wire.Frame{Kind: wire.KindResponse, Corr: f.Corr, //wls:nolint hotalloc -- malformed-request reply, never taken on healthy traffic
+			Body: encodeResponse(respSystemError, r.node.Addr(), "malformed request", nil)}
+	}
 
 	r.mu.Lock()
-	svc, ok := r.services[call.Service]
+	svc, ok := r.services[string(svcB)] // compiler-recognized no-alloc lookup
 	r.mu.Unlock()
 	if !ok {
-		return &wire.Frame{Kind: wire.KindResponse, Corr: f.Corr,
-			Body: encodeResponse(respNoSuchService, self, "no such service: "+call.Service, nil)}
+		return &wire.Frame{Kind: wire.KindResponse, Corr: f.Corr, //wls:nolint hotalloc -- unknown-service reply, deploy-time misconfiguration path
+			Body: encodeResponse(respNoSuchService, self, "no such service: "+string(svcB), nil)}
 	}
-	m, ok := svc.Methods[call.Method]
+	m, ok := svc.Methods[string(methB)]
 	if !ok {
-		return &wire.Frame{Kind: wire.KindResponse, Corr: f.Corr,
-			Body: encodeResponse(respNoSuchService, self, "no such method: "+call.Service+"."+call.Method, nil)}
+		return &wire.Frame{Kind: wire.KindResponse, Corr: f.Corr, //wls:nolint hotalloc -- unknown-method reply, deploy-time misconfiguration path
+			Body: encodeResponse(respNoSuchService, self, "no such method: "+string(svcB)+"."+string(methB), nil)}
 	}
 
 	// Re-derive the caller's budget against this server's clock. Work that
@@ -347,10 +391,24 @@ func (r *Registry) handle(from string, f wire.Frame) *wire.Frame {
 	r.requests.Inc()
 	svc.requests.Inc()
 
+	call := callPool.Get().(*Call)
+	call.From = from
+	call.Service = svc.Name // canonical strings: no conversion of wire bytes
+	call.Method = m.name
+	call.Args = argsB
+	if len(txB) > 0 {
+		call.TxID = string(txB)
+	}
+	if len(convB) > 0 {
+		call.ConvID = string(convB)
+	}
+
 	if qp := r.admission.Load(); qp != nil && !m.System && !svc.System {
 		return r.dispatchQueued(ctx, *qp, f.Corr, self, call, sc, m, budget)
 	}
-	return r.execute(ctx, f.Corr, self, call, sc, m)
+	fr := r.execute(ctx, f.Corr, self, call, sc, m)
+	releaseCall(call)
+	return fr
 }
 
 func (r *Registry) busyFrame(corr uint64, self, msg string) *wire.Frame {
@@ -373,9 +431,12 @@ func (r *Registry) dispatchQueued(ctx context.Context, q Admission, corr uint64,
 		if !claimed.CompareAndSwap(false, true) {
 			return // abandoned at deadline while queued: BUSY already sent
 		}
-		done <- r.execute(ctx, corr, self, call, sc, m)
+		fr := r.execute(ctx, corr, self, call, sc, m)
+		releaseCall(call)
+		done <- fr
 	})
 	if err != nil {
+		releaseCall(call) // never submitted: the closure will not run
 		return r.busyFrame(corr, self, err.Error())
 	}
 	if budget.Valid() {
@@ -384,6 +445,9 @@ func (r *Registry) dispatchQueued(ctx context.Context, q Admission, corr uint64,
 			return fr
 		case <-budget.clock.After(budget.Remaining()):
 			if claimed.CompareAndSwap(false, true) {
+				// Winning the claim means the queued closure will return
+				// without touching call, so recycling it here is safe.
+				releaseCall(call)
 				return r.busyFrame(corr, self, "deadline expired in queue")
 			}
 			// A worker claimed it first: the handler is running, so report
@@ -446,4 +510,4 @@ func (v MemberView) Candidates(service string) []cluster.MemberInfo {
 }
 
 // LocalName implements View.
-func (v MemberView) LocalName() string { return v.Member.Self().Name }
+func (v MemberView) LocalName() string { return v.Member.Name() }

@@ -301,7 +301,15 @@ func (s *Stub) invoke(ctx context.Context, method string, args []byte, txID, con
 	if hasBudget && budget.Expired() {
 		return nil, fmt.Errorf("%w: before %s.%s", ErrBudgetExceeded, s.service, method)
 	}
-	ordered := s.policy.Order(ctx, s.view.LocalName(), cands)
+	// With a single candidate there is nothing to order: every policy is a
+	// permutation, so skip the policy chain (and its slice allocations)
+	// entirely. The breaker gate below still applies per attempt. The
+	// candidate slice may be shared with the view's cache either way — it
+	// is only iterated here, never mutated.
+	ordered := cands
+	if len(cands) > 1 {
+		ordered = s.policy.Order(ctx, s.view.LocalName(), cands)
+	}
 	// One client span for the logical invocation, one child per attempt:
 	// failover retries become distinct, inspectable children. The span name
 	// is concatenated only inside the traced branch so untraced calls stay
@@ -491,13 +499,17 @@ func requestNeverSent(err error) bool {
 }
 
 func (s *Stub) callOne(ctx context.Context, addr, method string, args []byte, txID, convID string) (*Result, error) {
-	req := &Call{Service: s.service, Method: method, Args: args, TxID: txID, ConvID: convID}
 	// Both Node implementations copy the frame body before Call returns
 	// (the transport into its batched send queue, netsim on entry), so the
 	// pooled encoder can be released as soon as the exchange completes.
+	// The request fields are encoded directly — no intermediate Call.
 	enc := wire.AcquireEncoder()
 	defer enc.Release()
-	encodeRequestTo(enc, req)
+	enc.String(s.service)
+	enc.String(method)
+	enc.String(txID)
+	enc.String(convID)
+	enc.Bytes2(args)
 	budget, hasBudget := BudgetFrom(ctx)
 	if hasBudget {
 		remaining := budget.Remaining()
@@ -541,8 +553,10 @@ func (s *Stub) callOne(ctx context.Context, addr, method string, args []byte, tx
 		return nil, &AppError{Msg: resp.errMsg}
 	case respNoSuchService:
 		// The service is not deployed there (stale view); certainly no side
-		// effects, so failover is always safe.
-		return nil, &retryableErr{errors.New(resp.errMsg)}
+		// effects, so failover is always safe. The typed error also lets
+		// callers detect "peer doesn't speak this method" for protocol
+		// fallback (see IsNotDeployed).
+		return nil, &retryableErr{&NotDeployedError{Msg: resp.errMsg}}
 	case respBusy:
 		return nil, &BusyError{Server: resp.servedBy, Msg: resp.errMsg}
 	default:

@@ -17,6 +17,14 @@ import (
 const ServiceName = "wls.http"
 
 // Request is one servlet invocation.
+//
+// Requests are pooled by the engine: a HandlerFunc must not retain the
+// *Request, its Body, or its Session after returning (copy anything that
+// must outlive the request; returning a Response whose Body aliases the
+// request Body is fine — the engine serializes the response before the
+// buffers are recycled).
+//
+//wls:pooled
 type Request struct {
 	// Path selects the servlet.
 	Path string
@@ -28,6 +36,12 @@ type Request struct {
 	// routing).
 	Server string
 }
+
+var requestPool = sync.Pool{New: func() any { return new(Request) }}
+
+// serverNames interns ServedBy strings decoded off the wire (the cluster
+// has a bounded set of server names).
+var serverNames = wire.NewInterner(512)
 
 // Response is a servlet's result.
 type Response struct {
@@ -46,6 +60,11 @@ type HandlerFunc func(r *Request) Response
 type Engine struct {
 	registry *rmi.Registry
 	sessions *SessionManager
+	// serverName caches the (immutable) hosting server's name.
+	serverName string
+	// paths interns request paths decoded off the wire so repeat requests
+	// to the same servlet never materialize a fresh path string.
+	paths *wire.Interner
 
 	mu       sync.Mutex
 	servlets map[string]HandlerFunc
@@ -63,8 +82,10 @@ type Config struct {
 // it cluster-wide.
 func NewEngine(registry *rmi.Registry, cfg Config) *Engine {
 	e := &Engine{
-		registry: registry,
-		servlets: make(map[string]HandlerFunc),
+		registry:   registry,
+		serverName: registry.Member().Name(),
+		paths:      wire.NewInterner(256),
+		servlets:   make(map[string]HandlerFunc),
 	}
 	e.sessions = newSessionManager(cfg.Sessions, ServiceName, registry.Member(), registry.Node(), cfg.DB)
 	registry.Register(&rmi.Service{
@@ -78,6 +99,9 @@ func NewEngine(registry *rmi.Registry, cfg Config) *Engine {
 			"session.update": {System: true, Handler: func(ctx context.Context, c *rmi.Call) ([]byte, error) {
 				return nil, e.sessions.handleUpdate(c.Args)
 			}},
+			"session.update.batch": {System: true, Handler: func(ctx context.Context, c *rmi.Call) ([]byte, error) {
+				return nil, e.sessions.handleUpdateBatch(c.Args)
+			}},
 			"session.fetch": {System: true, Handler: func(ctx context.Context, c *rmi.Call) ([]byte, error) {
 				return e.sessions.handleFetch(c.Args)
 			}},
@@ -90,7 +114,7 @@ func NewEngine(registry *rmi.Registry, cfg Config) *Engine {
 func (e *Engine) Sessions() *SessionManager { return e.sessions }
 
 // ServerName returns the hosting server's name.
-func (e *Engine) ServerName() string { return e.registry.Member().Self().Name }
+func (e *Engine) ServerName() string { return e.serverName }
 
 // Handle registers a servlet at a path.
 func (e *Engine) Handle(path string, h HandlerFunc) {
@@ -123,11 +147,20 @@ func (e *Engine) ServeCtx(ctx context.Context, path, cookie string, body []byte)
 	}
 	c, err := DecodeCookie(cookie)
 	if err != nil {
-		return Response{Status: 400, Body: []byte("bad cookie"), ServedBy: e.ServerName()}
+		return Response{Status: 400, Body: []byte("bad cookie"), ServedBy: e.serverName}
 	}
+	return e.serve(ctx, path, c, body)
+}
+
+// serve is the common core behind ServeCtx and the RMI surface: resolve
+// the session, run the servlet (through a pooled Request), replicate, and
+// attach the response cookie.
+//
+//wls:hotpath
+func (e *Engine) serve(ctx context.Context, path string, c Cookie, body []byte) Response {
 	sess, err := e.sessions.resolve(ctx, c)
 	if err != nil {
-		return Response{Status: 500, Body: []byte(err.Error()), ServedBy: e.ServerName()}
+		return Response{Status: 500, Body: []byte(err.Error()), ServedBy: e.serverName}
 	}
 	if sp := trace.FromContext(ctx); sp != nil {
 		sp.Annotate("session", sess.ID)
@@ -136,39 +169,66 @@ func (e *Engine) ServeCtx(ctx context.Context, path, cookie string, body []byte)
 	h, ok := e.servlets[path]
 	e.mu.Unlock()
 	if !ok {
-		return Response{Status: 404, Body: []byte("no servlet at " + path), ServedBy: e.ServerName()}
+		releaseSession(sess)
+		return Response{Status: 404, Body: []byte("no servlet at " + path), ServedBy: e.serverName}
 	}
-	resp := h(&Request{Path: path, Body: body, Session: sess, Server: e.ServerName()})
+	req := requestPool.Get().(*Request)
+	req.Path, req.Body, req.Session, req.Server = path, body, sess, e.serverName
+	resp := h(req)
+	*req = Request{}
+	requestPool.Put(req)
 	if resp.Status == 0 {
 		resp.Status = 200
 	}
-	out, err := e.sessions.finish(ctx, sess)
+	cookieStr, err := e.sessions.finish(ctx, sess)
+	releaseSession(sess)
 	if err != nil {
-		return Response{Status: 500, Body: []byte(err.Error()), ServedBy: e.ServerName()}
+		return Response{Status: 500, Body: []byte(err.Error()), ServedBy: e.serverName}
 	}
-	resp.Cookie = out.Encode()
-	resp.ServedBy = e.ServerName()
+	resp.Cookie = cookieStr
+	resp.ServedBy = e.serverName
 	return resp
 }
 
-// handleRequest is the RMI surface used by the presentation tier.
+// handleRequest is the RMI surface used by the presentation tier. Fields
+// are decoded without copying (the body aliases the frame buffer, which is
+// valid for the duration of the call and serialized out before return),
+// the path is interned, and repeat cookies resolve through the decode
+// cache directly from the wire bytes.
 //
 //wls:hotpath
-func (e *Engine) handleRequest(ctx context.Context, c *rmi.Call) ([]byte, error) {
-	d := wire.NewDecoder(c.Args)
-	path := d.String()
-	cookie := d.String()
-	body := d.Bytes()
+func (e *Engine) handleRequest(ctx context.Context, call *rmi.Call) ([]byte, error) {
+	d := wire.NewDecoder(call.Args)
+	pathB := d.BytesNoCopy()
+	cookieB := d.BytesNoCopy()
+	body := d.BytesNoCopy()
 	if err := d.Err(); err != nil {
 		return nil, err
 	}
-	resp := e.ServeCtx(ctx, path, cookie, body)
+	path := e.paths.Intern(pathB)
+	var c Cookie
+	var err error
+	if bare, urlTok := SplitURL(path); urlTok != "" {
+		// URL-rewritten token (rare): fall back to the string path.
+		path = bare
+		if len(cookieB) == 0 {
+			c, err = DecodeCookie(urlTok)
+		} else {
+			c, err = DecodeCookieBytes(cookieB)
+		}
+	} else {
+		c, err = DecodeCookieBytes(cookieB)
+	}
+	if err != nil {
+		return EncodeResponse(Response{Status: 400, Body: []byte("bad cookie"), ServedBy: e.serverName}), nil
+	}
+	resp := e.serve(ctx, path, c, body)
 	return EncodeResponse(resp), nil
 }
 
 // EncodeResponse serializes a Response for the RMI surface.
 func EncodeResponse(r Response) []byte {
-	enc := wire.NewEncoder(64 + len(r.Body))
+	enc := wire.MakeEncoder(64 + len(r.Body))
 	enc.Int(r.Status)
 	enc.String(r.Cookie)
 	enc.String(r.ServedBy)
@@ -188,13 +248,45 @@ func DecodeResponse(b []byte) (Response, error) {
 	return r, d.Err()
 }
 
+// DecodeResponseNoCopy is DecodeResponse for hot callers that own b (per
+// the Node.Call contract): Body aliases b, the cookie resolves through the
+// decode cache (returning its canonical string), and the server name is
+// interned.
+func DecodeResponseNoCopy(b []byte) (Response, error) {
+	d := wire.NewDecoder(b)
+	r := Response{Status: d.Int()}
+	cookieB := d.BytesNoCopy()
+	r.ServedBy = serverNames.Intern(d.BytesNoCopy())
+	r.Body = d.BytesNoCopy()
+	if len(cookieB) > 0 {
+		cookieCache.RLock()
+		c, ok := cookieCache.m[string(cookieB)]
+		cookieCache.RUnlock()
+		if ok && c.raw != "" {
+			r.Cookie = c.raw
+		} else {
+			r.Cookie = string(cookieB)
+		}
+	}
+	return r, d.Err()
+}
+
 // EncodeRequest serializes a request for the RMI surface.
 func EncodeRequest(path, cookie string, body []byte) []byte {
-	e := wire.NewEncoder(64 + len(body))
+	e := wire.MakeEncoder(64 + len(body))
 	e.String(path)
 	e.String(cookie)
 	e.Bytes2(body)
 	return e.Bytes()
+}
+
+// AppendRequest encodes a request into an existing encoder (the webtier
+// routes through a pooled encoder so the proxy hop allocates no request
+// buffer).
+func AppendRequest(e *wire.Encoder, path, cookie string, body []byte) {
+	e.String(path)
+	e.String(cookie)
+	e.Bytes2(body)
 }
 
 // ---------------------------------------------------------------------------

@@ -51,11 +51,16 @@ type Cookie struct {
 	Primary   string
 	Secondary string
 	State     map[string]string // SessionsClientCookie only
+
+	// raw is the encoded string this cookie was decoded from (set by the
+	// decode cache), letting hot paths that need the string form back —
+	// e.g. the webtier's response decode — reuse the canonical copy.
+	raw string
 }
 
 // Encode serializes the cookie to its wire string.
 func (c Cookie) Encode() string {
-	e := wire.NewEncoder(64)
+	e := wire.MakeEncoder(64)
 	e.String(c.ID)
 	e.String(c.Primary)
 	e.String(c.Secondary)
@@ -67,11 +72,79 @@ func (c Cookie) Encode() string {
 	return base64.RawURLEncoding.EncodeToString(e.Bytes())
 }
 
+// cookieCache memoizes DecodeCookie. Decoding is a pure function of the
+// cookie string, a session's cookie repeats on every request of that
+// session, and decoding costs base64 plus several field copies — so the
+// steady state should be one map lookup and zero allocations. Only
+// state-less cookies are cached (replicated/persistent modes); client-state
+// cookies change whenever the session data does and would only churn the
+// cache. The cache is dropped wholesale when full, like wire.Interner.
+var cookieCache = struct {
+	sync.RWMutex
+	m map[string]Cookie
+}{m: make(map[string]Cookie)}
+
+const cookieCacheMax = 4096
+
+func cachedCookie(s string) (Cookie, bool) {
+	cookieCache.RLock()
+	c, ok := cookieCache.m[s]
+	cookieCache.RUnlock()
+	return c, ok
+}
+
+// cacheCookie records a decoded (or just-encoded) state-less cookie.
+func cacheCookie(s string, c Cookie) {
+	if c.State != nil || s == "" {
+		return
+	}
+	c.raw = s
+	cookieCache.Lock()
+	if len(cookieCache.m) >= cookieCacheMax {
+		cookieCache.m = make(map[string]Cookie, cookieCacheMax/4)
+	}
+	cookieCache.m[s] = c
+	cookieCache.Unlock()
+}
+
 // DecodeCookie parses a cookie string ("" yields a zero cookie).
 func DecodeCookie(s string) (Cookie, error) {
 	if s == "" {
 		return Cookie{}, nil
 	}
+	if c, ok := cachedCookie(s); ok {
+		return c, nil
+	}
+	c, err := decodeCookieSlow(s)
+	if err == nil {
+		cacheCookie(s, c)
+	}
+	return c, err
+}
+
+// DecodeCookieBytes is DecodeCookie for a cookie still sitting in a wire
+// buffer: the cache hit path performs a no-allocation lookup keyed on the
+// raw bytes, so the RMI surface never materializes the cookie string on
+// repeat requests.
+func DecodeCookieBytes(b []byte) (Cookie, error) {
+	if len(b) == 0 {
+		return Cookie{}, nil
+	}
+	cookieCache.RLock()
+	c, ok := cookieCache.m[string(b)] // compiler-recognized no-alloc lookup
+	cookieCache.RUnlock()
+	if ok {
+		return c, nil
+	}
+	s := string(b)
+	c, err := decodeCookieSlow(s)
+	if err == nil {
+		cacheCookie(s, c)
+	}
+	return c, err
+}
+
+func decodeCookieSlow(s string) (Cookie, error) {
 	raw, err := base64.RawURLEncoding.DecodeString(s)
 	if err != nil {
 		return Cookie{}, err
@@ -94,11 +167,38 @@ func DecodeCookie(s string) (Cookie, error) {
 }
 
 // Session is the request-scoped view of one browser session's state.
+//
+// Sessions are pooled by the engine: a servlet must not retain the *Session
+// past the end of its HandlerFunc (copy attribute values out if they must
+// outlive the request).
+//
+//wls:pooled
 type Session struct {
 	ID    string
 	data  map[string]string
 	dirty map[string]bool
 	isNew bool
+}
+
+// sessionPool recycles the request-scoped Session view (the struct and its
+// dirty-key map; the attribute data map belongs to the engine-resident
+// state, not to the view).
+var sessionPool = sync.Pool{
+	New: func() any { return &Session{dirty: make(map[string]bool, 4)} },
+}
+
+func acquireSession(id string, data map[string]string, isNew bool) *Session {
+	s := sessionPool.Get().(*Session)
+	s.ID, s.data, s.isNew = id, data, isNew
+	return s
+}
+
+func releaseSession(s *Session) {
+	for k := range s.dirty {
+		delete(s.dirty, k)
+	}
+	s.ID, s.data, s.isNew = "", nil, false
+	sessionPool.Put(s)
 }
 
 // Get reads a session attribute.
@@ -123,6 +223,12 @@ type sessState struct {
 	secondary string
 	primary   bool
 	gen       uint64
+
+	// cookie caches the encoded response cookie, valid while the session's
+	// secondary stays cookieSec and this server stays primary. Encoding
+	// (and its base64) happens only when the topology changes.
+	cookie    string
+	cookieSec string
 }
 
 // SessionManager holds one engine's sessions and implements the §3.2
@@ -134,9 +240,16 @@ type SessionManager struct {
 	node    rmi.Node
 	db      *store.Store // SessionsPersistent only
 
+	// selfName caches the (immutable) local server name: Member.Self()
+	// deep-copies the whole MemberInfo, far too expensive per request.
+	selfName string
+
 	mu       sync.Mutex
 	sessions map[string]*sessState
 	seq      uint64
+	// repl holds one replication batcher per secondary server (guarded by
+	// mu; the batchers themselves have their own locking).
+	repl map[string]*replBatcher
 }
 
 func newSessionManager(mode SessionMode, service string, member *cluster.Member, node rmi.Node, db *store.Store) *SessionManager {
@@ -146,11 +259,13 @@ func newSessionManager(mode SessionMode, service string, member *cluster.Member,
 		member:   member,
 		node:     node,
 		db:       db,
+		selfName: member.Name(),
 		sessions: make(map[string]*sessState),
+		repl:     make(map[string]*replBatcher),
 	}
 }
 
-func (sm *SessionManager) self() string { return sm.member.Self().Name }
+func (sm *SessionManager) self() string { return sm.selfName }
 
 func (sm *SessionManager) newID() string {
 	sm.mu.Lock()
@@ -169,7 +284,10 @@ func (sm *SessionManager) ResidentSessions() int {
 }
 
 // resolve produces the Session for a request's cookie, performing
-// creation, promotion (Fig 2), or state fetch (Fig 3) as needed.
+// creation, promotion (Fig 2), or state fetch (Fig 3) as needed. The
+// returned Session is pooled: the engine releases it after finish.
+//
+//wls:hotpath
 func (sm *SessionManager) resolve(ctx context.Context, c Cookie) (*Session, error) {
 	switch sm.mode {
 	case SessionsClientCookie:
@@ -183,7 +301,7 @@ func (sm *SessionManager) resolve(ctx context.Context, c Cookie) (*Session, erro
 		if id == "" {
 			id = sm.newID()
 		}
-		return &Session{ID: id, data: data, dirty: map[string]bool{}, isNew: isNew}, nil
+		return acquireSession(id, data, isNew), nil
 
 	case SessionsPersistent:
 		id := c.ID
@@ -196,13 +314,14 @@ func (sm *SessionManager) resolve(ctx context.Context, c Cookie) (*Session, erro
 				data[k] = v
 			}
 		}
-		return &Session{ID: id, data: data, dirty: map[string]bool{}, isNew: isNew}, nil
+		return acquireSession(id, data, isNew), nil
 
 	default: // SessionsReplicated
 		return sm.resolveReplicated(ctx, c)
 	}
 }
 
+//wls:hotpath
 func (sm *SessionManager) resolveReplicated(ctx context.Context, c Cookie) (*Session, error) {
 	if c.ID == "" {
 		// New session: this server is the primary; pick a secondary by the
@@ -212,7 +331,7 @@ func (sm *SessionManager) resolveReplicated(ctx context.Context, c Cookie) (*Ses
 		sm.mu.Lock()
 		sm.sessions[st.id] = st
 		sm.mu.Unlock()
-		return &Session{ID: st.id, data: st.data, dirty: map[string]bool{}, isNew: true}, nil
+		return acquireSession(st.id, st.data, true), nil
 	}
 
 	sm.mu.Lock()
@@ -229,7 +348,7 @@ func (sm *SessionManager) resolveReplicated(ctx context.Context, c Cookie) (*Ses
 			sm.chooseSecondary(st)
 			sm.shipFull(ctx, st)
 		}
-		return &Session{ID: st.id, data: st.data, dirty: map[string]bool{}}, nil
+		return acquireSession(st.id, st.data, false), nil
 	}
 
 	// Fig 3 failover: external routing sent the request to an arbitrary
@@ -243,7 +362,7 @@ func (sm *SessionManager) resolveReplicated(ctx context.Context, c Cookie) (*Ses
 			sm.mu.Lock()
 			sm.sessions[c.ID] = st
 			sm.mu.Unlock()
-			return &Session{ID: st.id, data: st.data, dirty: map[string]bool{}}, nil
+			return acquireSession(st.id, st.data, false), nil
 		}
 	}
 	// Both replicas gone: the session state is lost; start fresh under the
@@ -254,7 +373,7 @@ func (sm *SessionManager) resolveReplicated(ctx context.Context, c Cookie) (*Ses
 	sm.mu.Lock()
 	sm.sessions[c.ID] = st
 	sm.mu.Unlock()
-	return &Session{ID: st.id, data: st.data, dirty: map[string]bool{}, isNew: true}, nil
+	return acquireSession(st.id, st.data, true), nil
 }
 
 // chooseSecondary applies the §3.2 ring algorithm among live engines.
@@ -268,30 +387,182 @@ func (sm *SessionManager) chooseSecondary(st *sessState) {
 }
 
 // finish persists/replicates the session after the servlet ran, and
-// returns the cookie the response must carry.
-func (sm *SessionManager) finish(ctx context.Context, s *Session) (Cookie, error) {
+// returns the encoded cookie the response must carry. Replicated sessions
+// cache the encoded string on the session state — it only changes when the
+// replication topology does — and their deltas ride the per-secondary
+// batcher instead of making one RPC per mutation.
+//
+//wls:hotpath
+func (sm *SessionManager) finish(ctx context.Context, s *Session) (string, error) {
 	switch sm.mode {
 	case SessionsClientCookie:
-		return Cookie{ID: s.ID, State: s.data}, nil
+		return Cookie{ID: s.ID, State: s.data}.Encode(), nil
 	case SessionsPersistent:
 		sm.db.Put("wls.sessions", s.ID, s.data)
-		return Cookie{ID: s.ID}, nil
+		return Cookie{ID: s.ID}.Encode(), nil
 	default:
 		sm.mu.Lock()
 		st := sm.sessions[s.ID]
 		sm.mu.Unlock()
 		if st == nil {
-			return Cookie{ID: s.ID, Primary: sm.self()}, nil
+			return Cookie{ID: s.ID, Primary: sm.selfName}.Encode(), nil
 		}
 		if len(s.dirty) > 0 && st.secondary != "" {
-			delta := make(map[string]string, len(s.dirty))
-			for k := range s.dirty {
-				delta[k] = s.data[k]
-			}
-			sm.ship(ctx, st, delta)
+			sm.shipDelta(ctx, st, s)
 		}
-		return Cookie{ID: s.ID, Primary: sm.self(), Secondary: st.secondary}, nil
+		if st.cookie == "" || st.cookieSec != st.secondary {
+			c := Cookie{ID: st.id, Primary: sm.selfName, Secondary: st.secondary}
+			st.cookie = c.Encode()
+			st.cookieSec = st.secondary
+			// Prime the decode cache: the client returns this exact string
+			// with its next request.
+			cacheCookie(st.cookie, c)
+		}
+		return st.cookie, nil
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Replication batching
+
+// replBatcher groups delta writes to one secondary the way the transport's
+// loopyWriter batches frames on a connection: the first request shipping to
+// a given secondary becomes the flush leader; requests arriving while the
+// leader's RPC is in flight append their deltas to the pending batch, and
+// the next leader flushes them all in one "session.update.batch" call.
+// Under serial load every request is its own leader carrying exactly one
+// delta, which degenerates to the old one-RPC-per-mutation behaviour.
+type replBatcher struct {
+	sm  *SessionManager
+	sec string // secondary server name
+
+	mu      sync.Mutex // guards pending
+	pending *replBatch
+
+	// flushMu serializes flushes; only the current leader holds it, and
+	// only the leader touches the stub fields below.
+	flushMu  sync.Mutex
+	stub     *rmi.Stub
+	stubAddr string
+}
+
+// replBatch accumulates encoded delta entries bound for one secondary.
+type replBatch struct {
+	enc   *wire.Encoder // pooled; released by the leader after the flush
+	count int
+	done  chan struct{} // created lazily by the first follower
+	err   error         // written by the leader before close(done)
+}
+
+func (sm *SessionManager) batcherFor(sec string) *replBatcher {
+	sm.mu.Lock()
+	rb, ok := sm.repl[sec]
+	if !ok {
+		rb = &replBatcher{sm: sm, sec: sec}
+		sm.repl[sec] = rb
+	}
+	sm.mu.Unlock()
+	return rb
+}
+
+// shipDelta synchronously replicates s's dirty keys to st's secondary via
+// the batcher (the response must not be returned before the secondary has
+// the delta, §3.2). On error it re-chooses a secondary and re-seeds it —
+// the same recovery as the unbatched ship path.
+//
+//wls:hotpath
+func (sm *SessionManager) shipDelta(ctx context.Context, st *sessState, s *Session) {
+	rb := sm.batcherFor(st.secondary)
+	rb.mu.Lock()
+	b := rb.pending
+	leader := b == nil
+	if leader {
+		b = &replBatch{enc: wire.AcquireEncoder()}
+		rb.pending = b
+	}
+	st.gen++
+	e := b.enc
+	e.String(st.id)
+	e.Uint64(st.gen)
+	e.Int(len(s.dirty))
+	for k := range s.dirty {
+		e.String(k)
+		e.String(s.data[k])
+	}
+	b.count++
+	var done chan struct{}
+	if !leader {
+		if b.done == nil {
+			b.done = make(chan struct{})
+		}
+		done = b.done
+	}
+	nkeys := len(s.dirty)
+	rb.mu.Unlock()
+
+	var err error
+	if leader {
+		rb.flushMu.Lock()
+		// Detach the batch: once pending is nil no new participant can
+		// join it, so count and done are frozen below.
+		rb.mu.Lock()
+		rb.pending = nil
+		count, followers := b.count, b.done
+		rb.mu.Unlock()
+		// Holding flushMu across the RPC is the point: it serializes
+		// leader flushes so batches reach the secondary in generation
+		// order. It is a leaf lock — rb.mu is never held while blocking
+		// here, and followers wait on the done channel, not the lock.
+		//wls:nolint lockheld -- flushMu is a flush-serialization lock, held across the RPC by design
+		err = rb.flush(ctx, b.enc.Bytes(), count, nkeys)
+		b.err = err
+		if followers != nil {
+			close(followers)
+		}
+		rb.flushMu.Unlock()
+		b.enc.Release()
+	} else {
+		<-done
+		err = b.err
+	}
+	if err != nil {
+		sm.chooseSecondary(st)
+		sm.shipFull(ctx, st)
+	}
+}
+
+// flush sends one batch to the secondary under the leader's context. The
+// trace span mirrors the unbatched ship: the name and the "to"/"keys"
+// annotations (keys = the leader's own key count) are identical, so serial
+// timelines are unchanged; a "batched" annotation is added only when
+// followers piggybacked.
+func (rb *replBatcher) flush(ctx context.Context, payload []byte, count, leaderKeys int) error {
+	sm := rb.sm
+	info, ok := sm.member.Lookup(rb.sec)
+	if !ok {
+		return fmt.Errorf("servlet: secondary %s not in view", rb.sec)
+	}
+	var span *trace.Span
+	if parent := trace.FromContext(ctx); parent != nil {
+		ctx, span = parent.NewChild(ctx, "session.replicate", trace.KindSession)
+		span.Annotate("to", rb.sec)
+		span.AnnotateInt("keys", leaderKeys)
+		if count > 1 {
+			span.AnnotateInt("batched", count)
+		}
+	}
+	if rb.stub == nil || rb.stubAddr != info.Addr {
+		rb.stub = rmi.NewStub(sm.service, sm.node, rmi.NamedStaticView(rb.sec, info.Addr))
+		rb.stubAddr = info.Addr
+	}
+	_, err := rb.stub.Invoke(ctx, "session.update.batch", payload)
+	if err != nil {
+		span.SetError(err)
+		span.Finish()
+		return err
+	}
+	span.Finish()
+	return nil
 }
 
 // ship synchronously transmits a delta to the secondary. A trace span in
@@ -382,35 +653,58 @@ func (sm *SessionManager) fetchFrom(ctx context.Context, server, id string) (map
 // handleUpdate applies a replica delta (RMI handler).
 func (sm *SessionManager) handleUpdate(args []byte) error {
 	d := wire.NewDecoder(args)
-	id := d.String()
+	return sm.applyUpdate(d)
+}
+
+// handleUpdateBatch applies a batch of delta entries, in order. The
+// payload is a plain concatenation of single-update entries, consumed
+// until the buffer is exhausted.
+//
+//wls:hotpath
+func (sm *SessionManager) handleUpdateBatch(args []byte) error {
+	d := wire.NewDecoder(args)
+	for d.Remaining() > 0 {
+		if err := sm.applyUpdate(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyUpdate consumes one delta entry from d and applies it. The entry is
+// always fully consumed — even when the generation check skips the apply —
+// so batched entries stay framed. Keys and values are only converted to
+// owned strings when they actually change the stored state; a steady
+// same-key update applies without allocating on the replica.
+func (sm *SessionManager) applyUpdate(d *wire.Decoder) error {
+	idB := d.BytesNoCopy()
 	gen := d.Uint64()
 	n := d.Int()
 	if err := d.Err(); err != nil {
 		return err
 	}
-	delta := make(map[string]string, n)
-	for i := 0; i < n; i++ {
-		k := d.String()
-		delta[k] = d.String()
-	}
-	if err := d.Err(); err != nil {
-		return err
-	}
 	sm.mu.Lock()
 	defer sm.mu.Unlock()
-	st, ok := sm.sessions[id]
+	st, ok := sm.sessions[string(idB)] // no-alloc lookup
 	if !ok {
-		st = &sessState{id: id, data: make(map[string]string)}
-		sm.sessions[id] = st
+		st = &sessState{id: string(idB), data: make(map[string]string)}
+		sm.sessions[st.id] = st
 	}
-	if gen <= st.gen && st.gen != 0 {
-		return nil
+	apply := gen > st.gen || st.gen == 0
+	if apply {
+		st.gen = gen
 	}
-	st.gen = gen
-	for k, v := range delta {
-		st.data[k] = v
+	for i := 0; i < n; i++ {
+		kb := d.BytesNoCopy()
+		vb := d.BytesNoCopy()
+		if !apply {
+			continue
+		}
+		if cur, exists := st.data[string(kb)]; !exists || cur != string(vb) {
+			st.data[string(kb)] = string(vb)
+		}
 	}
-	return nil
+	return d.Err()
 }
 
 // handleFetch returns a replica's state (RMI handler).

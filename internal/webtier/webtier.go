@@ -28,6 +28,7 @@ import (
 	"wls/internal/rmi"
 	"wls/internal/servlet"
 	"wls/internal/trace"
+	"wls/internal/wire"
 )
 
 // View supplies the servlet-engine servers (the rmi.View interface).
@@ -36,55 +37,85 @@ type View = rmi.View
 // ErrNoBackends means no servlet engine is reachable.
 var ErrNoBackends = errors.New("webtier: no reachable servlet engine")
 
-// route invokes the servlet engine on a specific member. A non-nil
-// resilience layer records the outcome (feeding the router's per-server
-// breakers) and annotates attempt spans with breaker state.
+// stubCache holds one engine stub per backend. Building a stub per routed
+// request (policy chain, idempotent map, view) was several allocations on
+// the routing hot path; the set of backends is bounded by the cluster
+// topology, so the cache is too. SetResilience invalidates it: cached
+// stubs bake in the resilience layer they were built with.
+type stubCache struct {
+	node rmi.Node
+
+	mu  sync.RWMutex
+	res *rmi.Resilience
+	m   map[stubKey]*rmi.Stub
+}
+
+type stubKey struct{ name, addr string }
+
+func newStubCache(node rmi.Node) *stubCache {
+	return &stubCache{node: node, m: make(map[stubKey]*rmi.Stub)}
+}
+
+func (sc *stubCache) setResilience(r *rmi.Resilience) {
+	sc.mu.Lock()
+	sc.res = r
+	sc.m = make(map[stubKey]*rmi.Stub)
+	sc.mu.Unlock()
+}
+
+func (sc *stubCache) resilience() *rmi.Resilience {
+	sc.mu.RLock()
+	defer sc.mu.RUnlock()
+	return sc.res
+}
+
+func (sc *stubCache) get(name, addr string) *rmi.Stub {
+	k := stubKey{name, addr}
+	sc.mu.RLock()
+	stub, ok := sc.m[k]
+	sc.mu.RUnlock()
+	if ok {
+		return stub
+	}
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if stub, ok = sc.m[k]; ok {
+		return stub
+	}
+	// Breakers are keyed by member name: dialing through a named view keeps
+	// the stub's outcome recording aligned with the routers' breaker checks.
+	if sc.res != nil {
+		stub = rmi.NewStub(servlet.ServiceName, sc.node, rmi.NamedStaticView(name, addr), rmi.WithResilience(sc.res))
+	} else {
+		stub = rmi.NewStub(servlet.ServiceName, sc.node, rmi.StaticView(addr))
+	}
+	sc.m[k] = stub
+	return stub
+}
+
+// call invokes the servlet engine on a specific member, encoding the
+// request through a pooled encoder and decoding the response in place.
 //
 //wls:hotpath
-func callEngine(ctx context.Context, node rmi.Node, r *rmi.Resilience, name, addr, path, cookie string, body []byte) (servlet.Response, error) {
-	// Breakers are keyed by member name: dialing through a named view keeps
-	// the per-call stub's outcome recording aligned with demoteOpen.
-	var stub *rmi.Stub
-	if r != nil {
-		stub = rmi.NewStub(servlet.ServiceName, node, rmi.NamedStaticView(name, addr), rmi.WithResilience(r))
-	} else {
-		stub = rmi.NewStub(servlet.ServiceName, node, rmi.StaticView(addr))
-	}
-	res, err := stub.Invoke(ctx, "request", servlet.EncodeRequest(path, cookie, body))
+func (sc *stubCache) call(ctx context.Context, name, addr, path, cookie string, body []byte) (servlet.Response, error) {
+	stub := sc.get(name, addr)
+	enc := wire.AcquireEncoder()
+	servlet.AppendRequest(enc, path, cookie, body)
+	res, err := stub.Invoke(ctx, "request", enc.Bytes())
+	enc.Release()
 	if err != nil {
 		return servlet.Response{}, err
 	}
-	return servlet.DecodeResponse(res.Body)
+	return servlet.DecodeResponseNoCopy(res.Body)
 }
 
-// demoteOpen stable-partitions backends so servers whose breaker is open
-// sort last: the router still reaches them when everything else is down
-// (the stub's last-candidate probe), but healthy members absorb the load
-// while a tripped server cools off.
-func demoteOpen(r *rmi.Resilience, in []cluster.MemberInfo) []cluster.MemberInfo {
-	if r == nil {
-		return in
-	}
-	anyOpen := false
-	for _, m := range in {
-		if r.State(m.Name) == rmi.BreakerOpen {
-			anyOpen = true
-			break
-		}
-	}
-	if !anyOpen {
-		return in
-	}
-	out := make([]cluster.MemberInfo, 0, len(in))
-	var open []cluster.MemberInfo
-	for _, m := range in {
-		if r.State(m.Name) == rmi.BreakerOpen {
-			open = append(open, m)
-		} else {
-			out = append(out, m)
-		}
-	}
-	return append(out, open...)
+// breakerOpen reports whether name's circuit breaker is open. Routers use
+// it to demote tripped servers to the back of the attempt order: they are
+// still reached when everything else is down (the stub's last-candidate
+// probe), but healthy members absorb the load while a tripped server
+// cools off.
+func breakerOpen(r *rmi.Resilience, name string) bool {
+	return r != nil && r.State(name) == rmi.BreakerOpen
 }
 
 // ---------------------------------------------------------------------------
@@ -98,6 +129,10 @@ type ProxyPlugin struct {
 	reg    *metrics.Registry
 	tracer *trace.Tracer
 	res    *rmi.Resilience
+	stubs  *stubCache
+	// routed/failovers are resolved once: metric-name lookups allocate.
+	routed    *metrics.Counter
+	failovers *metrics.Counter
 }
 
 // SetTracer makes the plug-in start a root span per routed request (wire
@@ -107,7 +142,10 @@ func (p *ProxyPlugin) SetTracer(t *trace.Tracer) { p.tracer = t }
 // SetResilience gives the plug-in a client-side resilience layer: engine
 // calls feed its per-server breakers, and load-balancing demotes servers
 // whose breaker is open (wire it before serving traffic).
-func (p *ProxyPlugin) SetResilience(r *rmi.Resilience) { p.res = r }
+func (p *ProxyPlugin) SetResilience(r *rmi.Resilience) {
+	p.res = r
+	p.stubs.setResilience(r)
+}
 
 // NewProxyPlugin creates a plug-in front end using the given node (its own
 // endpoint in the presentation tier) and cluster view.
@@ -115,7 +153,14 @@ func NewProxyPlugin(node rmi.Node, view View, reg *metrics.Registry) *ProxyPlugi
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
-	return &ProxyPlugin{node: node, view: view, reg: reg}
+	return &ProxyPlugin{
+		node:      node,
+		view:      view,
+		reg:       reg,
+		stubs:     newStubCache(node),
+		routed:    reg.Counter("webtier.routed"),
+		failovers: reg.Counter("webtier.failovers"),
+	}
 }
 
 func (p *ProxyPlugin) backends() []cluster.MemberInfo {
@@ -147,9 +192,16 @@ func (p *ProxyPlugin) Route(ctx context.Context, path, cookie string, body []byt
 		span.SetError(err)
 		return servlet.Response{}, err
 	}
-	// Cookie-directed routing.
-	decisions := [...]string{"cookie-primary", "cookie-secondary"}
-	for i, target := range []string{c.Primary, c.Secondary} {
+	// Cookie-directed routing: primary first, then secondary. Written as
+	// two explicit attempts (not a loop over a fresh slice) so the routing
+	// decision allocates nothing.
+	for i := 0; i < 2; i++ {
+		target := c.Primary
+		decision := "cookie-primary"
+		if i == 1 {
+			target = c.Secondary
+			decision = "cookie-secondary"
+		}
 		if target == "" {
 			continue
 		}
@@ -157,46 +209,51 @@ func (p *ProxyPlugin) Route(ctx context.Context, path, cookie string, body []byt
 		if !ok {
 			continue // not in the current view (failed): try next
 		}
-		resp, err := callEngine(ctx, p.node, p.res, target, addr, path, cookie, body)
+		resp, err := p.stubs.call(ctx, target, addr, path, cookie, body)
 		if err == nil {
-			p.reg.Counter("webtier.routed").Inc()
+			p.routed.Inc()
 			if span != nil {
-				span.Annotate("decision", decisions[i])
+				span.Annotate("decision", decision)
 				span.Annotate("served", target)
 			}
 			return resp, nil
 		}
-		p.reg.Counter("webtier.failovers").Inc()
+		p.failovers.Inc()
 		if span != nil {
 			span.Annotate("failover-from", target)
 		}
 	}
-	// No cookie, or both replicas unreachable: load balance.
+	// No cookie, or both replicas unreachable: load balance. Two passes
+	// over the rotated ring — healthy members first, then servers whose
+	// breaker is open — giving the same attempt order the old
+	// slice-building demoteOpen produced, without per-request allocation.
 	backs := p.backends()
 	if len(backs) == 0 {
 		span.SetError(ErrNoBackends)
 		return servlet.Response{}, ErrNoBackends
 	}
 	start := int(p.rr.Add(1)-1) % len(backs)
-	// Rotate for round-robin fairness, then demote tripped servers to the
-	// back of the attempt order.
-	order := make([]cluster.MemberInfo, 0, len(backs))
-	for i := 0; i < len(backs); i++ {
-		order = append(order, backs[(start+i)%len(backs)])
-	}
-	order = demoteOpen(p.res, order)
 	var lastErr error
-	for _, b := range order {
-		resp, err := callEngine(ctx, p.node, p.res, b.Name, b.Addr, path, cookie, body)
-		if err == nil {
-			p.reg.Counter("webtier.routed").Inc()
-			if span != nil {
-				span.Annotate("decision", "load-balance")
-				span.Annotate("served", b.Name)
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < len(backs); i++ {
+			b := backs[(start+i)%len(backs)]
+			if breakerOpen(p.res, b.Name) != (pass == 1) {
+				continue
 			}
-			return resp, nil
+			resp, err := p.stubs.call(ctx, b.Name, b.Addr, path, cookie, body)
+			if err == nil {
+				p.routed.Inc()
+				if span != nil {
+					span.Annotate("decision", "load-balance")
+					span.Annotate("served", b.Name)
+				}
+				return resp, nil
+			}
+			lastErr = err
 		}
-		lastErr = err
+		if p.res == nil {
+			break // no breakers: a second pass would retry everyone
+		}
 	}
 	err = errors.Join(ErrNoBackends, lastErr)
 	span.SetError(err)
@@ -215,6 +272,10 @@ type ExternalLB struct {
 	reg    *metrics.Registry
 	tracer *trace.Tracer
 	res    *rmi.Resilience
+	stubs  *stubCache
+	// routed/failovers are resolved once: metric-name lookups allocate.
+	routed    *metrics.Counter
+	failovers *metrics.Counter
 
 	mu       sync.Mutex
 	affinity map[string]string // clientID → server name
@@ -226,14 +287,25 @@ func (lb *ExternalLB) SetTracer(t *trace.Tracer) { lb.tracer = t }
 
 // SetResilience gives the appliance a client-side resilience layer (see
 // ProxyPlugin.SetResilience).
-func (lb *ExternalLB) SetResilience(r *rmi.Resilience) { lb.res = r }
+func (lb *ExternalLB) SetResilience(r *rmi.Resilience) {
+	lb.res = r
+	lb.stubs.setResilience(r)
+}
 
 // NewExternalLB creates an appliance front end.
 func NewExternalLB(node rmi.Node, view View, reg *metrics.Registry) *ExternalLB {
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
-	return &ExternalLB{node: node, view: view, reg: reg, affinity: make(map[string]string)}
+	return &ExternalLB{
+		node:      node,
+		view:      view,
+		reg:       reg,
+		stubs:     newStubCache(node),
+		routed:    reg.Counter("webtier.routed"),
+		failovers: reg.Counter("webtier.failovers"),
+		affinity:  make(map[string]string),
+	}
 }
 
 func (lb *ExternalLB) backends() []cluster.MemberInfo {
@@ -266,12 +338,12 @@ func (lb *ExternalLB) Route(ctx context.Context, clientID, path, cookie string, 
 	tryServer := func(name string) (servlet.Response, bool) {
 		for _, b := range backs {
 			if b.Name == name {
-				resp, err := callEngine(ctx, lb.node, lb.res, b.Name, b.Addr, path, cookie, body)
+				resp, err := lb.stubs.call(ctx, b.Name, b.Addr, path, cookie, body)
 				if err == nil {
 					lb.mu.Lock()
 					lb.affinity[clientID] = name
 					lb.mu.Unlock()
-					lb.reg.Counter("webtier.routed").Inc()
+					lb.routed.Inc()
 					if span != nil {
 						span.Annotate("served", name)
 					}
@@ -289,25 +361,31 @@ func (lb *ExternalLB) Route(ctx context.Context, clientID, path, cookie string, 
 			}
 			return resp, nil
 		}
-		lb.reg.Counter("webtier.failovers").Inc()
+		lb.failovers.Inc()
 		if span != nil {
 			span.Annotate("failover-from", target)
 		}
 	}
-	// Pick an arbitrary member (round robin) and stick to it, preferring
-	// members whose breaker is not open.
+	// Pick an arbitrary member (round robin) and stick to it. Two passes
+	// over the rotated ring: members whose breaker is closed first, then
+	// tripped ones (same order the old slice-building demoteOpen produced,
+	// without the per-request allocation).
 	start := int(lb.rr.Add(1)-1) % len(backs)
-	order := make([]cluster.MemberInfo, 0, len(backs))
-	for i := 0; i < len(backs); i++ {
-		order = append(order, backs[(start+i)%len(backs)])
-	}
-	order = demoteOpen(lb.res, order)
-	for _, b := range order {
-		if resp, ok := tryServer(b.Name); ok {
-			if span != nil {
-				span.Annotate("decision", "arbitrary-member")
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < len(backs); i++ {
+			b := backs[(start+i)%len(backs)]
+			if breakerOpen(lb.res, b.Name) != (pass == 1) {
+				continue
 			}
-			return resp, nil
+			if resp, ok := tryServer(b.Name); ok {
+				if span != nil {
+					span.Annotate("decision", "arbitrary-member")
+				}
+				return resp, nil
+			}
+		}
+		if lb.res == nil {
+			break // no breakers: a second pass would retry everyone
 		}
 	}
 	span.SetError(ErrNoBackends)
@@ -329,9 +407,10 @@ func (lb *ExternalLB) AffinityOf(clientID string) string {
 // once, sticks with that server, and only re-resolves on failure — the
 // "coarse control" the paper contrasts with appliances.
 type DNSClients struct {
-	node rmi.Node
-	view View
-	rr   atomic.Uint64
+	node  rmi.Node
+	view  View
+	rr    atomic.Uint64
+	stubs *stubCache
 
 	mu     sync.Mutex
 	chosen map[string]string
@@ -339,7 +418,7 @@ type DNSClients struct {
 
 // NewDNSClients creates the DNS-based client-side router.
 func NewDNSClients(node rmi.Node, view View) *DNSClients {
-	return &DNSClients{node: node, view: view, chosen: make(map[string]string)}
+	return &DNSClients{node: node, view: view, stubs: newStubCache(node), chosen: make(map[string]string)}
 }
 
 // Route issues a request from clientID with client-side server choice.
@@ -363,7 +442,7 @@ func (d *DNSClients) Route(ctx context.Context, clientID, path, cookie string, b
 		b := backs[int(d.rr.Add(1)-1)%len(backs)]
 		name, addr = b.Name, b.Addr
 	}
-	resp, err := callEngine(ctx, d.node, nil, name, addr, path, cookie, body)
+	resp, err := d.stubs.call(ctx, name, addr, path, cookie, body)
 	if err != nil {
 		// Client notices the dead server and re-resolves on the next call.
 		d.mu.Lock()

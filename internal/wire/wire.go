@@ -240,6 +240,15 @@ func NewEncoder(sizeHint int) *Encoder {
 	return &Encoder{buf: make([]byte, 0, sizeHint)}
 }
 
+// MakeEncoder returns an Encoder value with capacity pre-allocated for
+// sizeHint bytes. Hot encode paths that build a fresh owned []byte use a
+// stack-resident value encoder (one allocation for the buffer) instead of
+// NewEncoder's heap pair; paths that can release the buffer afterwards
+// should prefer AcquireEncoder (zero steady-state allocations).
+func MakeEncoder(sizeHint int) Encoder {
+	return Encoder{buf: make([]byte, 0, sizeHint)}
+}
+
 // encoderPool recycles encoders for hot encode paths (RMI stub requests,
 // the transport handshake). Steady-state encoding through the pool is
 // allocation-free.
@@ -451,6 +460,73 @@ func (d *Decoder) Bytes() []byte {
 	copy(b, d.buf[d.off:d.off+int(n)])
 	d.off += int(n)
 	return b
+}
+
+// BytesNoCopy reads a length-prefixed byte slice without copying: the
+// result aliases the decoder's input buffer and is valid only as long as
+// that buffer is. Hot decode paths use it for fields that are consumed
+// before the buffer is recycled (map lookups, re-encoding into another
+// buffer); anything retained past the buffer's lifetime must use Bytes.
+// String-encoded fields share the wire format, so this also reads fields
+// written with String.
+func (d *Decoder) BytesNoCopy() []byte {
+	n := d.Uint64()
+	if d.err != nil {
+		return nil
+	}
+	if uint64(d.Remaining()) < n {
+		d.fail()
+		return nil
+	}
+	b := d.buf[d.off : d.off+int(n) : d.off+int(n)]
+	d.off += int(n)
+	return b
+}
+
+// ---------------------------------------------------------------------------
+// Interner
+
+// Interner is a bounded []byte→string intern table for hot decode paths
+// where the same few values recur on every message (server names, session
+// cookies, method names). Interning turns the per-message string allocation
+// into a lock-protected map hit. The table is dropped wholesale when it
+// exceeds its bound, so an adversarial stream of distinct values degrades
+// to plain allocation rather than unbounded growth.
+type Interner struct {
+	mu  sync.RWMutex
+	m   map[string]string
+	max int
+}
+
+// NewInterner returns an interner retaining at most max distinct strings
+// (max <= 0 selects a default of 1024).
+func NewInterner(max int) *Interner {
+	if max <= 0 {
+		max = 1024
+	}
+	return &Interner{m: make(map[string]string), max: max}
+}
+
+// Intern returns the canonical string for b, allocating only the first
+// time a distinct value is seen.
+func (it *Interner) Intern(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	it.mu.RLock()
+	s, ok := it.m[string(b)] // no-alloc map lookup
+	it.mu.RUnlock()
+	if ok {
+		return s
+	}
+	s = string(b)
+	it.mu.Lock()
+	if len(it.m) >= it.max {
+		it.m = make(map[string]string)
+	}
+	it.m[s] = s
+	it.mu.Unlock()
+	return s
 }
 
 // StringSlice reads a length-prefixed slice of strings.

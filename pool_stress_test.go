@@ -1,0 +1,117 @@
+package wls_test
+
+// Pool-recycling stress: requests, responses, and sessions are recycled
+// through sync.Pools across the webtier and servlet tiers, so the bug
+// class to guard against is cross-request state bleed — caller A observing
+// caller B's body, session value, or session identity after an object was
+// released and reissued. These tests hammer the full path concurrently
+// (run under -race in CI) and assert every response belongs to the request
+// that asked for it.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"wls"
+	"wls/internal/servlet"
+)
+
+// TestPoolRecyclingNoCrossRequestBleed drives many concurrent callers,
+// each with its own session, through the proxy plug-in. The servlet echoes
+// the body and stamps the session with the caller's identity; a recycled
+// Request, Session, or response buffer that leaked between callers shows
+// up as a foreign tag or a corrupted echo.
+func TestPoolRecyclingNoCrossRequestBleed(t *testing.T) {
+	c, err := wls.New(wls.Options{Servers: 3, RealClock: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	for _, s := range c.Servers {
+		s.Web.Handle("/tag", func(r *servlet.Request) servlet.Response {
+			owner := string(r.Body)
+			prev := r.Session.Get("owner")
+			if prev == "" {
+				r.Session.Set("owner", owner)
+				prev = owner
+			}
+			// Echo "<session-owner>:<request-body>": the caller checks both
+			// halves, so a stale session or a recycled body buffer is loud.
+			return servlet.Response{Body: []byte(prev + ":" + owner)}
+		})
+	}
+	c.Settle(2)
+	proxy := c.ProxyPlugin("webserver:80")
+
+	const callers = 16
+	const reqs = 150
+	var wg sync.WaitGroup
+	errs := make(chan error, callers)
+	for id := 0; id < callers; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			me := fmt.Sprintf("caller-%d", id)
+			body := []byte(me)
+			want := me + ":" + me
+			ctx := context.Background()
+			cookie := ""
+			for i := 0; i < reqs; i++ {
+				resp, err := proxy.Route(ctx, "/tag", cookie, body)
+				if err != nil {
+					errs <- fmt.Errorf("%s req %d: %v", me, i, err)
+					return
+				}
+				cookie = resp.Cookie
+				if got := string(resp.Body); got != want {
+					errs <- fmt.Errorf("%s req %d: cross-request bleed: got %q, want %q", me, i, got, want)
+					return
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestPoolRecyclingResponseBodyOwnership pins the response-ownership
+// contract at the webtier boundary: the bytes returned by Route remain
+// valid after the pooled call/response objects behind them are recycled by
+// later requests. A pool that handed the same backing buffer to the next
+// request would corrupt the held response.
+func TestPoolRecyclingResponseBodyOwnership(t *testing.T) {
+	c, err := wls.New(wls.Options{Servers: 3, RealClock: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	for _, s := range c.Servers {
+		s.Web.Handle("/echo", func(r *servlet.Request) servlet.Response {
+			return servlet.Response{Body: r.Body}
+		})
+	}
+	c.Settle(2)
+	proxy := c.ProxyPlugin("webserver:80")
+	ctx := context.Background()
+
+	held, err := proxy.Route(ctx, "/echo", "", []byte("held-response"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := append([]byte(nil), held.Body...)
+	cookie := held.Cookie
+	for i := 0; i < 256; i++ {
+		if _, err := proxy.Route(ctx, "/echo", cookie, []byte(fmt.Sprintf("overwrite-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(held.Body, snapshot) {
+		t.Fatalf("held response mutated by later requests: %q", held.Body)
+	}
+}
