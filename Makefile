@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-strict check bench bench-transport bench-trace bench-overload chaos
+.PHONY: all build test race lint lint-strict check bench bench-transport bench-trace bench-overload bench-store chaos
 
 all: build test race lint
 
@@ -70,6 +70,12 @@ bench-overload:
 # concurrency sweep at 1/64/1024 callers, checked in as BENCH_alloc.json.
 bench-alloc:
 	$(GO) run ./cmd/wlsbench -exp E31 -json BENCH_alloc.json
+
+# Persistence numbers (E32): table-store commit throughput, fsync
+# amplification, recovery time and footprint over each kv backend
+# (mem / append-only log / WAL), checked in as BENCH_store.json.
+bench-store:
+	$(GO) run ./cmd/wlsbench -exp E32 -json BENCH_store.json
 
 # Extended chaos sweep (E28): 32 seeds at a longer horizon than the small
 # in-tree sweep TestChaosSweepSmall runs under `make test`. A failing seed

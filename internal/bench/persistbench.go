@@ -50,7 +50,7 @@ func runE22() *Table {
 				panic(err)
 			}
 		}
-		syncs0 := fs.Metrics().Counter("filestore.syncs").Value()
+		syncs0 := fs.Metrics().Counter("kv.syncs").Value()
 		start := wall.Now()
 		for i := 0; i < steps; i++ {
 			txn := mgr.Begin(0)
@@ -65,7 +65,7 @@ func runE22() *Table {
 			}
 		}
 		elapsed := wall.Since(start)
-		syncs := fs.Metrics().Counter("filestore.syncs").Value() - syncs0
+		syncs := fs.Metrics().Counter("kv.syncs").Value() - syncs0
 		t.AddRow("co-located (one filestore)",
 			fmt.Sprintf("%.0f", float64(steps)/elapsed.Seconds()),
 			fmt.Sprintf("%.1f", float64(syncs)/steps),
@@ -91,7 +91,7 @@ func runE22() *Table {
 				panic(err)
 			}
 		}
-		syncs0 := fs.Metrics().Counter("filestore.syncs").Value()
+		syncs0 := fs.Metrics().Counter("kv.syncs").Value()
 		start := wall.Now()
 		for i := 0; i < steps; i++ {
 			txn := mgr.Begin(0)
@@ -110,7 +110,7 @@ func runE22() *Table {
 			}
 		}
 		elapsed := wall.Since(start)
-		syncs := fs.Metrics().Counter("filestore.syncs").Value() - syncs0
+		syncs := fs.Metrics().Counter("kv.syncs").Value() - syncs0
 		recs, _ := tlog.Records()
 		t.AddRow("separate (messages + DB)",
 			fmt.Sprintf("%.0f", float64(steps)/elapsed.Seconds()),

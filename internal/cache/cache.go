@@ -367,12 +367,24 @@ func (sn *Sniffer) schedule() {
 	sn.mu.Unlock()
 }
 
-// SniffOnce processes any new change-log entries now.
+// SniffOnce processes any new change-log entries now. If the sniffer has
+// fallen behind the store's bounded change log (ErrChangesTrimmed — e.g.
+// after a store restart, or a long sniff pause), it cannot know which
+// rows changed in the trimmed window, so it resynchronizes: flush the
+// whole cache and restart from the store's current LSN.
 func (sn *Sniffer) SniffOnce() {
 	sn.mu.Lock()
 	since := sn.sinceLS
 	sn.mu.Unlock()
-	changes := sn.store.Changes(since)
+	changes, err := sn.store.Changes(since)
+	if err != nil {
+		sn.cache.FlushAll()
+		sn.cache.reg.Counter("cache.sniffer_resyncs").Inc()
+		sn.mu.Lock()
+		sn.sinceLS = sn.store.LastLSN()
+		sn.mu.Unlock()
+		return
+	}
 	for _, ch := range changes {
 		sn.cache.InvalidateBackend(ch.Table, ch.Key)
 		sn.cache.BroadcastFlush(sn.from, ch.Key)

@@ -329,3 +329,39 @@ func TestStalenessWindowMeasurement(t *testing.T) {
 		t.Fatalf("ttl after expiry = %q", v)
 	}
 }
+
+func TestSnifferResyncsAfterChangeLogTrim(t *testing.T) {
+	clk := vclock.NewVirtualAtZero()
+	b, _ := setup(clk)
+	b.s.SetChangeCap(4)
+	c := New(Config{Name: "t", TTL: time.Hour}, clk, nil, nil, b.loader("t"))
+	c.Get("k1")
+	c.Get("k2")
+	sn := NewSniffer(b.s, c, clk, time.Second, "s1")
+
+	// A backdoor burst larger than the bounded change log: the sniffer's
+	// cursor falls out of the window, so it cannot know which rows changed.
+	for i := 0; i < 10; i++ {
+		b.s.Put("t", fmt.Sprintf("burst%d", i), fields("x"))
+	}
+	sn.SniffOnce()
+	if c.Len() != 0 {
+		t.Fatalf("resync must flush the whole cache; %d entries remain", c.Len())
+	}
+	if n := c.reg.Counter("cache.sniffer_resyncs").Value(); n != 1 {
+		t.Fatalf("sniffer_resyncs = %d, want 1", n)
+	}
+
+	// The cursor restarted at the store's LSN: the next change is caught
+	// incrementally, without another full flush.
+	c.Get("k1")
+	c.Depend("k1", "t", "k1")
+	b.s.Put("t", "k1", fields("BACKDOOR"))
+	sn.SniffOnce()
+	if v, _ := c.Get("k1"); string(v) != "BACKDOOR" {
+		t.Fatalf("post-resync incremental sniff missed the update: %q", v)
+	}
+	if n := c.reg.Counter("cache.sniffer_resyncs").Value(); n != 1 {
+		t.Fatalf("incremental sniff resynced again: %d", n)
+	}
+}

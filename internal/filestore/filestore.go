@@ -12,60 +12,39 @@
 // same store commits through ONE tx.Resource — no two-phase commit between
 // the messaging system and a separate database (benchmark E22).
 //
-// The log is crash-safe: every record is a length-prefixed frame; replay
-// stops at a torn tail. Prepared-but-undecided transactions survive
-// restarts and are surfaced through InDoubt for coordinator-driven
-// resolution (presumed abort otherwise).
+// Since the persistence refactor this package is a thin region-flavoured
+// facade over the layered stack: regions are tuple spaces
+// (wls/internal/tuple) and the bytes live in the append-only kv.Log
+// backend (wls/internal/kv), which owns crash safety — length-prefixed
+// frames, torn-tail truncation on replay, and the staged-then-renamed
+// compaction protocol. XA sessions and in-doubt recovery are the tuple
+// layer's, re-exported unchanged.
 package filestore
 
 import (
 	"errors"
-	"fmt"
-	"io"
 	"os"
 	"path/filepath"
-	"sort"
-	"sync"
 
+	"wls/internal/kv"
 	"wls/internal/metrics"
-	"wls/internal/wire"
+	"wls/internal/tuple"
 )
 
-// record operation kinds in the log.
-const (
-	recPut byte = iota + 1
-	recDelete
-	recPrepare
-	recCommit
-	recAbort
-)
+// ErrClosed is returned after Close. It is the kv layer's sentinel: the
+// facade adds no failure modes of its own.
+var ErrClosed = kv.ErrClosed
 
-// ErrClosed is returned after Close.
-var ErrClosed = errors.New("filestore: closed")
+// Session is a transactional batch over regions; it implements
+// tx.Resource with durable prepare votes and atomic commits.
+type Session = tuple.Session
 
 // FileStore is one server's middle-tier persistent store.
 type FileStore struct {
 	path string
 	reg  *metrics.Registry
-
-	// mu guards the in-memory image and the log file. Counters are
-	// bumped and recovery sessions walked while it is held.
-	//
-	//wls:lockorder filestore.FileStore.mu<metrics.Registry.mu
-	//wls:lockorder filestore.FileStore.mu<filestore.Session.mu
-	mu      sync.Mutex
-	f       *os.File
-	data    map[string]map[string][]byte // region → key → value
-	pending map[string][]op              // prepared txID → staged ops
-	sync    bool
-	closed  bool
-}
-
-type op struct {
-	kind   byte // recPut or recDelete
-	region string
-	key    string
-	value  []byte
+	log  *kv.Log
+	st   *tuple.Store
 }
 
 // Options configures a FileStore.
@@ -80,442 +59,86 @@ func Open(path string, opts Options) (*FileStore, error) {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return nil, err
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	reg := metrics.NewRegistry()
+	log, err := kv.OpenLog(path, kv.Options{
+		SyncEveryCommit: opts.SyncEveryAppend,
+		Metrics:         reg,
+	})
 	if err != nil {
 		return nil, err
 	}
-	fs := &FileStore{
-		path:    path,
-		reg:     metrics.NewRegistry(),
-		f:       f,
-		data:    make(map[string]map[string][]byte),
-		pending: make(map[string][]op),
-		sync:    opts.SyncEveryAppend,
+	st, err := tuple.New(log)
+	if err != nil {
+		return nil, errors.Join(err, log.Close())
 	}
-	if err := fs.replay(); err != nil {
-		f.Close()
-		return nil, err
-	}
-	if _, err := f.Seek(0, io.SeekEnd); err != nil {
-		f.Close()
-		return nil, err
-	}
-	return fs, nil
+	return &FileStore{path: path, reg: reg, log: log, st: st}, nil
 }
 
-// replay rebuilds the in-memory state from the log.
-func (fs *FileStore) replay() error {
-	if _, err := fs.f.Seek(0, io.SeekStart); err != nil {
-		return err
-	}
-	for {
-		frame, err := wire.ReadFrame(fs.f)
-		if err == io.EOF {
-			return nil
-		}
-		if err != nil {
-			if err == io.ErrUnexpectedEOF {
-				// Torn tail from a crash mid-append: truncate it away so
-				// new appends start from a clean boundary.
-				pos, serr := fs.f.Seek(0, io.SeekCurrent)
-				if serr == nil {
-					_ = fs.f.Truncate(pos - tornBytes(fs.f, pos))
-				}
-				return nil
-			}
-			return fmt.Errorf("filestore: replay: %w", err)
-		}
-		fs.applyRecord(frame.Body)
-	}
-}
-
-// tornBytes computes how many trailing bytes belong to the torn record.
-// Simplest correct answer: everything from the frame start; we re-scan by
-// truncating at the last successfully parsed offset, which the caller
-// tracked implicitly via Seek position minus buffered remainder. Because
-// ReadFrame consumed the partial bytes, current position IS end of file,
-// so truncate(pos) is a no-op and the torn bytes simply get overwritten on
-// the next append after Seek(end). We return 0 and rely on append
-// repositioning; kept as a function for clarity.
-func tornBytes(*os.File, int64) int64 { return 0 }
-
-func (fs *FileStore) applyRecord(body []byte) {
-	d := wire.NewDecoder(body)
-	kind := d.Byte()
-	switch kind {
-	case recPut:
-		region, key, val := d.String(), d.String(), d.Bytes()
-		if d.Err() == nil {
-			fs.put(region, key, val)
-		}
-	case recDelete:
-		region, key := d.String(), d.String()
-		if d.Err() == nil {
-			fs.del(region, key)
-		}
-	case recPrepare:
-		txID := d.String()
-		n := d.Int()
-		if d.Err() != nil || n < 0 || n > 1<<20 {
-			return
-		}
-		ops := make([]op, 0, n)
-		for i := 0; i < n; i++ {
-			o := op{kind: d.Byte(), region: d.String(), key: d.String()}
-			if o.kind == recPut {
-				o.value = d.Bytes()
-			}
-			if d.Err() != nil {
-				return
-			}
-			ops = append(ops, o)
-		}
-		fs.pending[txID] = ops
-	case recCommit:
-		txID := d.String()
-		if d.Err() != nil {
-			return
-		}
-		for _, o := range fs.pending[txID] {
-			if o.kind == recPut {
-				fs.put(o.region, o.key, o.value)
-			} else {
-				fs.del(o.region, o.key)
-			}
-		}
-		delete(fs.pending, txID)
-	case recAbort:
-		txID := d.String()
-		if d.Err() == nil {
-			delete(fs.pending, txID)
-		}
-	}
-}
-
-func (fs *FileStore) put(region, key string, val []byte) {
-	r, ok := fs.data[region]
-	if !ok {
-		r = make(map[string][]byte)
-		fs.data[region] = r
-	}
-	r[key] = val
-}
-
-func (fs *FileStore) del(region, key string) {
-	delete(fs.data[region], key)
-}
-
-// append writes one record frame, fsyncing if configured.
-func (fs *FileStore) append(body []byte) error {
-	if fs.closed {
-		return ErrClosed
-	}
-	if err := wire.WriteFrame(fs.f, wire.Frame{Kind: wire.KindOneWay, Body: body}); err != nil {
-		return err
-	}
-	fs.reg.Counter("filestore.appends").Inc()
-	if fs.sync {
-		fs.reg.Counter("filestore.syncs").Inc()
-		return fs.f.Sync()
-	}
-	return nil
-}
-
-// Metrics returns the store's metric registry.
+// Metrics exposes the store's counters (kv.appends, kv.syncs,
+// kv.compactions).
 func (fs *FileStore) Metrics() *metrics.Registry { return fs.reg }
 
-// Put durably writes key=value in region (auto-commit).
+// Put writes key in region durably.
 func (fs *FileStore) Put(region, key string, value []byte) error {
-	e := wire.NewEncoder(32 + len(value))
-	e.Byte(recPut)
-	e.String(region)
-	e.String(key)
-	e.Bytes2(value)
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	if err := fs.append(e.Bytes()); err != nil {
-		return err
-	}
-	fs.put(region, key, append([]byte(nil), value...))
-	return nil
+	return fs.st.Put(region, key, value)
 }
 
-// Delete durably removes a key (auto-commit).
+// Delete removes key from region durably.
 func (fs *FileStore) Delete(region, key string) error {
-	e := wire.NewEncoder(32)
-	e.Byte(recDelete)
-	e.String(region)
-	e.String(key)
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	if err := fs.append(e.Bytes()); err != nil {
-		return err
-	}
-	fs.del(region, key)
-	return nil
+	return fs.st.Delete(region, key)
 }
 
-// Get returns the value for key in region.
+// Get reads one key from a region.
 func (fs *FileStore) Get(region, key string) ([]byte, bool) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	v, ok := fs.data[region][key]
-	if !ok {
-		return nil, false
-	}
-	return append([]byte(nil), v...), true
+	return fs.st.Get(region, key)
 }
 
-// Keys returns the sorted keys of a region.
+// Keys lists a region's keys in sorted order.
 func (fs *FileStore) Keys(region string) []string {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	out := make([]string, 0, len(fs.data[region]))
-	for k := range fs.data[region] {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
-}
-
-// Count returns the number of keys in a region.
-func (fs *FileStore) Count(region string) int {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	return len(fs.data[region])
-}
-
-// Regions returns the sorted names of non-empty regions.
-func (fs *FileStore) Regions() []string {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
 	var out []string
-	for r, m := range fs.data {
-		if len(m) > 0 {
-			out = append(out, r)
-		}
-	}
-	sort.Strings(out)
+	fs.st.Scan(region, "", func(k string, v []byte) bool {
+		out = append(out, k)
+		return true
+	})
 	return out
 }
 
-// Compact rewrites the log keeping only live data (plus pending prepares),
-// bounding file growth.
+// Count reports the number of keys in a region.
+func (fs *FileStore) Count(region string) int {
+	return fs.st.Count(region, "")
+}
+
+// Regions lists the regions holding at least one key, sorted.
+func (fs *FileStore) Regions() []string {
+	return fs.st.Spaces()
+}
+
+// Compact rewrites the log so it holds only live data. The crash-safety
+// choreography (stage, fsync, rename, fsync the directory, then close the
+// old descriptor with its error checked) lives in kv.Log.Compact.
 func (fs *FileStore) Compact() error {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	if fs.closed {
-		return ErrClosed
-	}
-	tmpPath := fs.path + ".compact"
-	tmp, err := os.Create(tmpPath)
-	if err != nil {
-		return err
-	}
-	write := func(body []byte) bool {
-		return wire.WriteFrame(tmp, wire.Frame{Kind: wire.KindOneWay, Body: body}) == nil
-	}
-	ok := true
-	for region, m := range fs.data {
-		for key, val := range m {
-			e := wire.NewEncoder(32 + len(val))
-			e.Byte(recPut)
-			e.String(region)
-			e.String(key)
-			e.Bytes2(val)
-			ok = ok && write(e.Bytes())
-		}
-	}
-	for txID, ops := range fs.pending {
-		ok = ok && write(encodePrepare(txID, ops))
-	}
-	if !ok {
-		tmp.Close()
-		os.Remove(tmpPath)
-		return errors.New("filestore: compaction write failed")
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		os.Remove(tmpPath)
-		return err
-	}
-	tmp.Close()
-	if err := os.Rename(tmpPath, fs.path); err != nil {
-		os.Remove(tmpPath)
-		return err
-	}
-	fs.f.Close()
-	f, err := os.OpenFile(fs.path, os.O_RDWR|os.O_APPEND, 0o644)
-	if err != nil {
-		return err
-	}
-	fs.f = f
-	fs.reg.Counter("filestore.compactions").Inc()
-	return nil
+	return fs.log.Compact()
 }
 
-// Size returns the current log file size in bytes.
+// Size reports the log's size in bytes.
 func (fs *FileStore) Size() (int64, error) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	st, err := fs.f.Stat()
-	if err != nil {
-		return 0, err
-	}
-	return st.Size(), nil
+	return fs.log.Size()
 }
 
-// Close releases the underlying file.
+// Close flushes and closes the store.
 func (fs *FileStore) Close() error {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	if fs.closed {
-		return nil
-	}
-	fs.closed = true
-	return fs.f.Close()
-}
-
-// ---------------------------------------------------------------------------
-// Transactions
-
-// Session is a transactional batch of writes across any regions of this
-// store. It implements tx.Resource: Prepare durably stages the batch (the
-// yes vote), Commit durably applies it.
-type Session struct {
-	fs *FileStore
-
-	mu     sync.Mutex
-	ops    []op
-	staged bool
+	return fs.st.Close()
 }
 
 // Session starts a transactional batch.
-func (fs *FileStore) Session() *Session { return &Session{fs: fs} }
-
-// Put stages a write.
-func (s *Session) Put(region, key string, value []byte) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.ops = append(s.ops, op{kind: recPut, region: region, key: key, value: append([]byte(nil), value...)})
-}
-
-// Delete stages a removal.
-func (s *Session) Delete(region, key string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.ops = append(s.ops, op{kind: recDelete, region: region, key: key})
-}
-
-func encodePrepare(txID string, ops []op) []byte {
-	e := wire.NewEncoder(64)
-	e.Byte(recPrepare)
-	e.String(txID)
-	e.Int(len(ops))
-	for _, o := range ops {
-		e.Byte(o.kind)
-		e.String(o.region)
-		e.String(o.key)
-		if o.kind == recPut {
-			e.Bytes2(o.value)
-		}
-	}
-	return e.Bytes()
-}
-
-// Prepare implements tx.Resource.
-func (s *Session) Prepare(txID string) error {
-	s.mu.Lock()
-	ops := append([]op{}, s.ops...)
-	s.mu.Unlock()
-	fs := s.fs
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	if err := fs.append(encodePrepare(txID, ops)); err != nil {
-		return err
-	}
-	fs.pending[txID] = ops
-	s.mu.Lock()
-	s.staged = true
-	s.mu.Unlock()
-	return nil
-}
-
-// Commit implements tx.Resource. For one-phase commits Prepare may not have
-// run; Commit stages implicitly in that case.
-func (s *Session) Commit(txID string) error {
-	s.mu.Lock()
-	staged := s.staged
-	s.mu.Unlock()
-	if !staged {
-		if err := s.Prepare(txID); err != nil {
-			return err
-		}
-	}
-	fs := s.fs
-	e := wire.NewEncoder(32)
-	e.Byte(recCommit)
-	e.String(txID)
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	ops, ok := fs.pending[txID]
-	if !ok {
-		return nil // already committed (idempotent for recovery)
-	}
-	if err := fs.append(e.Bytes()); err != nil {
-		return err
-	}
-	for _, o := range ops {
-		if o.kind == recPut {
-			fs.put(o.region, o.key, o.value)
-		} else {
-			fs.del(o.region, o.key)
-		}
-	}
-	delete(fs.pending, txID)
-	return nil
-}
-
-// Rollback implements tx.Resource.
-func (s *Session) Rollback(txID string) error {
-	fs := s.fs
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	if _, ok := fs.pending[txID]; !ok {
-		s.mu.Lock()
-		s.ops = nil
-		s.mu.Unlock()
-		return nil
-	}
-	e := wire.NewEncoder(32)
-	e.Byte(recAbort)
-	e.String(txID)
-	if err := fs.append(e.Bytes()); err != nil {
-		return err
-	}
-	delete(fs.pending, txID)
-	return nil
-}
+func (fs *FileStore) Session() *Session { return fs.st.Session() }
 
 // InDoubt lists transaction ids that were prepared but neither committed
 // nor aborted — the coordinator resolves them after a crash.
-func (fs *FileStore) InDoubt() []string {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	out := make([]string, 0, len(fs.pending))
-	for id := range fs.pending {
-		out = append(out, id)
-	}
-	sort.Strings(out)
-	return out
-}
+func (fs *FileStore) InDoubt() []string { return fs.st.InDoubt() }
 
 // ResolveInDoubt commits or aborts a prepared transaction by id (used
 // during recovery).
 func (fs *FileStore) ResolveInDoubt(txID string, commit bool) error {
-	s := &Session{fs: fs, staged: true}
-	if commit {
-		return s.Commit(txID)
-	}
-	return s.Rollback(txID)
+	return fs.st.ResolveInDoubt(txID, commit)
 }

@@ -74,9 +74,11 @@ type Broker struct {
 	reg    *metrics.Registry
 
 	// mu guards the queue/topic tables. newQueue touches the filestore
-	// while it is held, so it sits above the store in the hierarchy.
+	// (whose state lives in the tuple layer since the persistence
+	// refactor) while it is held, so it sits above that store in the
+	// hierarchy.
 	//
-	//wls:lockorder jms.Broker.mu<filestore.FileStore.mu
+	//wls:lockorder jms.Broker.mu<tuple.Store.mu
 	mu     sync.Mutex
 	queues map[string]*Queue
 	topics map[string]*Topic

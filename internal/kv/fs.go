@@ -1,0 +1,77 @@
+package kv
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// FS is the narrow filesystem surface the durable backends use. The
+// default implementation is the operating system; the crash-chaos suite
+// substitutes a filesystem with a byte budget that tears the final write
+// and fails everything after it, which is how "kill -9 mid-commit" becomes
+// a deterministic, seeded test instead of a flaky one.
+type FS interface {
+	// OpenFile opens name with os.OpenFile semantics.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Rename atomically replaces newname with oldname. An already-open
+	// File handle follows the file to its new name (POSIX semantics), so
+	// compaction can keep writing through the handle it staged with.
+	Rename(oldname, newname string) error
+	// Remove deletes a file; removing a missing file is not an error.
+	Remove(name string) error
+	// SyncDir fsyncs the directory containing name, making a preceding
+	// Rename durable: without it a crash can lose the new directory
+	// entry even though the file's blocks are on disk.
+	SyncDir(name string) error
+}
+
+// File is the per-file surface: sequential reads for replay, appends for
+// commits, truncation for torn tails, fsync for durability.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+	Stat() (os.FileInfo, error)
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+// OSFS returns the operating-system filesystem, the default for every
+// durable backend.
+func OSFS() FS { return osFS{} }
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+func (osFS) Remove(name string) error {
+	err := os.Remove(name)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+func (osFS) SyncDir(name string) error {
+	d, err := os.Open(filepath.Dir(name))
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

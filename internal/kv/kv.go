@@ -1,0 +1,111 @@
+// Package kv is the bottom layer of the persistence stack: a flat,
+// byte-ordered key-value store with atomic batch commit. Everything above
+// it — the tuple layer (internal/tuple: named spaces with XA sessions) and
+// the table layer (internal/store: versioned rows, triggers, change log) —
+// is written once against this interface, so swapping the durability
+// engine under the middle tier is a constructor change, not a rewrite.
+// That is the shape §3.3 and §5.1 of the paper assume: middle-tier data
+// "is accessed only in limited ways, e.g., by key or through a sequential
+// scan", so the narrow waist of the stack is exactly Get/Put/Delete/Scan
+// plus an atomic batch.
+//
+// Three interchangeable backends ship with the package:
+//
+//   - Mem (mem.go): an in-memory ordered map. No durability; the baseline
+//     every other backend is benchmarked against (E32).
+//   - Log (log.go): a single append-only log file, one length-prefixed
+//     frame per committed batch, replayed on open. Compaction rewrites the
+//     live image and atomically swaps the file.
+//   - WAL (wal.go): a page-organized main file plus a write-ahead log with
+//     per-frame chained checksums, modeled on SQLite's WAL design:
+//     commits append frames; checkpoints fold the log into the main file;
+//     recovery replays the WAL and stops at the first torn frame.
+//
+// All three pass the same conformance suite (conformance_test.go) and the
+// durable two pass the same seeded crash-chaos suite (chaos_test.go).
+package kv
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errors shared by all backends.
+var (
+	// ErrClosed is returned by mutations after Close.
+	ErrClosed = errors.New("kv: closed")
+	// ErrCorrupt wraps unrecoverable on-disk corruption found on open:
+	// a bad magic number, an unreadable header, or a main-file page whose
+	// checksum does not match. (A torn log or WAL *tail* is not corruption
+	// — it is the expected shape of a crash and is truncated silently.)
+	ErrCorrupt = errors.New("kv: corrupt store")
+)
+
+// OpKind distinguishes batch operations.
+type OpKind byte
+
+// Batch operation kinds.
+const (
+	OpPut OpKind = iota + 1
+	OpDelete
+)
+
+// Op is one operation of an atomic batch.
+type Op struct {
+	Kind  OpKind
+	Key   string
+	Value []byte // nil for OpDelete
+}
+
+// Store is a flat key-value store ordered by the byte order of its keys.
+//
+// Concurrency: every method is safe for concurrent use. Scan holds the
+// store's internal lock while invoking fn; fn must not call back into the
+// store.
+//
+// Ownership: values returned by Get and passed to Scan's fn are copies the
+// caller owns; values passed to Put/Apply are copied on entry, so the
+// caller may reuse its buffers.
+type Store interface {
+	// Get returns the value for key.
+	Get(key string) ([]byte, bool)
+	// Scan visits every key with the given prefix in ascending byte
+	// order; fn returning false stops the scan early. An empty prefix
+	// scans the whole store.
+	Scan(prefix string, fn func(key string, value []byte) bool)
+	// Count returns the number of keys with the given prefix.
+	Count(prefix string) int
+	// Put durably commits key=value.
+	Put(key string, value []byte) error
+	// Delete durably removes key. Deleting a missing key is a no-op.
+	Delete(key string) error
+	// Apply durably commits ops as one atomic batch: after a crash either
+	// every op is visible or none is. Ops apply in order, so a later op
+	// on the same key wins.
+	Apply(ops []Op) error
+	// Close releases the backend. Further mutations return ErrClosed;
+	// reads keep serving the final in-memory image.
+	Close() error
+}
+
+// Compacter is implemented by backends whose files grow with write volume
+// and can be rewritten to hold only live data (the Log backend).
+type Compacter interface {
+	Compact() error
+}
+
+// Checkpointer is implemented by backends with a separate write-ahead log
+// that can be folded into the main file (the WAL backend).
+type Checkpointer interface {
+	Checkpoint() error
+}
+
+// Sizer reports the on-disk footprint of a durable backend.
+type Sizer interface {
+	Size() (int64, error)
+}
+
+// corruptf builds an ErrCorrupt with detail.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,96 @@
+package kv
+
+import "sync"
+
+// Mem is the in-memory backend: the image with a mutex around it. It is
+// the latency floor the durable backends are measured against (E32) and
+// the default engine under store.New, which preserves the pre-refactor
+// behaviour of a purely in-memory database substrate.
+type Mem struct {
+	// mu guards img; Get copies out under it and Scan runs its callback
+	// under it (the Store contract forbids reentrancy from fn).
+	mu     sync.Mutex
+	img    *image
+	closed bool
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem {
+	return &Mem{img: newImage()}
+}
+
+// Get implements Store.
+func (m *Mem) Get(key string) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v, ok := m.img.get(key)
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), v...), true
+}
+
+// Scan implements Store.
+func (m *Mem) Scan(prefix string, fn func(key string, value []byte) bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.img.scan(prefix, func(k string, v []byte) bool {
+		return fn(k, append([]byte(nil), v...))
+	})
+}
+
+// Count implements Store.
+func (m *Mem) Count(prefix string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.img.count(prefix)
+}
+
+// Put implements Store.
+func (m *Mem) Put(key string, value []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	m.img.put(key, append([]byte(nil), value...))
+	return nil
+}
+
+// Delete implements Store.
+func (m *Mem) Delete(key string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	m.img.del(key)
+	return nil
+}
+
+// Apply implements Store. In-memory application under one lock hold is
+// trivially atomic.
+func (m *Mem) Apply(ops []Op) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	for _, op := range ops {
+		switch op.Kind {
+		case OpPut:
+			m.img.put(op.Key, append([]byte(nil), op.Value...))
+		case OpDelete:
+			m.img.del(op.Key)
+		}
+	}
+	return nil
+}
+
+// Close implements Store.
+func (m *Mem) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	return nil
+}

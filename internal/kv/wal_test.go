@@ -1,0 +1,328 @@
+package kv_test
+
+import (
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"wls/internal/kv"
+)
+
+func openWAL(t *testing.T, dir string, opts kv.Options) *kv.WAL {
+	t.Helper()
+	w, err := kv.OpenWAL(walPath(dir), opts)
+	if err != nil {
+		t.Fatalf("OpenWAL: %v", err)
+	}
+	return w
+}
+
+// manualCkpt disables auto-checkpointing so tests control generations.
+var manualCkpt = kv.Options{CheckpointBytes: -1}
+
+func TestWALTornFinalFrameTruncated(t *testing.T) {
+	dir := t.TempDir()
+	w := openWAL(t, dir, manualCkpt)
+	if err := w.Put("a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Put("b", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the final frame: chop bytes off the end of the log.
+	wal := walPath(dir) + "-wal"
+	b, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(wal, b[:len(b)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w2 := openWAL(t, dir, manualCkpt)
+	defer w2.Close()
+	if _, ok := w2.Get("a"); !ok {
+		t.Fatalf("frame before the torn one was lost")
+	}
+	if _, ok := w2.Get("b"); ok {
+		t.Fatalf("torn frame survived recovery")
+	}
+	// The store keeps working after the truncation.
+	if err := w2.Put("c", []byte("3")); err != nil {
+		t.Fatalf("Put after torn-tail recovery: %v", err)
+	}
+}
+
+func TestWALCorruptMiddleFrameStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	w := openWAL(t, dir, manualCkpt)
+	for _, k := range []string{"a", "b", "c"} {
+		if err := w.Put(k, []byte(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wal := walPath(dir) + "-wal"
+	b, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the SECOND frame's payload; the chained checksum
+	// rejects it and everything after it, while the first frame stands.
+	// Layout: 36-byte header, then frames of 20-byte header + payload.
+	const walHdr, frameHdr = 36, 20
+	plen1 := int(uint32(b[walHdr])<<24 | uint32(b[walHdr+1])<<16 | uint32(b[walHdr+2])<<8 | uint32(b[walHdr+3]))
+	frame2 := walHdr + frameHdr + plen1
+	b[frame2+frameHdr] ^= 0xFF
+	if err := os.WriteFile(wal, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w2 := openWAL(t, dir, manualCkpt)
+	defer w2.Close()
+	if _, ok := w2.Get("a"); !ok {
+		t.Fatalf("frames before the corruption were lost")
+	}
+	if _, ok := w2.Get("c"); ok {
+		t.Fatalf("frame after a corrupt one survived replay")
+	}
+}
+
+func TestWALCheckpointFoldsLogAndBumpsGeneration(t *testing.T) {
+	dir := t.TempDir()
+	w := openWAL(t, dir, manualCkpt)
+	for i := 0; i < 20; i++ {
+		if err := w.Put(string(rune('a'+i)), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := dump(w)
+	grewTo := w.WALSize()
+	if grewTo <= 0 {
+		t.Fatalf("WAL did not grow: %d", grewTo)
+	}
+	if err := w.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if w.Generation() != 1 {
+		t.Fatalf("generation after first checkpoint = %d", w.Generation())
+	}
+	if got := w.WALSize(); got >= grewTo {
+		t.Fatalf("WAL did not shrink across checkpoint: %d -> %d", grewTo, got)
+	}
+	if got := dump(w); !reflect.DeepEqual(got, before) {
+		t.Fatalf("checkpoint changed visible state")
+	}
+	// More commits, second checkpoint, reopen: all state from main file.
+	if err := w.Put("zz", []byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2 := openWAL(t, dir, manualCkpt)
+	defer w2.Close()
+	if w2.Generation() != 2 {
+		t.Fatalf("generation after reopen = %d", w2.Generation())
+	}
+	if v, ok := w2.Get("zz"); !ok || string(v) != "tail" {
+		t.Fatalf("post-checkpoint commit lost: %q %v", v, ok)
+	}
+}
+
+func TestWALStaleLogDiscarded(t *testing.T) {
+	// Simulates the crash window between "rename new main file" and
+	// "reset log": a log whose generation predates the main file must be
+	// discarded wholesale, because every frame in it was checkpointed.
+	dir := t.TempDir()
+	w := openWAL(t, dir, manualCkpt)
+	if err := w.Put("committed", []byte("yes")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Checkpoint(); err != nil { // gen 1, log reset
+		t.Fatal(err)
+	}
+	if err := w.Put("in-log", []byte("yes")); err != nil {
+		t.Fatal(err)
+	}
+	// Save the gen-1 log, checkpoint to gen 2, then put the stale gen-1
+	// log back — exactly what disk looks like if the reset never ran.
+	wal := walPath(dir) + "-wal"
+	stale, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Checkpoint(); err != nil { // gen 2: "in-log" now in main
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(wal, stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w2 := openWAL(t, dir, manualCkpt)
+	defer w2.Close()
+	if _, ok := w2.Get("committed"); !ok {
+		t.Fatalf("checkpointed state lost")
+	}
+	if v, ok := w2.Get("in-log"); !ok || string(v) != "yes" {
+		t.Fatalf("frame from stale log not recovered from main file: %q %v", v, ok)
+	}
+	// The stale log must have been reset, not appended to.
+	if w2.Generation() != 2 {
+		t.Fatalf("generation = %d, want 2", w2.Generation())
+	}
+	if err := w2.Put("after", []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWALGarbledHeaderReset(t *testing.T) {
+	dir := t.TempDir()
+	w := openWAL(t, dir, manualCkpt)
+	if err := w.Put("a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A crash mid-reset can leave a partial header; recovery rewrites it.
+	wal := walPath(dir) + "-wal"
+	if err := os.WriteFile(wal, []byte("WLSKVW"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w2 := openWAL(t, dir, manualCkpt)
+	defer w2.Close()
+	if _, ok := w2.Get("a"); !ok {
+		t.Fatalf("main-file state lost under garbled log header")
+	}
+	if err := w2.Put("b", []byte("2")); err != nil {
+		t.Fatalf("store unusable after log header reset: %v", err)
+	}
+}
+
+func TestWALCorruptMainFileRejected(t *testing.T) {
+	dir := t.TempDir()
+	w := openWAL(t, dir, manualCkpt)
+	for i := 0; i < 100; i++ {
+		if err := w.Put(strings.Repeat("k", i%7+1)+string(rune('a'+i%26)), []byte(strings.Repeat("v", 50))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	main := walPath(dir)
+	b, err := os.ReadFile(main)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) <= 4096 {
+		t.Fatalf("main file has no data pages: %d bytes", len(b))
+	}
+	// Flip a byte inside a data page: the page checksum must catch it.
+	b[4096+100] ^= 0xFF
+	if err := os.WriteFile(main, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = kv.OpenWAL(main, manualCkpt)
+	if err == nil {
+		t.Fatalf("corrupt main file opened without error")
+	}
+	if !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("error does not identify corruption: %v", err)
+	}
+}
+
+func TestWALAutoCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	w := openWAL(t, dir, kv.Options{CheckpointBytes: 2048})
+	val := make([]byte, 256)
+	for i := 0; i < 64; i++ {
+		if err := w.Put(string(rune('a'+i%26))+string(rune('0'+i/26)), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Generation() == 0 {
+		t.Fatalf("auto-checkpoint never fired (wal size %d)", w.WALSize())
+	}
+	if w.WALSize() > 2048+4096 {
+		t.Fatalf("WAL grew far past the checkpoint threshold: %d", w.WALSize())
+	}
+	before := dump(w)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2 := openWAL(t, dir, kv.Options{CheckpointBytes: 2048})
+	defer w2.Close()
+	if got := dump(w2); !reflect.DeepEqual(got, before) {
+		t.Fatalf("state diverged across auto-checkpoint + reopen")
+	}
+}
+
+func TestWALPageSpanningRecords(t *testing.T) {
+	// Values larger than a page force the record stream to span pages.
+	dir := t.TempDir()
+	w := openWAL(t, dir, kv.Options{PageSize: 128, CheckpointBytes: -1})
+	big := make([]byte, 1000)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	if err := w.Put("big", big); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Put("small", []byte("s")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2 := openWAL(t, dir, kv.Options{PageSize: 128, CheckpointBytes: -1})
+	defer w2.Close()
+	v, ok := w2.Get("big")
+	if !ok || !reflect.DeepEqual(v, big) {
+		t.Fatalf("page-spanning record damaged (ok=%v len=%d)", ok, len(v))
+	}
+	if _, ok := w2.Get("small"); !ok {
+		t.Fatalf("record after the spanning one lost")
+	}
+}
+
+func TestWALDeleteDurable(t *testing.T) {
+	dir := t.TempDir()
+	w := openWAL(t, dir, manualCkpt)
+	if err := w.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2 := openWAL(t, dir, manualCkpt)
+	defer w2.Close()
+	if _, ok := w2.Get("k"); ok {
+		t.Fatalf("delete frame lost: checkpointed put resurrected")
+	}
+}

@@ -19,6 +19,8 @@ var errdropPkgs = map[string]bool{
 	"wls/internal/transport": true,
 	"wls/internal/store":     true,
 	"wls/internal/filestore": true,
+	"wls/internal/kv":        true,
+	"wls/internal/tuple":     true,
 	"wls/internal/tx":        true,
 	"wls/internal/jms":       true,
 	"wls/internal/chaos":     true,

@@ -17,17 +17,37 @@
 // The store is deliberately navigational (get/put/scan by key) rather than
 // SQL: §5.1 observes that middle-tier data "is accessed only in limited
 // ways, e.g., by key or through a sequential scan".
+//
+// Since the persistence refactor the table semantics sit on the layered
+// stack: rows, tombstones, the persisted LSN and durably-prepared
+// transaction votes are tuple-space records (wls/internal/tuple) over a
+// pluggable kv backend (wls/internal/kv) — in-memory, append-only log, or
+// WAL. New opens an in-memory store exactly as before; Open layers the
+// same semantics over any backend and recovers tables, row versions,
+// tombstones, the LSN high-water mark and in-doubt transactions from it.
+// Every commit — autocommit or transactional — reaches the backend as ONE
+// atomic batch (row records + LSN + staged-vote retirement), so a crash
+// never splits a transaction.
+//
+// The in-memory image (tables, tombstones) is a write-through cache:
+// reads never touch the backend. A backend write failure fail-stops the
+// store — subsequent commits are refused — because a database that
+// silently diverges from its log is worse than one that stops.
 package store
 
 import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
+	"wls/internal/kv"
 	"wls/internal/metrics"
+	"wls/internal/tuple"
 	"wls/internal/vclock"
+	"wls/internal/wire"
 )
 
 // Errors.
@@ -41,7 +61,35 @@ var (
 	ErrNotFound = errors.New("store: row not found")
 	// ErrDuplicate is returned when inserting an existing key.
 	ErrDuplicate = errors.New("store: duplicate key")
+	// ErrChangesTrimmed is returned by Changes when the requested suffix of
+	// the change log has been trimmed away (the log is bounded). A
+	// log-sniffer that sees it must resynchronize with a full Scan and
+	// resume from LastLSN.
+	ErrChangesTrimmed = errors.New("store: change log trimmed; resync via Scan")
 )
+
+// Tuple-space layout: one space per table for row records, one space for
+// durably-prepared transaction votes, one for store metadata.
+const (
+	rowSpacePrefix = "t:"
+	txSpace        = "s:tx"
+	metaSpace      = "s:meta"
+	lsnKey         = "lsn"
+)
+
+// Row-record kinds on the backend.
+const (
+	recLive byte = 1
+	// recTomb is a tombstone: the row is deleted but its last version is
+	// retained, so a later re-insert continues the version sequence
+	// instead of restarting at 1 (optimistic readers must never see a
+	// version number repeat for a key).
+	recTomb byte = 2
+)
+
+// defaultChangeCap bounds the in-memory change log. Sniffers further
+// behind than this get ErrChangesTrimmed instead of an unbounded buffer.
+const defaultChangeCap = 4096
 
 // Row is one record. Fields are flat string pairs (the relational model the
 // paper assumes); Version increments on every committed change.
@@ -87,33 +135,114 @@ type Store struct {
 	name  string
 	clock vclock.Clock
 	reg   *metrics.Registry
+	tp    *tuple.Store
 
-	// mu guards tables/sessions/changes; expiry sweeps lock each
-	// Session and counters are bumped while it is held.
+	// mu guards the image and the change ring; expiry sweeps lock each
+	// Session, counters are bumped, and backend batches are applied while
+	// it is held.
 	//
 	//wls:lockorder store.Store.mu<store.Session.mu
 	//wls:lockorder store.Store.mu<metrics.Registry.mu
-	mu       sync.Mutex
-	tables   map[string]map[string]Row
-	sessions map[string]*Session
-	changes  []Change
-	lsn      uint64
-	triggers map[string][]Trigger
-	locks    *lockTable
+	//wls:lockorder store.Store.mu<tuple.Store.mu
+	mu        sync.Mutex
+	tables    map[string]map[string]Row
+	tombs     map[string]map[string]uint64 // deleted key → last version
+	sessions  map[string]*Session
+	pendingTx map[string][]stagedWrite // durably prepared, unresolved
+	changes   []Change
+	head      int // changes[head:] is the live window
+	changeCap int
+	trimLSN   uint64 // newest LSN no longer in the window (0 = none)
+	lsn       uint64
+	broken    error // first backend write failure; store is fail-stop
+	triggers  map[string][]Trigger
+	locks     *lockTable
 }
 
-// New creates an empty store.
+// New creates an empty in-memory store — the pre-refactor behaviour,
+// now the kv.Mem backend under the same table semantics.
 func New(name string, clock vclock.Clock) *Store {
+	s, err := Open(name, clock, kv.NewMem())
+	if err != nil {
+		// The in-memory backend has no failure modes; this is unreachable.
+		panic(fmt.Sprintf("store: opening in-memory backend: %v", err))
+	}
+	return s
+}
+
+// Open layers a store over an already-open kv backend, recovering tables,
+// row versions, tombstones, the LSN high-water mark and in-doubt
+// transactions from it. The change ring starts empty: Changes(since) for
+// a pre-restart LSN reports ErrChangesTrimmed and the sniffer rescans.
+func Open(name string, clock vclock.Clock, kvs kv.Store) (*Store, error) {
+	tp, err := tuple.New(kvs)
+	if err != nil {
+		return nil, err
+	}
 	s := &Store{
-		name:     name,
-		clock:    clock,
-		reg:      metrics.NewRegistry(),
-		tables:   make(map[string]map[string]Row),
-		sessions: make(map[string]*Session),
-		triggers: make(map[string][]Trigger),
+		name:      name,
+		clock:     clock,
+		reg:       metrics.NewRegistry(),
+		tp:        tp,
+		tables:    make(map[string]map[string]Row),
+		tombs:     make(map[string]map[string]uint64),
+		sessions:  make(map[string]*Session),
+		pendingTx: make(map[string][]stagedWrite),
+		changeCap: defaultChangeCap,
+		triggers:  make(map[string][]Trigger),
 	}
 	s.locks = newLockTable(clock)
-	return s
+	var derr error
+	for _, sp := range tp.Spaces() {
+		if !strings.HasPrefix(sp, rowSpacePrefix) {
+			continue
+		}
+		table := sp[len(rowSpacePrefix):]
+		tp.Scan(sp, "", func(k string, v []byte) bool {
+			row, tomb, isTomb, err := decodeRowRecord(k, v)
+			if err != nil {
+				derr = fmt.Errorf("store: table %s key %s: %w", table, k, err)
+				return false
+			}
+			if isTomb {
+				if s.tombs[table] == nil {
+					s.tombs[table] = make(map[string]uint64)
+				}
+				s.tombs[table][k] = tomb
+				return true
+			}
+			if s.tables[table] == nil {
+				s.tables[table] = make(map[string]Row)
+			}
+			s.tables[table][k] = row
+			return true
+		})
+		if derr != nil {
+			return nil, derr
+		}
+	}
+	if v, ok := tp.Get(metaSpace, lsnKey); ok {
+		d := wire.NewDecoder(v)
+		s.lsn = d.Uint64()
+		if d.Err() != nil {
+			return nil, fmt.Errorf("store: lsn record: %w", d.Err())
+		}
+	}
+	// Every pre-restart change is outside the (empty) ring.
+	s.trimLSN = s.lsn
+	tp.Scan(txSpace, "", func(txID string, v []byte) bool {
+		writes, err := decodeStagedWrites(v)
+		if err != nil {
+			derr = fmt.Errorf("store: staged tx %s: %w", txID, err)
+			return false
+		}
+		s.pendingTx[txID] = writes
+		return true
+	})
+	if derr != nil {
+		return nil, derr
+	}
+	return s, nil
 }
 
 // Name returns the store's name.
@@ -121,6 +250,20 @@ func (s *Store) Name() string { return s.name }
 
 // Metrics returns the store's metric registry.
 func (s *Store) Metrics() *metrics.Registry { return s.reg }
+
+// Close closes the underlying backend.
+func (s *Store) Close() error { return s.tp.Close() }
+
+// SetChangeCap bounds the in-memory change log (default 4096 entries).
+func (s *Store) SetChangeCap(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n < 1 {
+		n = 1
+	}
+	s.changeCap = n
+	s.trimToCapLocked()
+}
 
 // Get returns a committed row.
 func (s *Store) Get(table, key string) (Row, bool) {
@@ -136,29 +279,70 @@ func (s *Store) Get(table, key string) (Row, bool) {
 
 // Put writes a row outside any transaction (auto-commit). It is also the
 // "backdoor": an application sharing the database but bypassing the
-// application server (§3.3).
+// application server (§3.3). On a backend write failure it panics — the
+// store is fail-stop (see PutE for the error-returning form).
 func (s *Store) Put(table, key string, fields map[string]string) Row {
-	s.mu.Lock()
-	row := s.applyPut(table, key, fields, "autocommit")
-	trigs, ch := s.triggersFor(table), s.lastChange()
-	s.mu.Unlock()
-	fire(trigs, ch)
+	row, err := s.PutE(table, key, fields)
+	if err != nil {
+		panic(fmt.Sprintf("store: autocommit put: %v", err))
+	}
 	return row
 }
 
-// Delete removes a row outside any transaction.
-func (s *Store) Delete(table, key string) bool {
+// PutE is Put with the backend error surfaced.
+func (s *Store) PutE(table, key string, fields map[string]string) (Row, error) {
 	s.mu.Lock()
+	if s.broken != nil {
+		err := s.broken
+		s.mu.Unlock()
+		return Row{}, err
+	}
+	row := s.applyPut(table, key, fields, "autocommit")
+	trigs, ch := s.triggersFor(table), s.lastChange()
+	err := s.flushLocked(s.rowOp(table, key))
+	s.mu.Unlock()
+	if err != nil {
+		return Row{}, err
+	}
+	fire(trigs, ch)
+	return row, nil
+}
+
+// Delete removes a row outside any transaction. Like Put it panics on a
+// backend write failure (see DeleteE).
+func (s *Store) Delete(table, key string) bool {
+	existed, err := s.DeleteE(table, key)
+	if err != nil {
+		panic(fmt.Sprintf("store: autocommit delete: %v", err))
+	}
+	return existed
+}
+
+// DeleteE is Delete with the backend error surfaced.
+func (s *Store) DeleteE(table, key string) (bool, error) {
+	s.mu.Lock()
+	if s.broken != nil {
+		err := s.broken
+		s.mu.Unlock()
+		return false, err
+	}
 	_, existed := s.tables[table][key]
+	var err error
+	var trigs []Trigger
+	var ch Change
 	if existed {
 		s.applyDelete(table, key, "autocommit")
+		trigs, ch = s.triggersFor(table), s.lastChange()
+		err = s.flushLocked(s.rowOp(table, key))
 	}
-	trigs, ch := s.triggersFor(table), s.lastChange()
 	s.mu.Unlock()
+	if err != nil {
+		return false, err
+	}
 	if existed {
 		fire(trigs, ch)
 	}
-	return existed
+	return existed, nil
 }
 
 // Scan returns all rows of a table matching filter (nil matches all), in
@@ -184,6 +368,20 @@ func (s *Store) Count(table string) int {
 	return len(s.tables[table])
 }
 
+// Tables lists the tables holding at least one live row, sorted.
+func (s *Store) Tables() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.tables))
+	for t, rows := range s.tables {
+		if len(rows) > 0 {
+			out = append(out, t)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 // RegisterTrigger attaches a trigger to a table.
 func (s *Store) RegisterTrigger(table string, t Trigger) {
 	s.mu.Lock()
@@ -192,13 +390,20 @@ func (s *Store) RegisterTrigger(table string, t Trigger) {
 }
 
 // Changes returns committed changes with LSN > since, for log-sniffing.
-func (s *Store) Changes(since uint64) []Change {
+// If that suffix is no longer fully held — the bounded ring trimmed it,
+// or the store restarted — it returns ErrChangesTrimmed and the sniffer
+// must resynchronize with a Scan and resume from LastLSN.
+func (s *Store) Changes(since uint64) ([]Change, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	i := sort.Search(len(s.changes), func(i int) bool { return s.changes[i].LSN > since })
-	out := make([]Change, len(s.changes)-i)
-	copy(out, s.changes[i:])
-	return out
+	if since < s.trimLSN {
+		return nil, ErrChangesTrimmed
+	}
+	live := s.changes[s.head:]
+	i := sort.Search(len(live), func(i int) bool { return live[i].LSN > since })
+	out := make([]Change, len(live)-i)
+	copy(out, live[i:])
+	return out, nil
 }
 
 // LastLSN returns the newest committed LSN.
@@ -206,6 +411,49 @@ func (s *Store) LastLSN() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.lsn
+}
+
+// InDoubt lists transactions that were durably prepared but neither
+// committed nor rolled back — after a crash the coordinator resolves them.
+func (s *Store) InDoubt() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.pendingTx))
+	for id := range s.pendingTx {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ResolveInDoubt commits or rolls back a prepared transaction by id. A
+// commit replays the staged writes through the normal commit path, so
+// versions, LSNs, the change log and triggers behave exactly as they
+// would have without the crash.
+func (s *Store) ResolveInDoubt(txID string, commit bool) error {
+	s.mu.Lock()
+	writes, ok := s.pendingTx[txID]
+	if !ok {
+		s.mu.Unlock()
+		return nil // already resolved; idempotent for recovery
+	}
+	if !commit {
+		err := s.tp.Delete(txSpace, txID)
+		if err == nil {
+			delete(s.pendingTx, txID)
+		}
+		s.mu.Unlock()
+		return err
+	}
+	fired, err := s.commitLocked(writes, txID, true)
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	for _, f := range fired {
+		fire(f.trigs, f.ch)
+	}
+	return nil
 }
 
 // --- internal commit helpers (s.mu held) ----------------------------------
@@ -216,24 +464,153 @@ func (s *Store) applyPut(table, key string, fields map[string]string, txID strin
 		t = make(map[string]Row)
 		s.tables[table] = t
 	}
-	prev := t[key]
+	prev, live := t[key]
+	base := prev.Version
+	if !live {
+		// Resume from the tombstone's high-water mark: versions for a key
+		// stay monotone across delete-then-recreate.
+		base = s.tombs[table][key]
+	}
 	f := make(map[string]string, len(fields))
 	for k, v := range fields {
 		f[k] = v
 	}
-	row := Row{Key: key, Fields: f, Version: prev.Version + 1}
+	row := Row{Key: key, Fields: f, Version: base + 1}
 	t[key] = row
+	if !live {
+		delete(s.tombs[table], key)
+	}
 	s.lsn++
-	s.changes = append(s.changes, Change{LSN: s.lsn, Table: table, Key: key, Op: OpPut, TxID: txID})
+	s.appendChange(Change{LSN: s.lsn, Table: table, Key: key, Op: OpPut, TxID: txID})
 	s.reg.Counter("store.writes").Inc()
 	return row.clone()
 }
 
 func (s *Store) applyDelete(table, key, txID string) {
+	prev := s.tables[table][key]
 	delete(s.tables[table], key)
+	if s.tombs[table] == nil {
+		s.tombs[table] = make(map[string]uint64)
+	}
+	s.tombs[table][key] = prev.Version
 	s.lsn++
-	s.changes = append(s.changes, Change{LSN: s.lsn, Table: table, Key: key, Op: OpDelete, TxID: txID})
+	s.appendChange(Change{LSN: s.lsn, Table: table, Key: key, Op: OpDelete, TxID: txID})
 	s.reg.Counter("store.writes").Inc()
+}
+
+// appendChange adds to the bounded ring, trimming the oldest entries.
+func (s *Store) appendChange(ch Change) {
+	s.changes = append(s.changes, ch)
+	s.trimToCapLocked()
+}
+
+func (s *Store) trimToCapLocked() {
+	for len(s.changes)-s.head > s.changeCap {
+		s.trimLSN = s.changes[s.head].LSN
+		s.head++
+	}
+	// Reclaim the dead prefix once it dominates the backing array.
+	if s.head > s.changeCap {
+		s.changes = append(s.changes[:0:0], s.changes[s.head:]...)
+		s.head = 0
+	}
+}
+
+// flushLocked pushes the current image deltas of one commit to the
+// backend as a single atomic batch: every row touched since the batch was
+// started (extra carries them), the LSN, and optionally the staged-vote
+// retirement. On failure the store fail-stops.
+func (s *Store) flushLocked(extra []tuple.Op) error {
+	e := wire.NewEncoder(16)
+	e.Uint64(s.lsn)
+	ops := append(extra, tuple.Op{Kind: kv.OpPut, Space: metaSpace, Key: lsnKey, Value: e.Bytes()})
+	if err := s.tp.Apply(ops); err != nil {
+		s.broken = fmt.Errorf("store: backend write failed, store is fail-stop: %w", err)
+		return s.broken
+	}
+	return nil
+}
+
+// rowOp renders the backend record for one touched row — the autocommit
+// path, which never needs rowOps' per-key dedup. Must run after the
+// in-memory image was updated.
+func (s *Store) rowOp(table, key string) []tuple.Op {
+	space := rowSpacePrefix + table
+	if row, ok := s.tables[table][key]; ok {
+		return []tuple.Op{{Kind: kv.OpPut, Space: space, Key: key, Value: encodeLiveRecord(row)}}
+	}
+	if tomb, ok := s.tombs[table][key]; ok {
+		return []tuple.Op{{Kind: kv.OpPut, Space: space, Key: key, Value: encodeTombRecord(tomb)}}
+	}
+	// Never existed (unconditional delete of a missing row): no record.
+	return nil
+}
+
+// rowOps renders the current backend records for the rows the write set
+// touched. Must run after the in-memory image was updated.
+func (s *Store) rowOps(writes []stagedWrite) []tuple.Op {
+	type ref struct{ table, key string }
+	seen := map[ref]bool{}
+	ops := make([]tuple.Op, 0, len(writes)+2)
+	for _, w := range writes {
+		r := ref{w.table, w.key}
+		if seen[r] {
+			continue // one record per key: the image already holds the net state
+		}
+		seen[r] = true
+		space := rowSpacePrefix + w.table
+		if row, ok := s.tables[w.table][w.key]; ok {
+			ops = append(ops, tuple.Op{Kind: kv.OpPut, Space: space, Key: w.key, Value: encodeLiveRecord(row)})
+			continue
+		}
+		if tomb, ok := s.tombs[w.table][w.key]; ok {
+			ops = append(ops, tuple.Op{Kind: kv.OpPut, Space: space, Key: w.key, Value: encodeTombRecord(tomb)})
+			continue
+		}
+		// Never existed (unconditional delete of a missing row): no record.
+	}
+	return ops
+}
+
+type firedTrigger struct {
+	trigs []Trigger
+	ch    Change
+}
+
+// commitLocked applies a validated write set: in-memory image first (it
+// assigns versions and LSNs), then ONE atomic backend batch carrying the
+// row records, the LSN and — when the vote was durably staged — the
+// staged-record retirement. retireStage distinguishes two-phase commits
+// (and recovery) from one-phase commits that never staged durably.
+func (s *Store) commitLocked(writes []stagedWrite, txID string, retireStage bool) ([]firedTrigger, error) {
+	if s.broken != nil {
+		return nil, s.broken
+	}
+	var fired []firedTrigger
+	for _, w := range writes {
+		switch w.kind {
+		case writePut:
+			s.applyPut(w.table, w.key, w.fields, txID)
+		case writeDelete:
+			if _, ok := s.tables[w.table][w.key]; ok {
+				s.applyDelete(w.table, w.key, txID)
+			} else {
+				continue
+			}
+		}
+		fired = append(fired, firedTrigger{s.triggersFor(w.table), s.lastChange()})
+	}
+	ops := s.rowOps(writes)
+	if retireStage {
+		ops = append(ops, tuple.Op{Kind: kv.OpDelete, Space: txSpace, Key: txID})
+	}
+	if err := s.flushLocked(ops); err != nil {
+		return nil, err
+	}
+	if retireStage {
+		delete(s.pendingTx, txID)
+	}
+	return fired, nil
 }
 
 func (s *Store) triggersFor(table string) []Trigger {
@@ -241,16 +618,136 @@ func (s *Store) triggersFor(table string) []Trigger {
 }
 
 func (s *Store) lastChange() Change {
-	if len(s.changes) == 0 {
+	live := s.changes[s.head:]
+	if len(live) == 0 {
 		return Change{}
 	}
-	return s.changes[len(s.changes)-1]
+	return live[len(live)-1]
 }
 
 func fire(trigs []Trigger, ch Change) {
 	for _, t := range trigs {
 		t(ch)
 	}
+}
+
+// --- record encoding -------------------------------------------------------
+
+func encodeLiveRecord(row Row) []byte {
+	e := wire.NewEncoder(64)
+	e.Byte(recLive)
+	e.Uint64(row.Version)
+	e.Int(len(row.Fields))
+	keys := make([]string, 0, len(row.Fields))
+	for k := range row.Fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic records
+	for _, k := range keys {
+		e.String(k)
+		e.String(row.Fields[k])
+	}
+	return e.Bytes()
+}
+
+func encodeTombRecord(version uint64) []byte {
+	e := wire.NewEncoder(10)
+	e.Byte(recTomb)
+	e.Uint64(version)
+	return e.Bytes()
+}
+
+func decodeRowRecord(key string, b []byte) (row Row, tomb uint64, isTomb bool, err error) {
+	d := wire.NewDecoder(b)
+	switch d.Byte() {
+	case recTomb:
+		tomb = d.Uint64()
+		if d.Err() != nil {
+			return Row{}, 0, false, d.Err()
+		}
+		return Row{}, tomb, true, nil
+	case recLive:
+		row = Row{Key: key, Version: d.Uint64()}
+		n := d.Int()
+		if d.Err() != nil || n < 0 || n > 1<<20 {
+			return Row{}, 0, false, fmt.Errorf("row field count %d", n)
+		}
+		row.Fields = make(map[string]string, n)
+		for i := 0; i < n; i++ {
+			k := d.String()
+			row.Fields[k] = d.String()
+		}
+		if d.Err() != nil {
+			return Row{}, 0, false, d.Err()
+		}
+		return row, 0, false, nil
+	default:
+		return Row{}, 0, false, fmt.Errorf("unknown row record kind")
+	}
+}
+
+func encodeStagedWrites(writes []stagedWrite) []byte {
+	e := wire.NewEncoder(128)
+	e.Int(len(writes))
+	for _, w := range writes {
+		e.Byte(byte(w.kind))
+		e.String(w.table)
+		e.String(w.key)
+		e.Bool(w.insert)
+		e.Uint64(w.expectVersion)
+		encodeOptFieldMap(e, w.fields)
+		encodeOptFieldMap(e, w.expectFields)
+	}
+	return e.Bytes()
+}
+
+// encodeOptFieldMap wraps rowset.go's field-map codec with a presence
+// flag: staged writes distinguish a nil condition from an empty one.
+func encodeOptFieldMap(e *wire.Encoder, m map[string]string) {
+	if m == nil {
+		e.Bool(false)
+		return
+	}
+	e.Bool(true)
+	encodeFieldMap(e, m)
+}
+
+func decodeOptFieldMap(d *wire.Decoder) (map[string]string, error) {
+	if !d.Bool() {
+		return nil, d.Err()
+	}
+	return decodeFieldMap(d)
+}
+
+func decodeStagedWrites(b []byte) ([]stagedWrite, error) {
+	d := wire.NewDecoder(b)
+	n := d.Int()
+	if d.Err() != nil || n < 0 || n > 1<<24 {
+		return nil, fmt.Errorf("staged write count %d", n)
+	}
+	writes := make([]stagedWrite, 0, n)
+	for i := 0; i < n; i++ {
+		w := stagedWrite{kind: writeKind(d.Byte())}
+		w.table = d.String()
+		w.key = d.String()
+		w.insert = d.Bool()
+		w.expectVersion = d.Uint64()
+		var err error
+		if w.fields, err = decodeOptFieldMap(d); err != nil {
+			return nil, err
+		}
+		if w.expectFields, err = decodeOptFieldMap(d); err != nil {
+			return nil, err
+		}
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		if w.kind != writePut && w.kind != writeDelete {
+			return nil, fmt.Errorf("staged write kind %d", w.kind)
+		}
+		writes = append(writes, w)
+	}
+	return writes, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -282,7 +779,8 @@ type stagedWrite struct {
 
 // Session is the transactional view of the store for one transaction. It
 // implements tx.Resource: writes stage locally, Prepare validates WHERE
-// conditions and locks the write set, Commit publishes.
+// conditions, locks the write set, and durably records the yes vote;
+// Commit publishes.
 type Session struct {
 	store *Store
 	txID  string
@@ -389,9 +887,14 @@ func (se *Session) GetForUpdate(table, key string) (Row, bool, error) {
 	return r, ok, nil
 }
 
-// Prepare implements tx.Resource: it locks the write set and validates
-// every optimistic condition.
+// Prepare implements tx.Resource: it locks the write set, validates every
+// optimistic condition, and durably records the yes vote — a prepared
+// transaction survives a crash and resurfaces through InDoubt.
 func (se *Session) Prepare(txID string) error {
+	return se.prepare(txID, true)
+}
+
+func (se *Session) prepare(txID string, durable bool) error {
 	se.mu.Lock()
 	writes := append([]stagedWrite{}, se.writes...)
 	timeout := se.LockTimeout
@@ -448,8 +951,20 @@ func (se *Session) Prepare(txID string) error {
 			continue
 		}
 	}
+	if durable {
+		// The yes vote: staged writes become durable before Prepare returns,
+		// so a post-crash coordinator can still commit this transaction.
+		if s.broken != nil {
+			return s.broken
+		}
+		if err := s.tp.Put(txSpace, se.txID, encodeStagedWrites(writes)); err != nil {
+			s.broken = fmt.Errorf("store: backend write failed, store is fail-stop: %w", err)
+			return s.broken
+		}
+		s.pendingTx[se.txID] = writes
+	}
 	se.mu.Lock()
-	se.prepared = true
+	se.prepared = durable
 	se.mu.Unlock()
 	return nil
 }
@@ -466,13 +981,15 @@ func (se *Session) holdsLock(ref rowRef) bool {
 }
 
 // Commit implements tx.Resource. For one-phase commits (single resource in
-// the transaction) Prepare may not have run; Commit validates in that case.
+// the transaction) Prepare may not have run; Commit validates in that case
+// without durably staging the vote — the commit batch itself is atomic, so
+// a separate staged record would buy nothing.
 func (se *Session) Commit(txID string) error {
 	se.mu.Lock()
 	prepared := se.prepared
 	se.mu.Unlock()
 	if !prepared {
-		if err := se.Prepare(txID); err != nil {
+		if err := se.prepare(txID, false); err != nil {
 			se.release()
 			return err
 		}
@@ -484,29 +1001,13 @@ func (se *Session) Commit(txID string) error {
 
 	s := se.store
 	s.mu.Lock()
-	var fired []struct {
-		trigs []Trigger
-		ch    Change
-	}
-	for _, w := range writes {
-		switch w.kind {
-		case writePut:
-			s.applyPut(w.table, w.key, w.fields, se.txID)
-		case writeDelete:
-			if _, ok := s.tables[w.table][w.key]; ok {
-				s.applyDelete(w.table, w.key, se.txID)
-			} else {
-				continue
-			}
-		}
-		fired = append(fired, struct {
-			trigs []Trigger
-			ch    Change
-		}{s.triggersFor(w.table), s.lastChange()})
-	}
+	fired, err := s.commitLocked(writes, se.txID, prepared)
 	s.mu.Unlock()
 	se.release()
 	s.dropSession(se.txID)
+	if err != nil {
+		return err
+	}
 	for _, f := range fired {
 		fire(f.trigs, f.ch)
 	}
@@ -516,12 +1017,24 @@ func (se *Session) Commit(txID string) error {
 // Rollback implements tx.Resource.
 func (se *Session) Rollback(txID string) error {
 	se.mu.Lock()
+	prepared := se.prepared
 	se.writes = nil
 	se.prepared = false
 	se.mu.Unlock()
+	var err error
+	if prepared {
+		s := se.store
+		s.mu.Lock()
+		if _, ok := s.pendingTx[se.txID]; ok {
+			if err = s.tp.Delete(txSpace, se.txID); err == nil {
+				delete(s.pendingTx, se.txID)
+			}
+		}
+		s.mu.Unlock()
+	}
 	se.release()
 	se.store.dropSession(se.txID)
-	return nil
+	return err
 }
 
 func (se *Session) release() {

@@ -298,7 +298,10 @@ func TestChangeLogLSNsMonotonic(t *testing.T) {
 		s.Put("t", fmt.Sprintf("k%d", i), fields("v", "x"))
 	}
 	s.Delete("t", "k0")
-	changes := s.Changes(0)
+	changes, err := s.Changes(0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(changes) != 6 {
 		t.Fatalf("changes = %d", len(changes))
 	}
@@ -309,7 +312,10 @@ func TestChangeLogLSNsMonotonic(t *testing.T) {
 	}
 	// Log sniffing from a checkpoint.
 	mid := changes[2].LSN
-	tail := s.Changes(mid)
+	tail, err := s.Changes(mid)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tail) != 3 || tail[0].LSN != mid+1 {
 		t.Fatalf("Changes(since) wrong: %+v", tail)
 	}
@@ -335,7 +341,10 @@ func TestConcurrentAutocommitWriters(t *testing.T) {
 	if s.Count("t") != 800 {
 		t.Fatalf("count = %d", s.Count("t"))
 	}
-	changes := s.Changes(0)
+	changes, err := s.Changes(0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(changes) != 800 {
 		t.Fatalf("changes = %d", len(changes))
 	}

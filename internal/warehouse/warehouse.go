@@ -109,7 +109,15 @@ func (e *ETL) RunOnce() int {
 	e.mu.Lock()
 	since := e.sinceLSN
 	e.mu.Unlock()
-	changes := e.src.Changes(since)
+	changes, err := e.src.Changes(since)
+	if err != nil {
+		// The checkpoint fell out of the store's bounded change log (store
+		// restart, or the ETL paused too long): incremental catch-up is
+		// impossible, so resynchronize with a full scan from the current
+		// LSN. Rows deleted inside the trimmed window are not reconciled —
+		// the standard snapshot-plus-changelog tradeoff.
+		return e.resync()
+	}
 	applied := 0
 	for _, ch := range changes {
 		if e.tables != nil && !e.tables[ch.Table] {
@@ -141,13 +149,47 @@ func (e *ETL) RunOnce() int {
 	return applied
 }
 
+// resync recovers from a trimmed change log: re-scan the configured
+// tables (or every table) from the current LSN forward.
+func (e *ETL) resync() int {
+	e.mu.Lock()
+	e.sinceLSN = e.src.LastLSN()
+	e.mu.Unlock()
+	var tables []string
+	if e.tables != nil {
+		for t := range e.tables {
+			tables = append(tables, t)
+		}
+	} else {
+		tables = e.src.Tables()
+	}
+	n := 0
+	for _, table := range tables {
+		for _, row := range e.src.Scan(table, nil) {
+			if dstTable, fields, ok := e.transform(table, row); ok {
+				e.dst.Put(dstTable, row.Key, fields)
+				n++
+			}
+		}
+	}
+	e.reg.Counter("etl.resyncs").Inc()
+	e.reg.Counter("etl.loaded").Add(int64(n))
+	return n
+}
+
 // Lag reports how many committed operational changes are not yet loaded —
-// the staleness of the middle-tier copy.
+// the staleness of the middle-tier copy. LSNs are dense, so the lag is
+// exactly the LSN distance (this also holds when the change log itself
+// has been trimmed).
 func (e *ETL) Lag() int {
 	e.mu.Lock()
 	since := e.sinceLSN
 	e.mu.Unlock()
-	return len(e.src.Changes(since))
+	last := e.src.LastLSN()
+	if last <= since {
+		return 0
+	}
+	return int(last - since)
 }
 
 // Start runs RunOnce on the configured interval.

@@ -190,3 +190,47 @@ func TestStaleCopyStillFulfillsCorrectly(t *testing.T) {
 		t.Fatalf("want ErrSoldOut despite optimistic copy, got %v", err)
 	}
 }
+
+func TestETLResyncsAfterChangeLogTrim(t *testing.T) {
+	clk := vclock.NewVirtualAtZero()
+	op, copyDB := newPair(clk)
+	op.SetChangeCap(4)
+	op.Put("flights", "f1", seats(100))
+	etl := NewETL(op, copyDB, clk, time.Second, nil, "flights")
+	etl.InitialLoad("flights")
+
+	// More commits than the bounded change log holds: the ETL checkpoint
+	// falls out of the window and incremental catch-up is impossible.
+	for i := 0; i < 10; i++ {
+		op.Put("flights", fmt.Sprintf("f%d", i), seats(i))
+	}
+	n := etl.RunOnce()
+	if n != 10 {
+		t.Fatalf("resync loaded %d rows, want 10", n)
+	}
+	if v := etl.Metrics().Counter("etl.resyncs").Value(); v != 1 {
+		t.Fatalf("etl.resyncs = %d, want 1", v)
+	}
+	for i := 0; i < 10; i++ {
+		r, ok := copyDB.Get("flights", fmt.Sprintf("f%d", i))
+		if !ok || r.Fields["seats"] != fmt.Sprint(i) {
+			t.Fatalf("f%d = %+v ok=%v after resync", i, r, ok)
+		}
+	}
+	if etl.Lag() != 0 {
+		t.Fatalf("lag = %d after resync", etl.Lag())
+	}
+
+	// The checkpoint restarted at the source LSN: the next change flows
+	// incrementally, not via another full scan.
+	op.Put("flights", "f1", seats(42))
+	if etl.RunOnce() != 1 {
+		t.Fatal("post-resync incremental run misbehaved")
+	}
+	if v := etl.Metrics().Counter("etl.resyncs").Value(); v != 1 {
+		t.Fatalf("incremental run resynced again: %d", v)
+	}
+	if r, _ := copyDB.Get("flights", "f1"); r.Fields["seats"] != "42" {
+		t.Fatal("incremental change not propagated after resync")
+	}
+}
