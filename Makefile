@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-strict check bench bench-transport bench-trace bench-overload bench-store chaos
+.PHONY: all build test race lint lint-strict check bench bench-transport bench-trace bench-overload bench-store bench-scale chaos
 
 all: build test race lint
 
@@ -76,6 +76,13 @@ bench-alloc:
 # (mem / append-only log / WAL), checked in as BENCH_store.json.
 bench-store:
 	$(GO) run ./cmd/wlsbench -exp E32 -json BENCH_store.json
+
+# Scale-out numbers (E33): a 32-server ring-partitioned cluster under the
+# closed-loop workload engine — steady-state tails, key movement of a live
+# join/leave (bound: 2/N), session survival across both rebalances, and
+# flash-crowd shedding at Deny admission. Checked in as BENCH_scale.json.
+bench-scale:
+	$(GO) run ./cmd/wlsbench -exp E33 -json BENCH_scale.json
 
 # Extended chaos sweep (E28): 32 seeds at a longer horizon than the small
 # in-tree sweep TestChaosSweepSmall runs under `make test`. A failing seed

@@ -67,6 +67,7 @@ func BenchmarkE25Admission(b *testing.B)          { runExperiment(b, "E25") }
 func BenchmarkE26Concentration(b *testing.B)      { runExperiment(b, "E26") }
 func BenchmarkE27TransportHotPath(b *testing.B)   { runExperiment(b, "E27") }
 func BenchmarkE29TraceOverhead(b *testing.B)      { runExperiment(b, "E29") }
+func BenchmarkE33ScaleOut(b *testing.B)           { runExperiment(b, "E33") }
 func BenchmarkA01HeartbeatSweep(b *testing.B)     { runExperiment(b, "A01") }
 func BenchmarkA02LossyBus(b *testing.B)           { runExperiment(b, "A02") }
 

@@ -5,6 +5,8 @@
 //	wlsadmin -addr localhost:7002 servers
 //	wlsadmin -addr localhost:7002 metrics
 //	wlsadmin -addr localhost:7002 trace [text|jsonl|chrome]
+//	wlsadmin -addr localhost:7002 partitions     # ring epochs, ownership %, rebalance backlog
+//	wlsadmin -addr localhost:7002 addserver      # scale out by one server
 //	wlsadmin -addr localhost:7002 crash server-2
 //	wlsadmin -addr localhost:7002 restart server-2
 package main
@@ -44,6 +46,10 @@ func main() {
 		get("/admin/servers")
 	case "metrics":
 		get("/admin/metrics")
+	case "partitions":
+		get("/admin/partitions")
+	case "addserver":
+		get("/admin/addserver")
 	case "trace":
 		path := "/admin/trace"
 		if len(args) > 1 {
@@ -61,6 +67,6 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: wlsadmin [-addr host:port] servers|metrics|trace [format]|crash <server>|restart <server>")
+	fmt.Fprintln(os.Stderr, "usage: wlsadmin [-addr host:port] servers|metrics|trace [format]|partitions|addserver|crash <server>|restart <server>")
 	os.Exit(2)
 }

@@ -32,6 +32,7 @@ import (
 	"wls/internal/core"
 	"wls/internal/ejb"
 	"wls/internal/metrics"
+	"wls/internal/partition"
 	"wls/internal/rmi"
 	"wls/internal/servlet"
 	"wls/internal/trace"
@@ -47,6 +48,7 @@ func main() {
 	queueLen := flag.Int("queue-len", 64, "execute-queue capacity per server (with -queue-workers > 0)")
 	queueDeny := flag.Bool("queue-deny", true, "refuse requests when the execute queue is full (false blocks instead)")
 	resilient := flag.Bool("resilient", false, "enable client-side retry budget, backoff and per-server circuit breakers")
+	partitioned := flag.Bool("partition", true, "place session secondaries and entity homes on a consistent-hash ring (enables /admin/partitions and live scale-out)")
 	flag.Parse()
 
 	opts := wls.Options{
@@ -54,6 +56,9 @@ func main() {
 		RealClock:   true,
 		DataDir:     *dataDir,
 		TraceSample: *traceSample,
+	}
+	if *partitioned {
+		opts.Partition = &partition.Config{Seed: 1}
 	}
 	if *queueWorkers > 0 {
 		policy := core.Degrade
@@ -95,7 +100,22 @@ func main() {
 		w.Write(resp.Body)
 	})
 
-	// Admin surface.
+	adminMux := newAdminMux(cluster)
+
+	go func() {
+		log.Printf("wlsd: admin on %s", *adminAddr)
+		if err := http.ListenAndServe(*adminAddr, adminMux); err != nil {
+			log.Fatal(err)
+		}
+	}()
+	log.Printf("wlsd: %d-server cluster serving on %s", *servers, *httpAddr)
+	if err := http.ListenAndServe(*httpAddr, appMux); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// newAdminMux builds the admin surface for cmd/wlsadmin.
+func newAdminMux(cluster *wls.Cluster) *http.ServeMux {
 	adminMux := http.NewServeMux()
 	adminMux.HandleFunc("/admin/servers", func(w http.ResponseWriter, r *http.Request) {
 		type info struct {
@@ -156,17 +176,32 @@ func main() {
 		deployDemoAppOn(cluster, s)
 		fmt.Fprintf(w, "restarted %s\n", name)
 	})
-
-	go func() {
-		log.Printf("wlsd: admin on %s", *adminAddr)
-		if err := http.ListenAndServe(*adminAddr, adminMux); err != nil {
-			log.Fatal(err)
+	adminMux.HandleFunc("/admin/partitions", func(w http.ResponseWriter, r *http.Request) {
+		if len(cluster.Servers) == 0 || cluster.Servers[0].Partitions() == nil {
+			http.Error(w, "partitioning disabled; restart wlsd with -partition", http.StatusNotFound)
+			return
 		}
-	}()
-	log.Printf("wlsd: %d-server cluster serving on %s", *servers, *httpAddr)
-	if err := http.ListenAndServe(*httpAddr, appMux); err != nil {
-		log.Fatal(err)
-	}
+		sample := 4096
+		if q := r.URL.Query().Get("sample"); q != "" {
+			n, err := strconv.Atoi(q)
+			if err != nil || n < 0 {
+				http.Error(w, "bad sample", http.StatusBadRequest)
+				return
+			}
+			sample = n
+		}
+		json.NewEncoder(w).Encode(cluster.PartitionsReport(sample))
+	})
+	adminMux.HandleFunc("/admin/addserver", func(w http.ResponseWriter, r *http.Request) {
+		s, err := cluster.AddServer()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		deployDemoAppOn(cluster, s)
+		fmt.Fprintf(w, "added %s (%s)\n", s.Name, s.Addr())
+	})
+	return adminMux
 }
 
 // deployDemoApp installs the demo servlets and beans on every server.

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"wls"
+	"wls/internal/partition"
+)
+
+// TestAdminPartitionsEndpoint drives the admin surface wlsadmin talks to
+// against a live 8-server netsim cluster: /admin/partitions must report a
+// converged ring (one fingerprint, 8 members, epochs running) with
+// ownership shares summing to 1, and /admin/addserver must scale the ring
+// out to 9 live.
+func TestAdminPartitionsEndpoint(t *testing.T) {
+	cluster, err := wls.New(wls.Options{
+		Servers:   8,
+		RealClock: true,
+		Partition: &partition.Config{Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+	deployDemoApp(cluster)
+	cluster.Settle(3)
+
+	srv := httptest.NewServer(newAdminMux(cluster))
+	defer srv.Close()
+
+	fetch := func() []wls.PartitionReport {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/admin/partitions?sample=2048")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(resp.Body)
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		var out []wls.PartitionReport
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	reports := fetch()
+	if len(reports) != 8 {
+		t.Fatalf("got %d reports, want 8", len(reports))
+	}
+	for _, r := range reports {
+		if !r.Attached || r.Epoch == 0 || r.Members != 8 {
+			t.Fatalf("server %s not ring-attached: %+v", r.Server, r)
+		}
+		if r.Fingerprint != reports[0].Fingerprint {
+			t.Fatalf("rings diverge: %s has %s, want %s", r.Server, r.Fingerprint, reports[0].Fingerprint)
+		}
+		var sum float64
+		for _, share := range r.Share {
+			sum += share
+		}
+		if len(r.Share) != 8 || sum < 0.99 || sum > 1.01 {
+			t.Fatalf("server %s shares over %d members sum to %.3f", r.Server, len(r.Share), sum)
+		}
+	}
+
+	// Live scale-out through the same surface.
+	resp, err := http.Get(srv.URL + "/admin/addserver")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("addserver status %d", resp.StatusCode)
+	}
+	cluster.Settle(4)
+	after := fetch()
+	if len(after) != 9 {
+		t.Fatalf("got %d reports after addserver, want 9", len(after))
+	}
+	for _, r := range after {
+		if r.Members != 9 || r.Epoch < 2 {
+			t.Fatalf("server %s did not absorb the join: %+v", r.Server, r)
+		}
+	}
+}

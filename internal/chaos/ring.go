@@ -1,0 +1,99 @@
+package chaos
+
+// ringWorkload asserts the partitioning layer's convergence invariants
+// while the session workload (running alongside it under Config.Ring)
+// carries the no-session-lost-across-rebalance check. It injects no load
+// of its own: it watches every managed server's Views and demands that,
+// once the cluster heals, all survivors agree on one ring that names
+// exactly the live managed servers, and that the fault schedule actually
+// forced epoch changes (otherwise the run never exercised a rebalance).
+type ringWorkload struct {
+	epoch0   map[string]uint64
+	topology bool // a crash or restart occurred
+}
+
+func newRingWorkload() *ringWorkload { return &ringWorkload{epoch0: map[string]uint64{}} }
+
+func (w *ringWorkload) Name() string { return "ring" }
+
+func (w *ringWorkload) Setup(h *Harness) error {
+	for _, s := range h.Cluster.Servers {
+		if vs := s.Partitions(); vs != nil {
+			if v := vs.Current(); v != nil {
+				w.epoch0[s.Name] = v.Epoch
+			}
+		}
+	}
+	return nil
+}
+
+func (w *ringWorkload) OnFault(_ *Harness, s Step) {
+	if s.Kind == OpCrash || s.Kind == OpRestart {
+		w.topology = true
+	}
+}
+
+func (w *ringWorkload) Step(*Harness) {}
+
+func (w *ringWorkload) Check(*Harness) {}
+
+// Settled reports ring convergence across the servers that are currently
+// up: every live server's ring carries the same fingerprint and exactly
+// the live managed-server set. The harness keeps advancing the healed
+// cluster until this holds.
+func (w *ringWorkload) Settled(h *Harness) bool {
+	live := 0
+	for _, s := range h.Cluster.Servers {
+		if !h.State.Down[s.Name] {
+			live++
+		}
+	}
+	var fp uint64
+	first := true
+	for _, s := range h.Cluster.Servers {
+		if h.State.Down[s.Name] {
+			continue
+		}
+		vs := s.Partitions()
+		if vs == nil {
+			return false
+		}
+		v := vs.Current()
+		if v == nil || v.Ring.Len() != live {
+			return false
+		}
+		if first {
+			fp, first = v.Ring.Fingerprint(), false
+		} else if v.Ring.Fingerprint() != fp {
+			return false
+		}
+	}
+	return true
+}
+
+func (w *ringWorkload) Quiesce(h *Harness) {
+	if !w.Settled(h) {
+		h.Violatef("ring: views did not converge after healing")
+		return
+	}
+	if !w.topology {
+		return // no crash/restart in this schedule: epochs may legally sit still
+	}
+	// A crashed-then-restarted server can itself come back to an identical
+	// member set (no bump), but its departure and return must have moved
+	// the epoch somewhere among the survivors.
+	bumped := 0
+	for _, s := range h.Cluster.Servers {
+		if h.State.Down[s.Name] {
+			continue
+		}
+		if v := s.Partitions().Current(); v.Epoch > w.epoch0[s.Name] {
+			bumped++
+		}
+	}
+	if bumped == 0 {
+		h.Violatef("ring: no server saw an epoch change despite crash/restart faults")
+	}
+}
+
+func (w *ringWorkload) Close() {}

@@ -9,6 +9,7 @@ import (
 	"wls"
 	"wls/internal/core"
 	"wls/internal/netsim"
+	"wls/internal/partition"
 	"wls/internal/rmi"
 	"wls/internal/servlet"
 )
@@ -226,6 +227,9 @@ func Run(seed int64, cfg Config) (*Result, error) {
 		Sessions:  servlet.SessionsReplicated,
 		Seed:      seed,
 	}
+	if cfg.Ring {
+		opts.Partition = &partition.Config{Seed: seed}
+	}
 	if cfg.Overload {
 		// A deliberately small Deny queue so flash crowds actually shed, and
 		// the full client-side resilience stack so the invariants exercise
@@ -251,6 +255,9 @@ func Run(seed int64, cfg Config) (*Result, error) {
 	}
 	if cfg.Overload {
 		workloads = append(workloads, newOverloadWorkload(seed))
+	}
+	if cfg.Ring {
+		workloads = append(workloads, newRingWorkload())
 	}
 	for _, w := range workloads {
 		if err := w.Setup(h); err != nil {

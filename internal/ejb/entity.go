@@ -55,6 +55,8 @@ type EntityHome struct {
 	c     *Container
 	spec  EntitySpec
 	cache *cache.Cache
+	// keyPrefix namespaces this bean type's keys on the partition ring.
+	keyPrefix string
 }
 
 // DeployEntity deploys an entity bean type.
@@ -74,8 +76,9 @@ func (c *Container) DeployEntity(spec EntitySpec) *EntityHome {
 		return encodeEntity(row), row.Version, true
 	}
 	h := &EntityHome{
-		c:    c,
-		spec: spec,
+		c:         c,
+		spec:      spec,
+		keyPrefix: spec.Name + "/",
 		cache: cache.New(cache.Config{
 			Name: spec.Name,
 			Mode: mode,

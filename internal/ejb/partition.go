@@ -1,0 +1,39 @@
+package ejb
+
+import (
+	"wls/internal/partition"
+)
+
+// SetPartitions attaches a consistent-hash ring to the container. Entity
+// homes use it for home placement: every server computes the same owner
+// for a bean key, so partition-aware callers (the web tier, benchmarks)
+// can concentrate a key's transactions on its home server — turning the
+// §3.3 flush-on-update broadcast from an every-server cost into a
+// mostly-local one.
+func (c *Container) SetPartitions(vs *partition.Views) { c.parts.Store(vs) }
+
+// Partitions returns the attached views (nil if none).
+func (c *Container) Partitions() *partition.Views { return c.parts.Load() }
+
+// Owner returns the ring-designated home server for one bean key ("" when
+// no ring is attached or it is empty — every server is then its own
+// home). Keys are namespaced by bean type, so distinct bean types spread
+// independently over the cluster.
+func (h *EntityHome) Owner(key string) string {
+	vs := h.c.parts.Load()
+	if vs == nil {
+		return ""
+	}
+	v := vs.Current()
+	if v == nil {
+		return ""
+	}
+	return v.Ring.Owner(h.keyPrefix + key)
+}
+
+// IsHome reports whether this server is the key's home (vacuously true
+// without a ring).
+func (h *EntityHome) IsHome(key string) bool {
+	o := h.Owner(key)
+	return o == "" || o == h.c.serverName
+}

@@ -1,0 +1,57 @@
+package ejb_test
+
+import (
+	"fmt"
+	"testing"
+
+	"wls/internal/ejb"
+	"wls/internal/partition"
+)
+
+func TestEntityHomePlacement(t *testing.T) {
+	fx := newEJBFixture(t, 3)
+	var homes []*ejb.EntityHome
+	for i, c := range fx.containers {
+		_ = i
+		vs := partition.NewViews(partition.Config{Seed: 7})
+		vs.Update([]string{"server-1", "server-2", "server-3"})
+		c.SetPartitions(vs)
+		homes = append(homes, c.DeployEntity(ejb.EntitySpec{Name: "Account", Table: "accounts"}))
+	}
+	counts := map[string]int{}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("acct-%d", i)
+		owner := homes[0].Owner(key)
+		if owner == "" {
+			t.Fatalf("key %s has no owner", key)
+		}
+		counts[owner]++
+		// Every container computes the same home.
+		for j, h := range homes[1:] {
+			if got := h.Owner(key); got != owner {
+				t.Fatalf("container %d places %s on %s, container 0 on %s", j+1, key, got, owner)
+			}
+		}
+		// IsHome is true exactly on the owner.
+		for j, h := range homes {
+			isOwner := fx.containers[j].ServerName() == owner
+			if h.IsHome(key) != isOwner {
+				t.Fatalf("key %s: IsHome on %s = %v, owner is %s", key, fx.containers[j].ServerName(), h.IsHome(key), owner)
+			}
+		}
+	}
+	if len(counts) != 3 {
+		t.Fatalf("keys landed on %d of 3 servers: %v", len(counts), counts)
+	}
+}
+
+func TestEntityHomeWithoutRingIsLocal(t *testing.T) {
+	fx := newEJBFixture(t, 2)
+	h := fx.containers[0].DeployEntity(ejb.EntitySpec{Name: "Item", Table: "items"})
+	if got := h.Owner("x"); got != "" {
+		t.Fatalf("no ring attached but Owner = %q", got)
+	}
+	if !h.IsHome("x") {
+		t.Fatal("without a ring every server is its own home")
+	}
+}

@@ -1,0 +1,174 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func names(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("server-%d", i+1)
+	}
+	return out
+}
+
+// Same (seed, members) must produce byte-identical rings — placement is a
+// pure function every server computes independently.
+func TestRingDeterminism(t *testing.T) {
+	for _, n := range []int{1, 3, 16, 64} {
+		cfg := Config{VNodes: 64, Replicas: 2, Seed: 42}
+		a := New(cfg, names(n))
+		b := New(cfg, names(n))
+		if !reflect.DeepEqual(a.points, b.points) || !reflect.DeepEqual(a.members, b.members) {
+			t.Fatalf("n=%d: identical inputs produced different rings", n)
+		}
+		if a.Fingerprint() != b.Fingerprint() {
+			t.Fatalf("n=%d: fingerprints differ", n)
+		}
+		// Input order and duplicates must not matter.
+		shuffled := append([]string(nil), names(n)...)
+		for i := len(shuffled)/2 - 1; i >= 0; i-- {
+			j := len(shuffled) - 1 - i
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		}
+		shuffled = append(shuffled, shuffled[0])
+		c := New(cfg, shuffled)
+		if c.Fingerprint() != a.Fingerprint() {
+			t.Fatalf("n=%d: member order/duplicates changed the ring", n)
+		}
+	}
+	// A different seed must move placement.
+	a := New(Config{Seed: 1}, names(8))
+	b := New(Config{Seed: 2}, names(8))
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("different seeds produced identical rings")
+	}
+}
+
+// Adding one server to N must move ≈ K/(N+1) keys and nothing else; keys
+// that stay must keep their exact owner (minimal movement).
+func TestRingMinimalMovement(t *testing.T) {
+	const sample = 20000
+	for _, n := range []int{8, 16, 32} {
+		cfg := Config{VNodes: 64, Replicas: 2, Seed: 7}
+		old := New(cfg, names(n))
+		grown := New(cfg, names(n+1))
+		frac := MovedFraction(old, grown, sample)
+		ideal := 1 / float64(n+1)
+		if frac > 2/float64(n) {
+			t.Fatalf("n=%d→%d: moved %.4f of keys, above the 2/N=%.4f bound", n, n+1, frac, 2/float64(n))
+		}
+		if frac < ideal/3 {
+			t.Fatalf("n=%d→%d: moved only %.4f of keys (ideal %.4f): new server starves", n, n+1, frac, ideal)
+		}
+		// Every key that moved must have moved TO the new server; a key
+		// moving between old servers would be non-minimal.
+		keys := make([]string, 5000)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("key-%d", i)
+		}
+		for _, mv := range PlanMoves(old, grown, keys) {
+			if mv.To != fmt.Sprintf("server-%d", n+1) {
+				t.Fatalf("n=%d: key %s moved %s→%s, not to the new server", n, mv.Key, mv.From, mv.To)
+			}
+		}
+		// Leave is symmetric: removing the server must undo exactly those moves.
+		back := MovedFraction(grown, old, sample)
+		if math.Abs(back-frac) > 1e-9 {
+			t.Fatalf("n=%d: join moved %.4f but leave moved %.4f", n, frac, back)
+		}
+	}
+}
+
+// Ownership must be reasonably balanced at 64 vnodes.
+func TestRingBalance(t *testing.T) {
+	r := New(Config{VNodes: 64, Seed: 3}, names(32))
+	share := r.OwnershipShare(50000)
+	for m, s := range share {
+		if s < 0.4/32 || s > 2.5/32 {
+			t.Fatalf("member %s owns %.4f of the key space (ideal %.4f)", m, s, 1.0/32)
+		}
+	}
+}
+
+func TestReplicaSets(t *testing.T) {
+	r := New(Config{VNodes: 32, Replicas: 3, Seed: 9}, names(10))
+	var buf [4]string
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("sess-%d", i)
+		reps := r.ReplicasInto(key, buf[:0])
+		if len(reps) != 3 {
+			t.Fatalf("key %s: replica set size %d, want 3", key, len(reps))
+		}
+		seen := map[string]bool{}
+		for _, m := range reps {
+			if seen[m] {
+				t.Fatalf("key %s: duplicate replica %s", key, m)
+			}
+			seen[m] = true
+		}
+		if reps[0] != r.Owner(key) {
+			t.Fatalf("key %s: first replica %s != owner %s", key, reps[0], r.Owner(key))
+		}
+	}
+	// Small rings cap the set at the member count.
+	r2 := New(Config{Replicas: 3}, names(2))
+	if got := len(r2.Replicas("k")); got != 2 {
+		t.Fatalf("2-member ring returned %d replicas, want 2", got)
+	}
+	// Empty ring.
+	r0 := New(Config{}, nil)
+	if r0.Owner("k") != "" || len(r0.Replicas("k")) != 0 {
+		t.Fatal("empty ring must own nothing")
+	}
+}
+
+// The ring lookup is on the request hot path: it must not allocate.
+func TestRingLookupZeroAlloc(t *testing.T) {
+	r := New(Config{VNodes: 64, Replicas: 2, Seed: 5}, names(32))
+	var buf [4]string
+	var sink string
+	if a := testing.AllocsPerRun(1000, func() {
+		sink = r.Owner("session-abc-123")
+	}); a != 0 {
+		t.Fatalf("Owner allocates %.1f/op, want 0", a)
+	}
+	if a := testing.AllocsPerRun(1000, func() {
+		reps := r.ReplicasInto("session-abc-123", buf[:0])
+		sink = reps[0]
+	}); a != 0 {
+		t.Fatalf("ReplicasInto allocates %.1f/op, want 0", a)
+	}
+	_ = sink
+}
+
+func TestReplicaChanged(t *testing.T) {
+	cfg := Config{VNodes: 64, Replicas: 2, Seed: 11}
+	old := New(cfg, names(8))
+	same := New(cfg, names(8))
+	grown := New(cfg, names(9))
+	changed := 0
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("k-%d", i)
+		if ReplicaChanged(old, same, key) {
+			t.Fatalf("identical rings report replica change for %s", key)
+		}
+		if ReplicaChanged(old, grown, key) {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Fatal("growing the ring changed no replica set")
+	}
+	// Roughly 2/(N+1) of pairs should involve the new server; far more
+	// means placement is unstable.
+	if frac := float64(changed) / 2000; frac > 0.5 {
+		t.Fatalf("%.2f of replica sets changed on a single join", frac)
+	}
+	if !ReplicaChanged(nil, grown, "k") {
+		t.Fatal("nil old ring must count as changed")
+	}
+}

@@ -24,8 +24,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"wls/internal/cluster"
+	"wls/internal/partition"
 	"wls/internal/rmi"
 	"wls/internal/store"
 	"wls/internal/trace"
@@ -229,6 +231,11 @@ type sessState struct {
 	// (and its base64) happens only when the topology changes.
 	cookie    string
 	cookieSec string
+
+	// epoch is the partition-ring epoch this session's placement was last
+	// checked against (0 = never ring-placed). Atomic because the admin
+	// stats scan reads it while the request path stamps it.
+	epoch atomic.Uint64
 }
 
 // SessionManager holds one engine's sessions and implements the §3.2
@@ -240,9 +247,17 @@ type SessionManager struct {
 	node    rmi.Node
 	db      *store.Store // SessionsPersistent only
 
-	// selfName caches the (immutable) local server name: Member.Self()
-	// deep-copies the whole MemberInfo, far too expensive per request.
-	selfName string
+	// selfName/selfMachine cache the (immutable) local identity:
+	// Member.Self() deep-copies the whole MemberInfo, far too expensive per
+	// request.
+	selfName    string
+	selfMachine string
+
+	// parts is the optional partition-ring attachment (see partition.go);
+	// ringMoves counts sessions re-shipped because an epoch change moved
+	// their ring placement.
+	parts     atomic.Pointer[partition.Views]
+	ringMoves atomic.Uint64
 
 	mu       sync.Mutex
 	sessions map[string]*sessState
@@ -254,14 +269,15 @@ type SessionManager struct {
 
 func newSessionManager(mode SessionMode, service string, member *cluster.Member, node rmi.Node, db *store.Store) *SessionManager {
 	return &SessionManager{
-		mode:     mode,
-		service:  service,
-		member:   member,
-		node:     node,
-		db:       db,
-		selfName: member.Name(),
-		sessions: make(map[string]*sessState),
-		repl:     make(map[string]*replBatcher),
+		mode:        mode,
+		service:     service,
+		member:      member,
+		node:        node,
+		db:          db,
+		selfName:    member.Name(),
+		selfMachine: member.Self().Machine,
+		sessions:    make(map[string]*sessState),
+		repl:        make(map[string]*replBatcher),
 	}
 }
 
@@ -338,6 +354,9 @@ func (sm *SessionManager) resolveReplicated(ctx context.Context, c Cookie) (*Ses
 	st, ok := sm.sessions[c.ID]
 	sm.mu.Unlock()
 	if ok {
+		if st.primary {
+			sm.maybeRebalance(ctx, st)
+		}
 		if !st.primary {
 			// Fig 2 failover: the plug-in routed to us, the secondary. We
 			// become the primary and create a new secondary.
@@ -362,6 +381,9 @@ func (sm *SessionManager) resolveReplicated(ctx context.Context, c Cookie) (*Ses
 			sm.mu.Lock()
 			sm.sessions[c.ID] = st
 			sm.mu.Unlock()
+			// The cookie named the secondary; the ring may place it
+			// elsewhere now.
+			sm.maybeRebalance(ctx, st)
 			return acquireSession(st.id, st.data, false), nil
 		}
 	}
@@ -376,8 +398,19 @@ func (sm *SessionManager) resolveReplicated(ctx context.Context, c Cookie) (*Ses
 	return acquireSession(st.id, st.data, true), nil
 }
 
-// chooseSecondary applies the §3.2 ring algorithm among live engines.
+// chooseSecondary picks the session's secondary: the consistent-hash ring
+// when one is attached (SetPartitions), falling back to the §3.2
+// next-in-name-order algorithm among live engines otherwise.
 func (sm *SessionManager) chooseSecondary(st *sessState) {
+	if vs := sm.parts.Load(); vs != nil {
+		if v := vs.Current(); v != nil {
+			st.epoch.Store(v.Epoch)
+			if sec, ok := sm.ringSecondary(v, st.id); ok {
+				st.secondary = sec
+				return
+			}
+		}
+	}
 	sec, ok := cluster.ChooseSecondaryFrom(sm.member.Self(), sm.member.OffersOf(sm.service))
 	if !ok {
 		st.secondary = ""

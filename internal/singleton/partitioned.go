@@ -1,0 +1,31 @@
+package singleton
+
+import (
+	"wls/internal/cluster"
+	"wls/internal/partition"
+	"wls/internal/rmi"
+)
+
+// NewPartitionedHost creates a candidacy whose ownership follows the
+// partition ring: the service key's ring owner hosts it, every other
+// candidate stands down, and the ring's epoch changes re-trigger
+// evaluation so the service migrates promptly (handoff, not lease expiry)
+// when placement moves. The lease still arbitrates — split-brain safety is
+// unchanged — and plain preference/ring-order election remains the
+// fallback whenever the ring is absent, empty, or names a dead owner
+// (healing).
+func NewPartitionedHost(cfg Config, vs *partition.Views, member *cluster.Member, registry *rmi.Registry, impl Activatable, managerAddrs ...string) *Host {
+	service := cfg.Service
+	cfg.Owner = func() (string, bool) {
+		v := vs.Current()
+		if v == nil || v.Ring.Len() == 0 {
+			return "", false
+		}
+		return v.Ring.Owner(service), true
+	}
+	h := NewHost(cfg, member, registry, impl, managerAddrs...)
+	// Subscribers must not block (they run under the publisher's lock on
+	// the heartbeat goroutine); evaluation does RPC, so spawn.
+	vs.OnChange(func(_, _ *partition.View) { go h.evaluate() })
+	return h
+}

@@ -1,0 +1,86 @@
+package singleton_test
+
+import (
+	"testing"
+	"time"
+
+	"wls/internal/lease"
+	"wls/internal/partition"
+	"wls/internal/simtest"
+	"wls/internal/singleton"
+	"wls/internal/store"
+)
+
+// TestPartitionedSingletonFollowsRing: ownership follows the ring owner;
+// when the owner dies, the new ring owner takes over (lease election is
+// only the arbiter, not the placement policy).
+func TestPartitionedSingletonFollowsRing(t *testing.T) {
+	const servers = 3
+	f := simtest.New(simtest.Options{Servers: servers + 1})
+	t.Cleanup(f.Stop)
+	admin := f.Servers[servers]
+	tbl := store.New("leasedb", f.Clock)
+	mgr := lease.NewManager(f.Clock, lease.AlwaysLeader(), tbl, time.Second)
+	admin.Registry.Register(mgr.RMIService())
+	mgr.Start()
+	t.Cleanup(mgr.Stop)
+
+	tr := newTracker()
+	var hosts []*singleton.Host
+	var views []*partition.Views
+	for _, s := range f.Servers[:servers] {
+		s.Member.Advertise("app")
+		vs := partition.NewViews(partition.Config{Seed: 21})
+		partition.Attach(vs, s.Member, "app")
+		views = append(views, vs)
+		h := singleton.NewPartitionedHost(singleton.Config{Service: "jms-server"},
+			vs, s.Member, s.Registry, tr.service(s.Name), admin.Endpoint.Addr())
+		hosts = append(hosts, h)
+	}
+	f.Settle(3)
+	for _, h := range hosts {
+		h.Start()
+	}
+	t.Cleanup(func() {
+		for _, h := range hosts {
+			h.Stop()
+		}
+	})
+	settle := func(rounds int) {
+		for i := 0; i < rounds; i++ {
+			f.VClock.Advance(250 * time.Millisecond)
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	settle(8)
+
+	owner := views[0].Current().Ring.Owner("jms-server")
+	active := activeHosts(hosts)
+	if len(active) != 1 {
+		t.Fatalf("want exactly 1 active host, got %d", len(active))
+	}
+	if got := tr.activeServers(); len(got) != 1 || got[0] != owner {
+		t.Fatalf("active on %v, ring owner is %s", got, owner)
+	}
+
+	// Kill the ring owner: the ring re-forms and the NEW ring owner (not
+	// merely any survivor) must take the service over.
+	f.Crash(owner)
+	f.SettleTimeout()
+	settle(12)
+
+	var survivor *partition.Views
+	for i, s := range f.Servers[:servers] {
+		if s.Name != owner {
+			survivor = views[i]
+			break
+		}
+	}
+	newOwner := survivor.Current().Ring.Owner("jms-server")
+	if newOwner == owner {
+		t.Fatalf("ring still names the dead server %s", owner)
+	}
+	if got := tr.activeServers(); len(got) != 1 || got[0] != newOwner {
+		t.Fatalf("after owner crash, active on %v, ring owner is %s", got, newOwner)
+	}
+}

@@ -85,6 +85,12 @@ type Config struct {
 	// means every cluster member is an equal candidate (ring order
 	// breaks ties).
 	Preferred []string
+	// Owner, when set, names the dynamic best host (the partition ring's
+	// owner for the service key — see NewPartitionedHost). It is consulted
+	// before Preferred; ok=false or a dead owner falls back to
+	// preference/ring-order election, which is how a ring-owned service
+	// heals while its owner is down.
+	Owner func() (server string, ok bool)
 	// RetryInterval is how often a non-owner candidate re-attempts the
 	// lease (defaults to the lease TTL).
 	RetryInterval time.Duration
@@ -159,7 +165,7 @@ func (h *Host) handoffService() *rmi.Service {
 				if !h.Active() {
 					return nil, &rmi.AppError{Msg: "not the owner"}
 				}
-				if h.rankOf(requester) >= h.rank() {
+				if !h.outranks(requester) {
 					return nil, &rmi.AppError{Msg: "requester does not outrank owner"}
 				}
 				h.deactivate(true)
@@ -167,6 +173,23 @@ func (h *Host) handoffService() *rmi.Service {
 			}},
 		},
 	}
+}
+
+// outranks reports whether requester is a strictly better host than this
+// server: the dynamic owner when one is configured, preference rank
+// otherwise.
+func (h *Host) outranks(requester string) bool {
+	if h.cfg.Owner != nil {
+		if own, ok := h.cfg.Owner(); ok && own != "" {
+			if own == requester {
+				return true
+			}
+			if own == h.server {
+				return false
+			}
+		}
+	}
+	return h.rankOf(requester) < h.rank()
 }
 
 // rankOf returns a server's preference rank (len(Preferred) if unlisted).
@@ -261,6 +284,13 @@ func (h *Host) isBestCandidate() bool {
 	aliveSet := make(map[string]bool, len(alive))
 	for _, m := range alive {
 		aliveSet[m.Name] = true
+	}
+	if h.cfg.Owner != nil {
+		if own, ok := h.cfg.Owner(); ok && own != "" && aliveSet[own] {
+			// The ring names a live owner: it hosts, everyone else stands
+			// down. A dead or unknown owner falls through to election.
+			return own == h.server
+		}
 	}
 	if len(h.cfg.Preferred) == 0 {
 		// Ring order breaks ties: first live server wins.

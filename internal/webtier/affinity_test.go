@@ -1,0 +1,80 @@
+package webtier_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"wls/internal/webtier"
+)
+
+// The affinity table must not grow one entry per client forever: a million
+// distinct clients leave at most the configured cap resident.
+func TestExternalLBAffinityBoundedUnderManyClients(t *testing.T) {
+	tr := newTier(t, 3)
+	lb := webtier.NewExternalLB(tr.node, tr.view, nil)
+	const cap = 512
+	lb.SetAffinityCap(cap)
+
+	// Prime real routed affinity for a handful of clients through the full
+	// path, then hammer the table shape itself with 1M distinct clients
+	// (routing a million RMI calls through netsim would test the fabric,
+	// not the bound).
+	ctx := context.Background()
+	for i := 0; i < 8; i++ {
+		if _, err := lb.Route(ctx, fmt.Sprintf("10.9.%d.1", i), "/count", "", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := lb.AffinityLen(); n != 8 {
+		t.Fatalf("after 8 clients, table holds %d", n)
+	}
+	for i := 0; i < 1_000_000; i++ {
+		lb.RecordAffinity(fmt.Sprintf("client-%d", i), "server-1")
+		if i%100_000 == 0 {
+			if n := lb.AffinityLen(); n > cap {
+				t.Fatalf("after %d clients, table holds %d > cap %d", i+1, n, cap)
+			}
+		}
+	}
+	if n := lb.AffinityLen(); n != cap {
+		t.Fatalf("after 1M distinct clients, table holds %d, want cap %d", n, cap)
+	}
+	// The most recent clients survived, the earliest were evicted.
+	if lb.AffinityOf("client-999999") != "server-1" {
+		t.Fatal("most recent client evicted")
+	}
+	if lb.AffinityOf("client-0") != "" {
+		t.Fatal("oldest client not evicted")
+	}
+}
+
+// Eviction must respect recency through the real Route path: a client kept
+// warm by traffic survives churn that evicts idle ones.
+func TestExternalLBAffinityEvictsLRU(t *testing.T) {
+	tr := newTier(t, 3)
+	lb := webtier.NewExternalLB(tr.node, tr.view, nil)
+	lb.SetAffinityCap(4)
+	ctx := context.Background()
+
+	route := func(client string) {
+		t.Helper()
+		if _, err := lb.Route(ctx, client, "/count", "", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	route("hot")
+	for i := 0; i < 10; i++ {
+		route(fmt.Sprintf("cold-%d", i))
+		route("hot") // keep the hot client most-recent
+	}
+	if lb.AffinityOf("hot") == "" {
+		t.Fatal("recently-used client was evicted")
+	}
+	if n := lb.AffinityLen(); n != 4 {
+		t.Fatalf("table holds %d, want cap 4", n)
+	}
+	if lb.AffinityOf("cold-0") != "" {
+		t.Fatal("idle client survived past the cap")
+	}
+}

@@ -278,7 +278,7 @@ type ExternalLB struct {
 	failovers *metrics.Counter
 
 	mu       sync.Mutex
-	affinity map[string]string // clientID → server name
+	affinity *affinityLRU // clientID → server name, LRU-bounded
 }
 
 // SetTracer makes the appliance start a root span per routed request
@@ -304,8 +304,31 @@ func NewExternalLB(node rmi.Node, view View, reg *metrics.Registry) *ExternalLB 
 		stubs:     newStubCache(node),
 		routed:    reg.Counter("webtier.routed"),
 		failovers: reg.Counter("webtier.failovers"),
-		affinity:  make(map[string]string),
+		affinity:  newAffinityLRU(0),
 	}
+}
+
+// SetAffinityCap bounds the sticky-affinity table (default 65536 entries);
+// the least-recently-used client is evicted when it fills.
+func (lb *ExternalLB) SetAffinityCap(n int) {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	lb.affinity.setCap(n)
+}
+
+// AffinityLen reports how many clients currently have a sticky entry.
+func (lb *ExternalLB) AffinityLen() int {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	return lb.affinity.len()
+}
+
+// RecordAffinity inserts a sticky entry directly, as Route would after a
+// successful forward (pre-warming and bounded-growth tests).
+func (lb *ExternalLB) RecordAffinity(clientID, server string) {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	lb.affinity.put(clientID, server)
 }
 
 func (lb *ExternalLB) backends() []cluster.MemberInfo {
@@ -332,7 +355,7 @@ func (lb *ExternalLB) Route(ctx context.Context, clientID, path, cookie string, 
 	}
 
 	lb.mu.Lock()
-	target, hasAffinity := lb.affinity[clientID]
+	target, hasAffinity := lb.affinity.get(clientID)
 	lb.mu.Unlock()
 
 	tryServer := func(name string) (servlet.Response, bool) {
@@ -341,7 +364,7 @@ func (lb *ExternalLB) Route(ctx context.Context, clientID, path, cookie string, 
 				resp, err := lb.stubs.call(ctx, b.Name, b.Addr, path, cookie, body)
 				if err == nil {
 					lb.mu.Lock()
-					lb.affinity[clientID] = name
+					lb.affinity.put(clientID, name)
 					lb.mu.Unlock()
 					lb.routed.Inc()
 					if span != nil {
@@ -396,7 +419,7 @@ func (lb *ExternalLB) Route(ctx context.Context, clientID, path, cookie string, 
 func (lb *ExternalLB) AffinityOf(clientID string) string {
 	lb.mu.Lock()
 	defer lb.mu.Unlock()
-	return lb.affinity[clientID]
+	return lb.affinity.peek(clientID)
 }
 
 // ---------------------------------------------------------------------------

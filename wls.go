@@ -35,6 +35,7 @@ import (
 	"wls/internal/metrics"
 	"wls/internal/naming"
 	"wls/internal/netsim"
+	"wls/internal/partition"
 	"wls/internal/rmi"
 	"wls/internal/servlet"
 	"wls/internal/singleton"
@@ -91,6 +92,12 @@ type Options struct {
 	// backoff, per-server circuit breakers — which Server.Stub wires into
 	// every stub it creates (routers built from the cluster get their own).
 	Resilience *rmi.ResilienceConfig
+	// Partition, when set, gives every managed server an epoch-versioned
+	// consistent-hash ring over the live servlet tier: session secondaries
+	// are ring-placed (and re-ship on membership changes), entity-bean
+	// homes become computable on every server, and
+	// Server.PartitionedSingletonHost places singletons by ring ownership.
+	Partition *partition.Config
 }
 
 // Cluster is a running group of application servers plus the shared
@@ -108,7 +115,8 @@ type Cluster struct {
 	// Leases is the lease manager (nil unless WithAdmin).
 	Leases *lease.Manager
 
-	traces *trace.Ring // shared span ring (nil unless TraceSample > 0)
+	traces  *trace.Ring // shared span ring (nil unless TraceSample > 0)
+	nextIdx int         // next free address index (AddServer scale-out)
 }
 
 // Server is one application server.
@@ -124,6 +132,7 @@ type Server struct {
 	queue    *core.ExecuteQueue // nil unless Options.Admission
 	res      *rmi.Resilience    // nil unless Options.Resilience
 	resSeed  int64              // per-server jitter seed (survives Restart)
+	parts    *partition.Views   // nil unless Options.Partition
 
 	// Tx is the server's transaction manager.
 	Tx *tx.Manager
@@ -230,6 +239,8 @@ func New(opts Options) (*Cluster, error) {
 		}
 	}
 
+	c.nextIdx = total
+
 	if opts.WithAdmin {
 		leaseTable := store.New("leasedb", clk)
 		c.Leases = lease.NewManager(clk, lease.AlwaysLeader(), leaseTable, opts.LeaseTTL)
@@ -279,6 +290,16 @@ func (c *Cluster) newServer(i int, name string, isAdmin bool) (*Server, error) {
 	}
 	s.EJB = ejb.NewContainer(registry, s.Tx, c.DB, fix.bus)
 	s.Web = servlet.NewEngine(registry, servlet.Config{Sessions: c.opts.Sessions, DB: c.DB})
+	if c.opts.Partition != nil && !isAdmin {
+		// Attach after the servlet engine registers, so the ring's very
+		// first view already contains this server. The admin server also
+		// advertises wls.http but must never own partitions: application
+		// state lives on managed servers only.
+		s.parts = partition.NewViews(*c.opts.Partition)
+		partition.Attach(s.parts, member, servlet.ServiceName, "admin")
+		s.Web.SetPartitions(s.parts)
+		s.EJB.SetPartitions(s.parts)
+	}
 	s.JMS = jms.NewBroker(name, fix.clock, s.Files, reg)
 	s.WS = wsdl.NewPort(registry, s.Files)
 	s.Health = core.NewHealthMonitor()
@@ -518,6 +539,13 @@ func (c *Cluster) Restart(name string) *Server {
 	s.Tx = tx.NewManager(s.Name, c.fix.clock, nil, s.reg)
 	s.EJB = ejb.NewContainer(s.registry, s.Tx, c.DB, c.fix.bus)
 	s.Web = servlet.NewEngine(s.registry, servlet.Config{Sessions: c.opts.Sessions, DB: c.DB})
+	if s.parts != nil {
+		// The views object survives the reboot (it is attached to the
+		// member, which also survives); only the fresh containers need
+		// re-wiring.
+		s.Web.SetPartitions(s.parts)
+		s.EJB.SetPartitions(s.parts)
+	}
 	s.JMS = jms.NewBroker(s.Name, c.fix.clock, s.Files, s.reg)
 	s.WS = wsdl.NewPort(s.registry, s.Files)
 	s.Health = core.NewHealthMonitor()
